@@ -1,0 +1,371 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6). Each benchmark maps to one experiment; custom metrics report the
+// paper's units (tuples/s, records/s, query latencies) alongside ns/op.
+// Sizes here are smoke-scale so `go test -bench=.` completes quickly; the
+// cmd/kpg binary runs the full laptop-scale versions recorded in
+// EXPERIMENTS.md.
+package kpg_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/graphs"
+	"repro/internal/graspan"
+	"repro/internal/tpch"
+)
+
+func workersFor(n int) int {
+	if c := runtime.NumCPU(); c < n {
+		return c
+	}
+	return n
+}
+
+var tpchData = tpch.Generate(0.005, 42)
+
+// BenchmarkFig4a: absolute TPC-H streaming throughput in the paper's three
+// configurations (representative queries; kpg fig4a runs all 22).
+func BenchmarkFig4a(b *testing.B) {
+	for _, q := range []int{1, 3, 6, 15} {
+		for _, cfg := range []struct {
+			name    string
+			workers int
+			batch   int
+		}{
+			{"w1_b1", 1, 1},
+			{"w1_ball", 1, 1 << 30},
+			{fmt.Sprintf("w%d_ball", workersFor(4)), workersFor(4), 1 << 30},
+		} {
+			b.Run(fmt.Sprintf("Q%02d/%s", q, cfg.name), func(b *testing.B) {
+				total := len(tpchData.Orders)
+				if cfg.batch == 1 {
+					total = 200 // per-order epochs are slow by design
+				}
+				var tuples float64
+				for i := 0; i < b.N; i++ {
+					r := experiments.TPCHStream(tpchData, q, cfg.workers, cfg.batch, total)
+					tuples = r.TuplesPerSec()
+				}
+				b.ReportMetric(tuples, "tuples/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4b: throughput versus physical batch size, one worker.
+func BenchmarkFig4b(b *testing.B) {
+	for _, batch := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("Q01/b%d", batch), func(b *testing.B) {
+			var tuples float64
+			for i := 0; i < b.N; i++ {
+				r := experiments.TPCHStream(tpchData, 1, 1, batch, 2000)
+				tuples = r.TuplesPerSec()
+			}
+			b.ReportMetric(tuples, "tuples/s")
+		})
+	}
+}
+
+// BenchmarkFig4c: throughput versus worker count, large batches.
+func BenchmarkFig4c(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		if w > runtime.NumCPU() {
+			break
+		}
+		b.Run(fmt.Sprintf("Q01/w%d", w), func(b *testing.B) {
+			var tuples float64
+			for i := 0; i < b.N; i++ {
+				r := experiments.TPCHStream(tpchData, 1, w, 1<<30, len(tpchData.Orders))
+				tuples = r.TuplesPerSec()
+			}
+			b.ReportMetric(tuples, "tuples/s")
+		})
+	}
+}
+
+// BenchmarkFig5a: interactive graph query latencies under churn (shared).
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.InteractiveRun(workersFor(4), 10000, 32000, 200, 20, true)
+		b.ReportMetric(float64(r.Lookup.Median().Nanoseconds()), "lookup-p50-ns")
+		b.ReportMetric(float64(r.Path.Median().Nanoseconds()), "path-p50-ns")
+	}
+}
+
+// BenchmarkFig5b: the query mix, shared versus not shared.
+func BenchmarkFig5b(b *testing.B) {
+	for _, shared := range []bool{true, false} {
+		name := "not-shared"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.InteractiveRun(workersFor(4), 10000, 32000, 200, 20, shared)
+				b.ReportMetric(float64(r.Path.Median().Nanoseconds()), "mix-p50-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5c: memory footprint, shared versus not shared.
+func BenchmarkFig5c(b *testing.B) {
+	for _, shared := range []bool{true, false} {
+		name := "not-shared"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.InteractiveRun(workersFor(4), 10000, 32000, 200, 20, shared)
+				b.ReportMetric(r.HeapEndMB, "heap-MB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6a: arrange latency versus offered load, one worker.
+func BenchmarkFig6a(b *testing.B) {
+	for _, rate := range []int{50000, 200000, 800000} {
+		b.Run(fmt.Sprintf("rate%d", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.ArrangeLoad(1, uint64(rate), rate, 50, 0)
+				b.ReportMetric(float64(r.Rec.Median().Nanoseconds()), "p50-ns")
+				b.ReportMetric(float64(r.Rec.Percentile(99).Nanoseconds()), "p99-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6b: strong scaling of arrange under fixed load.
+func BenchmarkFig6b(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		if w > runtime.NumCPU() {
+			break
+		}
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.ArrangeLoad(w, 400000, 400000, 50, 0)
+				b.ReportMetric(float64(r.Rec.Median().Nanoseconds()), "p50-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6c: weak scaling (load proportional to workers).
+func BenchmarkFig6c(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		if w > runtime.NumCPU() {
+			break
+		}
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.ArrangeLoad(w, uint64(200000*w), 200000*w, 50, 0)
+				b.ReportMetric(float64(r.Rec.Median().Nanoseconds()), "p50-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6d: peak throughput of arrangement components.
+func BenchmarkFig6d(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		if w > runtime.NumCPU() {
+			break
+		}
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs := experiments.ArrangeThroughput(w, 20, 10000)
+				for _, r := range rs {
+					unit := strings.ReplaceAll(r.Component, " ", "-") + "-rec/s"
+					b.ReportMetric(r.RecordsPerSec, unit)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6e: merge amortization levels (eager / default / lazy).
+func BenchmarkFig6e(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.MergeLevels(1, 200000, 200000, 50)
+		for _, name := range []string{"eager", "default", "lazy"} {
+			b.ReportMetric(float64(out[name].Percentile(99).Nanoseconds()), name+"-p99-ns")
+		}
+	}
+}
+
+// BenchmarkFig6f: join-proportionality — installing a new dataflow joining
+// 2^k keys against a pre-arranged collection.
+func BenchmarkFig6f(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.JoinProportionality(1, 200000, []int{0, 8, 16}, 3)
+		for _, k := range []int{0, 8, 16} {
+			b.ReportMetric(float64(out[k].Median().Nanoseconds()), fmt.Sprintf("k%d-p50-ns", k))
+		}
+	}
+}
+
+// BenchmarkTable2: interactive Datalog query latencies.
+func BenchmarkTable2(b *testing.B) {
+	edges := graphs.Tree(2, 7)
+	for _, q := range []string{"tcfrom", "tcto", "sgfrom"} {
+		b.Run(q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec := experiments.DatalogInteractive(q, edges, workersFor(4), 10)
+				b.ReportMetric(float64(rec.Median().Nanoseconds()), "p50-ns")
+				b.ReportMetric(float64(rec.Max().Nanoseconds()), "max-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3: Graspan dataflow analysis, full and interactive removal.
+func BenchmarkTable3(b *testing.B) {
+	prog := graspan.Generate(2000, 3)
+	for i := 0; i < b.N; i++ {
+		r := experiments.GraspanDataflow(prog, workersFor(2), 10)
+		b.ReportMetric(float64(r.Full.Nanoseconds()), "full-ns")
+		b.ReportMetric(float64(r.Rec.Median().Nanoseconds()), "removal-p50-ns")
+	}
+}
+
+// BenchmarkTable4: Graspan points-to in base / Opt / NoS variants.
+func BenchmarkTable4(b *testing.B) {
+	prog := graspan.Generate(100, 3)
+	for _, v := range []struct {
+		name string
+		opt  graspan.PointsToOptions
+	}{
+		{"base", graspan.PointsToOptions{}},
+		{"Opt", graspan.PointsToOptions{Optimized: true}},
+		{"NoS", graspan.PointsToOptions{Optimized: true, NoSharing: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.GraspanPointsTo(prog, 1, v.opt)
+			}
+		})
+	}
+}
+
+// BenchmarkTable5: TPC-H streaming rates with logical batching.
+func BenchmarkTable5(b *testing.B) {
+	for _, q := range []int{1, 6, 15} {
+		b.Run(fmt.Sprintf("Q%02d", q), func(b *testing.B) {
+			var tuples float64
+			for i := 0; i < b.N; i++ {
+				r := experiments.TPCHStream(tpchData, q, workersFor(4), 1000, len(tpchData.Orders))
+				tuples = r.TuplesPerSec()
+			}
+			b.ReportMetric(tuples, "tuples/s")
+		})
+	}
+}
+
+// BenchmarkTable6: TPC-H batch elapsed versus the re-evaluation oracle.
+func BenchmarkTable6(b *testing.B) {
+	for _, q := range []int{1, 6, 9, 18} {
+		b.Run(fmt.Sprintf("Q%02d/kpg", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.TPCHBatch(tpchData, q, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("Q%02d/oracle", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.TPCHOracleElapsed(tpchData, q)
+			}
+		})
+	}
+}
+
+// BenchmarkTable789: graph tasks (index build, reach, bfs, wcc) versus
+// single-threaded baselines.
+func BenchmarkTable789(b *testing.B) {
+	edges := graphs.Random(20000, 120000, 7)
+	b.Run("kpg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := experiments.GraphTasks(edges, workersFor(4))
+			b.ReportMetric(float64(r.IndexFwd.Nanoseconds()), "index-f-ns")
+			b.ReportMetric(float64(r.Reach.Nanoseconds()), "reach-ns")
+			b.ReportMetric(float64(r.BFS.Nanoseconds()), "bfs-ns")
+			b.ReportMetric(float64(r.WCC.Nanoseconds()), "wcc-ns")
+		}
+	})
+	b.Run("baselines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ba, bh, wu, wh := experiments.GraphBaselines(edges)
+			b.ReportMetric(float64(ba.Nanoseconds()), "bfs-array-ns")
+			b.ReportMetric(float64(bh.Nanoseconds()), "bfs-hash-ns")
+			b.ReportMetric(float64(wu.Nanoseconds()), "wcc-uf-ns")
+			b.ReportMetric(float64(wh.Nanoseconds()), "wcc-hash-ns")
+		}
+	})
+}
+
+// BenchmarkTable10: interactive query latency versus batch size.
+func BenchmarkTable10(b *testing.B) {
+	for _, batch := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := experiments.QueryBatchLatency(workersFor(4), 10000, 64000, batch)
+				b.ReportMetric(float64(out["look-up"].Nanoseconds()), "lookup-ns")
+				b.ReportMetric(float64(out["four-path"].Nanoseconds()), "path-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkTable11: full Datalog evaluation, worker scaling.
+func BenchmarkTable11(b *testing.B) {
+	cases := []struct {
+		name  string
+		edges []graphs.Edge
+	}{
+		{"tc-tree", graphs.Tree(2, 8)},
+		{"tc-grid", graphs.Grid(25)},
+		{"sg-tree", graphs.Tree(2, 8)},
+	}
+	for _, cse := range cases {
+		task := cse.name[:2]
+		for _, w := range []int{1, 2} {
+			if w > runtime.NumCPU() {
+				break
+			}
+			b.Run(fmt.Sprintf("%s/w%d", cse.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.DatalogFull(task, cse.edges, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationQ15 compares the flat argmax against the paper's
+// hierarchical two-level argmax (the §6.1 optimization).
+func BenchmarkAblationQ15(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		q    tpch.QueryFunc
+	}{
+		{"flat", tpch.Q15},
+		{"hierarchical", tpch.Q15Hierarchical},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runQueryStream(v.q)
+			}
+		})
+	}
+}
+
+func runQueryStream(q tpch.QueryFunc) {
+	// Stream orders in 20 logical batches so the argmax is repeatedly
+	// updated (where hierarchy pays off).
+	d := tpchData
+	experiments.TPCHStreamQuery(d, q, 1, len(d.Orders)/20, len(d.Orders))
+}

@@ -1,0 +1,26 @@
+// Package kpg is the public facade of this repository: a Go reproduction of
+// "Shared Arrangements: practical inter-query sharing for streaming
+// dataflows" (McSherry, Lattuada, Schwarzkopf; VLDB 2020 — the K-Pg arXiv
+// preprint).
+//
+// The layers, bottom up:
+//
+//   - internal/lattice — partially ordered timestamps, frontiers, and the
+//     compaction function rep_F(t) with the paper's Appendix A theorems.
+//   - internal/timely — a timely-dataflow runtime: workers, typed streams,
+//     hash exchange, capability-based progress tracking, cyclic graphs.
+//   - internal/core — shared arrangements: the arrange operator, immutable
+//     indexed batches, LSM-style traces with fueled amortized merging,
+//     trace handles with logical/physical compaction frontiers, and
+//     cross-dataflow Import.
+//   - internal/dd — differential dataflow operators (map, filter, concat,
+//     join, reduce/count/distinct, iterate with mutually recursive
+//     Variables) built as thin shells over arrangements.
+//   - workload substrates (internal/tpch, graphs, datalog, graspan,
+//     interactive) and the experiment drivers (internal/experiments)
+//     regenerating every table and figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable programs, cmd/kpg for the
+// experiment CLI, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// measured results.
+package kpg

@@ -1,0 +1,76 @@
+// Quickstart: the paper's Figure 1 program — interactive graph reachability,
+// incrementally maintained as both the query set and the graph change.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+func main() {
+	timely.Execute(2, func(w *timely.Worker) {
+		var edges *dd.InputCollection[uint64, uint64]
+		var queries *dd.InputCollection[uint64, core.Unit]
+		var probe *timely.Probe
+
+		w.Dataflow(func(g *timely.Graph) {
+			ein, ec := dd.NewInput[uint64, uint64](g)
+			qin, qc := dd.NewInput[uint64, core.Unit](g)
+			edges, queries = ein, qin
+
+			// One shared arrangement of the graph serves the whole loop.
+			aEdges := dd.Arrange(ec, core.U64(), "edges")
+			reach := graphs.Reach(aEdges, qc)
+			out := dd.Consolidate(reach, core.U64Key())
+			// Built on every worker (dataflows must be structurally
+			// identical); each worker prints its shard of the changes.
+			dd.Inspect(out, func(node uint64, _ core.Unit, t lattice.Time, d core.Diff) {
+				sign := "+"
+				if d < 0 {
+					sign = "-"
+				}
+				fmt.Printf("  [epoch %d] %s reachable: %d\n", t.Epoch(), sign, node)
+			})
+			probe = dd.Probe(out)
+		})
+
+		if w.Index() != 0 {
+			edges.Close()
+			queries.Close()
+			w.Drain()
+			return
+		}
+
+		sync := func(epoch uint64) {
+			edges.AdvanceTo(epoch + 1)
+			queries.AdvanceTo(epoch + 1)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(epoch)) })
+		}
+
+		fmt.Println("epoch 0: chain 0->1->2->3, query from 0")
+		for _, e := range [][2]uint64{{0, 1}, {1, 2}, {2, 3}} {
+			edges.Insert(e[0], e[1])
+		}
+		queries.Insert(0, core.Unit{})
+		sync(0)
+
+		fmt.Println("epoch 1: add edge 3->4 (reach extends incrementally)")
+		edges.Insert(3, 4)
+		sync(1)
+
+		fmt.Println("epoch 2: cut edge 1->2 (downstream nodes retract)")
+		edges.Remove(1, 2)
+		sync(2)
+
+		edges.Close()
+		queries.Close()
+		w.Drain()
+	})
+}

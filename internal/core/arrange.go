@@ -1,0 +1,361 @@
+package core
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// TraceAgent is the worker-local owner of one arrangement: the spine (while
+// readers exist), the frontier through which batches have been sealed, and
+// the list of same-worker subscriptions feeding imports of this trace into
+// other dataflows. The arrange operator holds the spine only through the
+// agent, mirroring the paper's weak reference: when every read handle drops,
+// the spine is released and the operator continues in stream-only mode.
+type TraceAgent[K, V any] struct {
+	Fn    Funcs[K, V]
+	spine *Spine[K, V]
+	upper lattice.Frontier
+	depth int
+	subs  []*importSub[K, V]
+}
+
+type importSub[K, V any] struct {
+	queue []*Batch[K, V]
+}
+
+// Upper returns the frontier through which the trace has been sealed.
+func (a *TraceAgent[K, V]) Upper() lattice.Frontier { return a.upper }
+
+// Closed reports whether the upstream collection has finished (empty upper).
+func (a *TraceAgent[K, V]) Closed() bool { return a.upper.Empty() }
+
+// NewHandle returns a fresh read handle on the trace. It panics if the trace
+// has already been released (all prior handles dropped) — as with the
+// paper's weak references, a dropped trace cannot be revived.
+func (a *TraceAgent[K, V]) NewHandle() *Handle[K, V] {
+	if a.spine == nil {
+		panic("core: trace already released (all handles dropped)")
+	}
+	return a.spine.NewHandle()
+}
+
+// Spine exposes the spine for stats; nil once released.
+func (a *TraceAgent[K, V]) Spine() *Spine[K, V] { return a.spine }
+
+// NewAgentForOperator creates a trace agent for an operator that maintains
+// its own output arrangement (the reduce operator's output trace, §5.3.2).
+func NewAgentForOperator[K, V any](fn Funcs[K, V], depth int) *TraceAgent[K, V] {
+	agent := &TraceAgent[K, V]{
+		Fn:    fn,
+		spine: NewSpine[K, V](fn, 0),
+		upper: lattice.MinFrontier(depth),
+		depth: depth,
+	}
+	agent.spine.SetUpperDepth(depth)
+	return agent
+}
+
+// Maintain inserts a sealed batch into the trace, releasing the spine when
+// no readers remain, and feeds every same-worker subscription.
+func (a *TraceAgent[K, V]) Maintain(b *Batch[K, V]) { a.maintain(b) }
+
+// maintain inserts a sealed batch, dropping the spine if no readers remain.
+func (a *TraceAgent[K, V]) maintain(b *Batch[K, V]) {
+	if a.spine != nil && !a.spine.HasReaders() {
+		a.spine = nil // weak-reference behaviour: stream-only from here on
+	}
+	if a.spine != nil {
+		a.spine.Append(b)
+	}
+	for _, sub := range a.subs {
+		sub.queue = append(sub.queue, b)
+	}
+	a.upper = b.Upper.Clone()
+}
+
+// Arranged is an arrangement: the stream of shared indexed batches plus the
+// trace agent granting same-worker read access. Trace is the user-held read
+// handle; drop it (and every operator handle) to release the index while
+// keeping the batch stream alive.
+type Arranged[K, V any] struct {
+	Stream *timely.Stream[*Batch[K, V]]
+	Agent  *TraceAgent[K, V]
+	Trace  *Handle[K, V]
+	// Shift counts how many iteration scopes this arrangement has been
+	// entered into: batch and trace times are in the base (outer) domain and
+	// must be interpreted with Shift trailing zero coordinates appended.
+	// Indices and batches remain shared across the scope boundary (§5.4).
+	Shift int
+}
+
+// ShiftTime appends n zero loop coordinates to t (Enter applied n times).
+func ShiftTime(t lattice.Time, n int) lattice.Time {
+	for i := 0; i < n; i++ {
+		t = t.Enter()
+	}
+	return t
+}
+
+// ProjectFrontier strips n loop coordinates from every element of f,
+// yielding the base-domain frontier used for compaction and cursor cuts of
+// an entered trace.
+func ProjectFrontier(f lattice.Frontier, n int) lattice.Frontier {
+	if n == 0 {
+		return f
+	}
+	var out lattice.Frontier
+	for _, t := range f.Elements() {
+		for i := 0; i < n; i++ {
+			t = t.Leave()
+		}
+		out.Insert(t)
+	}
+	return out
+}
+
+// ArrangeOptions tunes an arrangement.
+type ArrangeOptions struct {
+	// MergeCoef is the merge effort coefficient (MergeLazy, MergeDefault,
+	// MergeEager); zero means MergeDefault.
+	MergeCoef int
+	// NoExchange skips the hash exchange (input already partitioned).
+	NoExchange bool
+	// StreamOnly builds no trace at all: the operator mints and emits
+	// batches but maintains no index (used by Consolidate).
+	StreamOnly bool
+}
+
+// Arrange builds the paper's arrange operator: it exchanges update triples
+// by key hash, buffers them in geometrically merged sorted runs, and when
+// the input frontier advances seals an immutable indexed batch which it (i)
+// appends to the shared trace, (ii) forwards to same-worker subscribers, and
+// (iii) emits on its output stream. One logical-time-decoupled batch is
+// minted per frontier advance regardless of how many logical times it spans
+// (Principle 1).
+func Arrange[K, V any](s *timely.Stream[Update[K, V]], fn Funcs[K, V],
+	name string, opt ArrangeOptions) *Arranged[K, V] {
+
+	depth := s.Depth()
+	agent := &TraceAgent[K, V]{
+		Fn:    fn,
+		upper: lattice.MinFrontier(depth),
+		depth: depth,
+	}
+	if !opt.StreamOnly {
+		agent.spine = NewSpine[K, V](fn, opt.MergeCoef)
+		agent.spine.SetUpperDepth(depth)
+	}
+
+	var exch func(Update[K, V]) uint64
+	if !opt.NoExchange {
+		exch = func(u Update[K, V]) uint64 { return fn.HashK(u.Key) }
+	}
+
+	st := &arrangeState[K, V]{fn: fn, agent: agent}
+	stream := timely.Unary[Update[K, V], *Batch[K, V]](s, name, exch, timely.SumID, nil,
+		func(ctx *timely.Ctx, in *timely.In[Update[K, V]], out *timely.Out[*Batch[K, V]]) {
+			st.schedule(ctx, in, out)
+		})
+	out := &Arranged[K, V]{Stream: stream, Agent: agent}
+	if !opt.StreamOnly {
+		out.Trace = agent.NewHandle()
+	}
+	return out
+}
+
+// arrangeState is the per-shard state of one arrange operator.
+type arrangeState[K, V any] struct {
+	fn    Funcs[K, V]
+	agent *TraceAgent[K, V]
+	// runs is a partially evaluated merge sort: sorted runs of geometrically
+	// increasing size, merged when adjacent runs are within 2x in length, so
+	// buffered memory stays linear in distinct (data, time) pairs.
+	runs [][]Update[K, V]
+	// capSet mirrors the retained capabilities: the antichain of minimal
+	// pending update times.
+	capSet lattice.Frontier
+}
+
+func (st *arrangeState[K, V]) schedule(ctx *timely.Ctx,
+	in *timely.In[Update[K, V]], out *timely.Out[*Batch[K, V]]) {
+
+	// Ingest new updates, extending capability coverage to their times.
+	in.ForEach(func(stamp []lattice.Time, data []Update[K, V]) {
+		run := make([]Update[K, V], len(data))
+		copy(run, data)
+		st.pushRun(SortUpdates(st.fn, run))
+		for _, t := range stamp {
+			st.extendCap(ctx, t)
+		}
+	})
+
+	// Seal a batch when the input frontier has advanced past the trace upper.
+	frontier := in.Frontier()
+	if !frontier.Equal(st.agent.upper) && frontierAdvanced(st.agent.upper, frontier) {
+		st.seal(ctx, out, frontier)
+	}
+
+	// Fueled trace maintenance continues across schedules.
+	if sp := st.agent.spine; sp != nil {
+		if sp.Work(256) {
+			ctx.Activate()
+		}
+	}
+}
+
+// frontierAdvanced reports whether new is strictly beyond old for at least
+// one element (i.e. sealing [old, new) is non-trivial and legal).
+func frontierAdvanced(old, new lattice.Frontier) bool {
+	// new must dominate nothing before old: every element of new must be in
+	// advance of old, or the frontiers are incomparable (wait for more).
+	for _, t := range new.Elements() {
+		if !old.LessEqual(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// pushRun adds a sorted run, merging geometrically comparable neighbours.
+func (st *arrangeState[K, V]) pushRun(run []Update[K, V]) {
+	if len(run) == 0 {
+		return
+	}
+	st.runs = append(st.runs, run)
+	for len(st.runs) >= 2 {
+		n := len(st.runs)
+		if len(st.runs[n-2]) > 2*len(st.runs[n-1]) {
+			break
+		}
+		merged := append(st.runs[n-2], st.runs[n-1]...)
+		merged = SortUpdates(st.fn, merged)
+		st.runs = st.runs[:n-2]
+		if len(merged) > 0 {
+			st.runs = append(st.runs, merged)
+		}
+	}
+}
+
+// extendCap retains a capability at t unless already covered.
+func (st *arrangeState[K, V]) extendCap(ctx *timely.Ctx, t lattice.Time) {
+	if st.capSet.LessEqual(t) {
+		return
+	}
+	ctx.Retain(0, t)
+	// Drop any capabilities the new one dominates.
+	for _, e := range st.capSet.Elements() {
+		if t.LessEqual(e) {
+			ctx.Drop(0, e)
+		}
+	}
+	st.capSet.Insert(t)
+}
+
+// seal extracts all buffered updates not in advance of the new frontier,
+// mints one immutable batch covering [upper, frontier), maintains the trace,
+// emits the batch, and rebuilds capability coverage for what remains.
+func (st *arrangeState[K, V]) seal(ctx *timely.Ctx,
+	out *timely.Out[*Batch[K, V]], frontier lattice.Frontier) {
+
+	var sealed, rest []Update[K, V]
+	for _, run := range st.runs {
+		for _, u := range run {
+			if frontier.LessEqual(u.Time) {
+				rest = append(rest, u)
+			} else {
+				sealed = append(sealed, u)
+			}
+		}
+	}
+	st.runs = st.runs[:0]
+	if len(rest) > 0 {
+		st.pushRun(SortUpdates(st.fn, rest))
+	}
+
+	since := lattice.MinFrontier(st.agent.depth)
+	if sp := st.agent.spine; sp != nil && sp.HasReaders() {
+		since = sp.logicalFrontier()
+	}
+	b := BuildBatch(st.fn, sealed, st.agent.upper.Clone(), frontier.Clone(), since)
+
+	// New capability coverage: minimal times of remaining updates. Retain
+	// before dropping old caps so every retention is justified.
+	var newCaps lattice.Frontier
+	for _, u := range rest {
+		newCaps.Insert(u.Time)
+	}
+	for _, t := range newCaps.Elements() {
+		if !contains(st.capSet, t) {
+			ctx.Retain(0, t)
+		}
+	}
+	for _, t := range st.capSet.Elements() {
+		if !contains(newCaps, t) {
+			ctx.Drop(0, t)
+		}
+	}
+	st.capSet = newCaps
+
+	st.agent.maintain(b)
+	out.SendSlice(b.MinTimes(), []*Batch[K, V]{b})
+}
+
+func contains(f lattice.Frontier, t lattice.Time) bool {
+	for _, e := range f.Elements() {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Import mirrors an existing trace into a new dataflow on the same worker
+// (§4.3): the source first emits the consolidated historical batches, then
+// every newly minted batch, with its capability tracking the trace's upper
+// frontier. The returned arrangement shares the original trace.
+func Import[K, V any](g *timely.Graph, agent *TraceAgent[K, V], name string) *Arranged[K, V] {
+	if agent.spine == nil {
+		panic("core: cannot import a released trace")
+	}
+	sub := &importSub[K, V]{}
+	agent.subs = append(agent.subs, sub)
+	handle := agent.NewHandle()
+
+	// Snapshot the historical batches now: batches minted after this point
+	// arrive through the subscription.
+	history := agent.spine.visible()
+
+	emitted := false
+	var capSet lattice.Frontier
+	capSet.Insert(lattice.Ts(0))
+
+	stream := timely.Source[*Batch[K, V]](g, name, 1, lattice.Ts(0),
+		func(ctx *timely.Ctx, out *timely.Out[*Batch[K, V]]) {
+			if !emitted {
+				for _, b := range history {
+					out.SendSlice(b.MinTimes(), []*Batch[K, V]{b})
+				}
+				emitted = true
+			}
+			for _, b := range sub.queue {
+				out.SendSlice(b.MinTimes(), []*Batch[K, V]{b})
+			}
+			sub.queue = sub.queue[:0]
+			// Downgrade capabilities to the trace's upper frontier.
+			upper := agent.upper
+			if !capSet.Equal(upper) {
+				for _, t := range upper.Elements() {
+					if !contains(capSet, t) {
+						ctx.Retain(0, t)
+					}
+				}
+				for _, t := range capSet.Elements() {
+					if !contains(upper, t) {
+						ctx.Drop(0, t)
+					}
+				}
+				capSet = upper.Clone()
+			}
+		})
+	return &Arranged[K, V]{Stream: stream, Agent: agent, Trace: handle}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+)
+
+// Batch is an immutable, indexed batch of update triples: the unit of data
+// in arranged streams and the building block of traces. Updates are stored
+// column-wise, grouped by key, then by value, each value carrying its
+// (time, diff) history.
+//
+// Lower and Upper delimit the times the batch is responsible for: it
+// contains exactly the updates at times in advance of Lower and not in
+// advance of Upper. Since records the compaction frontier the times have
+// been advanced to (times are exact for readers at or beyond Since). A batch
+// sequence with matching upper/lower frontiers is self-describing (§4.1).
+type Batch[K, V any] struct {
+	Lower, Upper, Since lattice.Frontier
+
+	Keys   []K
+	KeyOff []int32 // len(Keys)+1; value range of key i is Vals[KeyOff[i]:KeyOff[i+1]]
+	Vals   []V
+	ValOff []int32 // len(Vals)+1; history of value j is Upds[ValOff[j]:ValOff[j+1]]
+	Upds   []TimeDiff
+}
+
+// Len returns the number of update triples in the batch.
+func (b *Batch[K, V]) Len() int { return len(b.Upds) }
+
+// Empty reports whether the batch carries no updates.
+func (b *Batch[K, V]) Empty() bool { return len(b.Upds) == 0 }
+
+// NumKeys returns the number of distinct keys.
+func (b *Batch[K, V]) NumKeys() int { return len(b.Keys) }
+
+// ValRange returns the value index range for key index ki.
+func (b *Batch[K, V]) ValRange(ki int) (int, int) {
+	return int(b.KeyOff[ki]), int(b.KeyOff[ki+1])
+}
+
+// UpdRange returns the update index range for value index vi.
+func (b *Batch[K, V]) UpdRange(vi int) (int, int) {
+	return int(b.ValOff[vi]), int(b.ValOff[vi+1])
+}
+
+// SeekKey returns the index of the first key ≥ k at or after index from.
+func (b *Batch[K, V]) SeekKey(fn Funcs[K, V], k K, from int) int {
+	return from + sort.Search(len(b.Keys)-from, func(i int) bool {
+		return !fn.LessK(b.Keys[from+i], k)
+	})
+}
+
+// ForKey invokes f for every (val, time, diff) of key k, if present.
+func (b *Batch[K, V]) ForKey(fn Funcs[K, V], k K, f func(v V, t lattice.Time, d Diff)) {
+	ki := b.SeekKey(fn, k, 0)
+	if ki >= len(b.Keys) || !fn.EqK(b.Keys[ki], k) {
+		return
+	}
+	lo, hi := b.ValRange(ki)
+	for vi := lo; vi < hi; vi++ {
+		ul, uh := b.UpdRange(vi)
+		for ui := ul; ui < uh; ui++ {
+			f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+		}
+	}
+}
+
+// ForEach invokes f for every update triple in the batch, in (key, val,
+// time) order.
+func (b *Batch[K, V]) ForEach(f func(k K, v V, t lattice.Time, d Diff)) {
+	for ki := range b.Keys {
+		lo, hi := b.ValRange(ki)
+		for vi := lo; vi < hi; vi++ {
+			ul, uh := b.UpdRange(vi)
+			for ui := ul; ui < uh; ui++ {
+				f(b.Keys[ki], b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+			}
+		}
+	}
+}
+
+// MinTimes returns the antichain of minimal update times in the batch: the
+// stamp its message carries in arranged streams.
+func (b *Batch[K, V]) MinTimes() []lattice.Time {
+	var f lattice.Frontier
+	for _, u := range b.Upds {
+		f.Insert(u.Time)
+	}
+	return f.Elements()
+}
+
+// SortUpdates sorts updates by (key, val, time-total-order) and coalesces
+// entries with equal (key, val, time), dropping zero diffs. It returns the
+// consolidated prefix.
+func SortUpdates[K, V any](fn Funcs[K, V], upds []Update[K, V]) []Update[K, V] {
+	sort.Slice(upds, func(i, j int) bool {
+		a, b := &upds[i], &upds[j]
+		if fn.LessK(a.Key, b.Key) {
+			return true
+		}
+		if fn.LessK(b.Key, a.Key) {
+			return false
+		}
+		if fn.LessV(a.Val, b.Val) {
+			return true
+		}
+		if fn.LessV(b.Val, a.Val) {
+			return false
+		}
+		return a.Time.TotalLess(b.Time)
+	})
+	return coalesceSorted(fn, upds)
+}
+
+// coalesceSorted merges equal (key, val, time) runs of a sorted slice,
+// dropping zeros; it writes in place and returns the shortened slice.
+func coalesceSorted[K, V any](fn Funcs[K, V], upds []Update[K, V]) []Update[K, V] {
+	out := 0
+	for i := 0; i < len(upds); {
+		j := i + 1
+		acc := upds[i].Diff
+		for j < len(upds) && fn.EqK(upds[i].Key, upds[j].Key) &&
+			fn.EqV(upds[i].Val, upds[j].Val) && upds[i].Time == upds[j].Time {
+			acc += upds[j].Diff
+			j++
+		}
+		if acc != 0 {
+			upds[out] = upds[i]
+			upds[out].Diff = acc
+			out++
+		}
+		i = j
+	}
+	return upds[:out]
+}
+
+// BuildBatch consolidates updates (sorting them in place) and assembles the
+// columnar representation. The updates must all be at times in advance of
+// lower and not in advance of upper; this is checked.
+func BuildBatch[K, V any](fn Funcs[K, V], upds []Update[K, V],
+	lower, upper, since lattice.Frontier) *Batch[K, V] {
+
+	upds = SortUpdates(fn, upds)
+	b := &Batch[K, V]{Lower: lower, Upper: upper, Since: since}
+	b.KeyOff = append(b.KeyOff, 0)
+	b.ValOff = append(b.ValOff, 0)
+	// Times compacted toward a non-minimal since may legitimately land at or
+	// beyond upper, so the upper containment check only applies to
+	// uncompacted batches.
+	checkUpper := sinceIsMinimal(since)
+	for i := 0; i < len(upds); i++ {
+		u := &upds[i]
+		if !lower.LessEqual(u.Time) && !lower.Empty() {
+			panic(fmt.Sprintf("core: update time %v not in advance of batch lower %v", u.Time, lower))
+		}
+		if checkUpper && upper.LessEqual(u.Time) {
+			panic(fmt.Sprintf("core: update time %v in advance of batch upper %v", u.Time, upper))
+		}
+		newKey := i == 0 || !fn.EqK(upds[i-1].Key, u.Key)
+		newVal := newKey || !fn.EqV(upds[i-1].Val, u.Val)
+		if newKey {
+			b.Keys = append(b.Keys, u.Key)
+			b.KeyOff = append(b.KeyOff, b.KeyOff[len(b.KeyOff)-1])
+		}
+		if newVal {
+			b.Vals = append(b.Vals, u.Val)
+			b.ValOff = append(b.ValOff, b.ValOff[len(b.ValOff)-1])
+			b.KeyOff[len(b.KeyOff)-1]++
+		}
+		b.Upds = append(b.Upds, TimeDiff{u.Time, u.Diff})
+		b.ValOff[len(b.ValOff)-1]++
+	}
+	return b
+}
+
+// sinceIsMinimal reports whether a compaction frontier is the minimum of its
+// depth (no compaction has occurred).
+func sinceIsMinimal(f lattice.Frontier) bool {
+	if f.Len() != 1 {
+		return false
+	}
+	t := f.Elements()[0]
+	for i := 0; i < t.Depth(); i++ {
+		if t.Coord(i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EmptyBatch builds a batch with no updates covering [lower, upper).
+func EmptyBatch[K, V any](lower, upper, since lattice.Frontier) *Batch[K, V] {
+	return &Batch[K, V]{
+		Lower: lower, Upper: upper, Since: since,
+		KeyOff: []int32{0}, ValOff: []int32{0},
+	}
+}
+
+// tupleCursor iterates a batch's updates as flat (key, val, time, diff)
+// tuples in storage order, tracking the enclosing key and value indices.
+type tupleCursor[K, V any] struct {
+	b      *Batch[K, V]
+	ki, vi int
+	ui     int
+}
+
+func newTupleCursor[K, V any](b *Batch[K, V]) tupleCursor[K, V] {
+	c := tupleCursor[K, V]{b: b}
+	c.skipEmpty()
+	return c
+}
+
+func (c *tupleCursor[K, V]) valid() bool { return c.ui < len(c.b.Upds) }
+
+func (c *tupleCursor[K, V]) get() Update[K, V] {
+	return Update[K, V]{
+		Key:  c.b.Keys[c.ki],
+		Val:  c.b.Vals[c.vi],
+		Time: c.b.Upds[c.ui].Time,
+		Diff: c.b.Upds[c.ui].Diff,
+	}
+}
+
+func (c *tupleCursor[K, V]) next() {
+	c.ui++
+	c.skipEmpty()
+}
+
+// skipEmpty advances ki/vi so they enclose ui, skipping keys or values whose
+// ranges are empty (possible only for malformed batches, but cheap to guard).
+func (c *tupleCursor[K, V]) skipEmpty() {
+	for c.vi < len(c.b.Vals) && int(c.b.ValOff[c.vi+1]) <= c.ui {
+		c.vi++
+	}
+	for c.ki < len(c.b.Keys) && int(c.b.KeyOff[c.ki+1]) <= c.vi {
+		c.ki++
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func u64upd(k, v uint64, t lattice.Time, d Diff) Update[uint64, uint64] {
+	return Update[uint64, uint64]{Key: k, Val: v, Time: t, Diff: d}
+}
+
+func TestBuildBatchBasics(t *testing.T) {
+	fn := U64()
+	upds := []Update[uint64, uint64]{
+		u64upd(2, 20, lattice.Ts(0), 1),
+		u64upd(1, 10, lattice.Ts(0), 1),
+		u64upd(1, 10, lattice.Ts(1), -1),
+		u64upd(1, 11, lattice.Ts(0), 2),
+	}
+	b := BuildBatch(fn, upds, lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(2)), lattice.MinFrontier(1))
+	if b.Len() != 4 || b.NumKeys() != 2 {
+		t.Fatalf("len=%d keys=%d", b.Len(), b.NumKeys())
+	}
+	if b.Keys[0] != 1 || b.Keys[1] != 2 {
+		t.Fatalf("keys not sorted: %v", b.Keys)
+	}
+	// key 1 has vals 10 (two times) and 11.
+	lo, hi := b.ValRange(0)
+	if hi-lo != 2 || b.Vals[lo] != 10 || b.Vals[lo+1] != 11 {
+		t.Fatalf("vals of key 1: %v", b.Vals[lo:hi])
+	}
+	ul, uh := b.UpdRange(lo)
+	if uh-ul != 2 {
+		t.Fatalf("val 10 must have 2 updates")
+	}
+}
+
+func TestBuildBatchCoalesces(t *testing.T) {
+	fn := U64()
+	upds := []Update[uint64, uint64]{
+		u64upd(1, 10, lattice.Ts(0), 1),
+		u64upd(1, 10, lattice.Ts(0), 1),
+		u64upd(1, 10, lattice.Ts(0), -2), // cancels entirely
+		u64upd(2, 20, lattice.Ts(1), 3),
+		u64upd(2, 20, lattice.Ts(1), -1), // 2 remains
+	}
+	b := BuildBatch(fn, upds, lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(2)), lattice.MinFrontier(1))
+	if b.Len() != 1 || b.NumKeys() != 1 || b.Keys[0] != 2 {
+		t.Fatalf("coalescing failed: len=%d keys=%v", b.Len(), b.Keys)
+	}
+	if b.Upds[0].Diff != 2 {
+		t.Fatalf("diff = %d", b.Upds[0].Diff)
+	}
+}
+
+func TestBatchBoundsChecked(t *testing.T) {
+	fn := U64()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("update beyond upper must panic")
+		}
+	}()
+	BuildBatch(fn, []Update[uint64, uint64]{u64upd(1, 1, lattice.Ts(5), 1)},
+		lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(2)), lattice.MinFrontier(1))
+}
+
+func TestBatchForKeyAndSeek(t *testing.T) {
+	fn := U64()
+	var upds []Update[uint64, uint64]
+	for k := uint64(0); k < 100; k += 2 {
+		upds = append(upds, u64upd(k, k*10, lattice.Ts(0), int64(k+1)))
+	}
+	b := BuildBatch(fn, upds, lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(1)), lattice.MinFrontier(1))
+	count := 0
+	b.ForKey(fn, 42, func(v uint64, tm lattice.Time, d Diff) {
+		count++
+		if v != 420 || d != 43 {
+			t.Fatalf("wrong val/diff: %d %d", v, d)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("key 42 visited %d times", count)
+	}
+	b.ForKey(fn, 43, func(v uint64, tm lattice.Time, d Diff) {
+		t.Fatalf("key 43 must be absent")
+	})
+	if ki := b.SeekKey(fn, 43, 0); b.Keys[ki] != 44 {
+		t.Fatalf("seek 43 landed on %d", b.Keys[ki])
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	b := EmptyBatch[uint64, uint64](lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(3)), lattice.MinFrontier(1))
+	if !b.Empty() || b.Len() != 0 || len(b.MinTimes()) != 0 {
+		t.Fatalf("empty batch malformed")
+	}
+}
+
+func TestTupleCursorRoundTrip(t *testing.T) {
+	fn := U64()
+	r := rand.New(rand.NewSource(9))
+	var upds []Update[uint64, uint64]
+	for i := 0; i < 500; i++ {
+		upds = append(upds, u64upd(uint64(r.Intn(50)), uint64(r.Intn(5)),
+			lattice.Ts(uint64(r.Intn(4))), int64(r.Intn(5)+1)))
+	}
+	b := BuildBatch(fn, upds, lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(4)), lattice.MinFrontier(1))
+	c := newTupleCursor(b)
+	var got []Update[uint64, uint64]
+	for c.valid() {
+		got = append(got, c.get())
+		c.next()
+	}
+	if len(got) != b.Len() {
+		t.Fatalf("cursor yielded %d of %d", len(got), b.Len())
+	}
+	i := 0
+	b.ForEach(func(k, v uint64, tm lattice.Time, d Diff) {
+		u := got[i]
+		if u.Key != k || u.Val != v || u.Time != tm || u.Diff != d {
+			t.Fatalf("tuple %d mismatch: %+v vs (%d,%d,%v,%d)", i, u, k, v, tm, d)
+		}
+		i++
+	})
+}
+
+func TestMinTimesAntichain(t *testing.T) {
+	fn := U64()
+	upds := []Update[uint64, uint64]{
+		u64upd(1, 1, lattice.Ts(3), 1),
+		u64upd(2, 2, lattice.Ts(1), 1),
+		u64upd(3, 3, lattice.Ts(2), 1),
+	}
+	b := BuildBatch(fn, upds, lattice.NewFrontier(lattice.Ts(1)), lattice.NewFrontier(lattice.Ts(4)), lattice.MinFrontier(1))
+	mt := b.MinTimes()
+	if len(mt) != 1 || mt[0] != lattice.Ts(1) {
+		t.Fatalf("MinTimes = %v", mt)
+	}
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// Merge effort coefficients for the paper's Figure 6e configurations. The
+// coefficient multiplies the size of each inserted batch to produce the fuel
+// applied to in-progress merges. Two is the constant the paper proves
+// sufficient for merges to complete before their results are required.
+const (
+	MergeLazy    = 1
+	MergeDefault = 2
+	MergeEager   = 1 << 30
+)
+
+// Spine is a collection trace: a time-ordered sequence of immutable batches
+// maintained compactly by amortized (fueled) merging of adjacent batches of
+// comparable size, with consolidation of times indistinguishable to all
+// readers (logical compaction) performed during merges. Spines are strictly
+// worker-local: no locking, exactly as in the paper (sharing never crosses
+// worker boundaries).
+type Spine[K, V any] struct {
+	fn      Funcs[K, V]
+	entries []spineEntry[K, V] // oldest first; adjacent uppers/lowers match
+	handles []*Handle[K, V]
+	coef    int
+	depth   int
+	upper   lattice.Frontier // through which batches have been appended
+
+	// stats
+	MergesStarted   int
+	MergesCompleted int
+	UpdatesMerged   int
+}
+
+type spineEntry[K, V any] struct {
+	batch *Batch[K, V]       // non-nil when completed
+	merge *mergeState[K, V]  // non-nil while merging two batches
+}
+
+// mergeState is one in-progress, fueled merge of two time-adjacent batches.
+type mergeState[K, V any] struct {
+	a, b  *Batch[K, V]
+	ca    tupleCursor[K, V]
+	cb    tupleCursor[K, V]
+	out   []Update[K, V]
+	since lattice.Frontier // compaction frontier captured at merge start
+}
+
+func (m *mergeState[K, V]) remaining() int {
+	return (m.a.Len() - m.ca.ui) + (m.b.Len() - m.cb.ui)
+}
+
+// NewSpine creates an empty spine with the given merge effort coefficient.
+func NewSpine[K, V any](fn Funcs[K, V], coef int) *Spine[K, V] {
+	if coef < 1 {
+		coef = MergeDefault
+	}
+	return &Spine[K, V]{fn: fn, coef: coef, depth: 1, upper: lattice.MinFrontier(1)}
+}
+
+// SetUpperDepth initializes the spine's empty upper frontier at the given
+// timestamp depth (needed before the first Append when depth > 1).
+func (s *Spine[K, V]) SetUpperDepth(depth int) {
+	if len(s.entries) == 0 {
+		s.depth = depth
+		s.upper = lattice.MinFrontier(depth)
+	}
+}
+
+// Upper returns the frontier through which the spine has been appended.
+func (s *Spine[K, V]) Upper() lattice.Frontier { return s.upper }
+
+// Append adds a freshly minted batch (whose lower must match the spine's
+// upper), then performs fueled maintenance proportional to the batch size.
+func (s *Spine[K, V]) Append(b *Batch[K, V]) {
+	if !b.Lower.Equal(s.upper) {
+		panic(fmt.Sprintf("core: appended batch lower %v does not match spine upper %v",
+			b.Lower, s.upper))
+	}
+	s.upper = b.Upper.Clone()
+	s.entries = append(s.entries, spineEntry[K, V]{batch: b})
+	fuel := s.coef * (b.Len() + 1)
+	s.Work(fuel)
+}
+
+// Work applies fuel to in-progress merges (oldest first) and initiates new
+// merges where adjacent completed batches have comparable sizes and lie
+// entirely behind every reader's physical frontier. It returns true while
+// more maintenance work remains (callers should re-schedule).
+func (s *Spine[K, V]) Work(fuel int) bool {
+	for fuel > 0 {
+		idx := -1
+		for i := range s.entries {
+			if s.entries[i].merge != nil {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		fuel = s.advanceMerge(idx, fuel)
+	}
+	s.considerMerges()
+	for i := range s.entries {
+		if s.entries[i].merge != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceMerge applies fuel to the merge at entry idx, installing the result
+// when it completes; returns leftover fuel.
+func (s *Spine[K, V]) advanceMerge(idx, fuel int) int {
+	m := s.entries[idx].merge
+	for fuel > 0 && (m.ca.valid() || m.cb.valid()) {
+		var u Update[K, V]
+		switch {
+		case !m.cb.valid():
+			u = m.ca.get()
+			m.ca.next()
+		case !m.ca.valid():
+			u = m.cb.get()
+			m.cb.next()
+		default:
+			ua, ub := m.ca.get(), m.cb.get()
+			if s.tupleLess(&ua, &ub) {
+				u = ua
+				m.ca.next()
+			} else {
+				u = ub
+				m.cb.next()
+			}
+		}
+		if rep, ok := lattice.Compact(u.Time, m.since); ok {
+			u.Time = rep
+			m.out = append(m.out, u)
+		}
+		fuel--
+		s.UpdatesMerged++
+	}
+	if !m.ca.valid() && !m.cb.valid() {
+		merged := BuildBatch(s.fn, m.out, m.a.Lower, m.b.Upper, m.since.Clone())
+		s.entries[idx] = spineEntry[K, V]{batch: merged}
+		s.MergesCompleted++
+	}
+	return fuel
+}
+
+func (s *Spine[K, V]) tupleLess(a, b *Update[K, V]) bool {
+	if s.fn.LessK(a.Key, b.Key) {
+		return true
+	}
+	if s.fn.LessK(b.Key, a.Key) {
+		return false
+	}
+	if s.fn.LessV(a.Val, b.Val) {
+		return true
+	}
+	if s.fn.LessV(b.Val, a.Val) {
+		return false
+	}
+	return a.Time.TotalLess(b.Time)
+}
+
+// considerMerges initiates merges of adjacent completed batches whose sizes
+// are within a factor of two (or either is empty), provided the newer batch
+// lies behind every reader's physical frontier.
+func (s *Spine[K, V]) considerMerges() {
+	phys, constrained := s.physicalFrontier()
+	for i := 0; i+1 < len(s.entries); i++ {
+		e1, e2 := &s.entries[i], &s.entries[i+1]
+		if e1.batch == nil || e2.batch == nil {
+			continue
+		}
+		n1, n2 := e1.batch.Len(), e2.batch.Len()
+		if constrained && !frontierCovered(e2.batch.Upper, phys) {
+			continue
+		}
+		// Absorbing an empty batch only widens the neighbour's bounds: share
+		// the columns rather than rewriting them.
+		if n1 == 0 || n2 == 0 {
+			full := e1.batch
+			if n1 == 0 {
+				full = e2.batch
+			}
+			widened := *full
+			widened.Lower = e1.batch.Lower
+			widened.Upper = e2.batch.Upper
+			s.entries[i] = spineEntry[K, V]{batch: &widened}
+			s.entries = append(s.entries[:i+1], s.entries[i+2:]...)
+			i--
+			continue
+		}
+		if n1 > 2*n2 {
+			continue
+		}
+		s.startMergeAt(i)
+		i-- // the merged slot may combine further once complete
+	}
+}
+
+// startMergeAt begins merging entries i and i+1 (both must be completed).
+func (s *Spine[K, V]) startMergeAt(i int) {
+	e1, e2 := &s.entries[i], &s.entries[i+1]
+	m := &mergeState[K, V]{
+		a: e1.batch, b: e2.batch,
+		ca:    newTupleCursor(e1.batch),
+		cb:    newTupleCursor(e2.batch),
+		since: s.logicalFrontier(),
+		out:   make([]Update[K, V], 0, e1.batch.Len()+e2.batch.Len()),
+	}
+	s.MergesStarted++
+	s.entries[i] = spineEntry[K, V]{merge: m}
+	s.entries = append(s.entries[:i+1], s.entries[i+2:]...)
+}
+
+// Recompact forces all possible maintenance to completion: it finishes every
+// in-progress merge, merges every adjacent pair permitted by readers'
+// physical frontiers regardless of size, and finally rewrites a lone batch
+// whose consolidation frontier lags the readers' logical frontier. Used when
+// a trace has gone quiet (ordinary maintenance is driven by appends).
+func (s *Spine[K, V]) Recompact() {
+	for s.Work(1 << 30) {
+	}
+	for {
+		phys, constrained := s.physicalFrontier()
+		merged := false
+		for i := 0; i+1 < len(s.entries); i++ {
+			if s.entries[i].batch == nil || s.entries[i+1].batch == nil {
+				continue
+			}
+			if constrained && !frontierCovered(s.entries[i+1].batch.Upper, phys) {
+				continue
+			}
+			s.startMergeAt(i)
+			merged = true
+			break
+		}
+		if !merged {
+			break
+		}
+		for s.Work(1 << 30) {
+		}
+	}
+	if len(s.entries) == 1 && s.entries[0].batch != nil {
+		b := s.entries[0].batch
+		phys, constrained := s.physicalFrontier()
+		if !b.Since.Equal(s.logicalFrontier()) &&
+			(!constrained || frontierCovered(b.Upper, phys)) {
+			empty := EmptyBatch[K, V](b.Upper, b.Upper, b.Since)
+			s.entries = append(s.entries, spineEntry[K, V]{batch: empty})
+			s.startMergeAt(0)
+			for s.Work(1 << 30) {
+			}
+		}
+	}
+}
+
+// frontierCovered reports whether reader frontier f is at or beyond batch
+// upper u: every element of f is in advance of u, so no reader can ask for a
+// cursor cut inside the batch.
+func frontierCovered(u, f lattice.Frontier) bool {
+	for _, t := range f.Elements() {
+		if !u.LessEqual(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// logicalFrontier is the meet of all live readers' logical frontiers: times
+// below it are indistinguishable to every reader and may be consolidated.
+// With no readers it is empty (all updates may be discarded).
+func (s *Spine[K, V]) logicalFrontier() lattice.Frontier {
+	var f lattice.Frontier
+	for _, h := range s.handles {
+		if !h.dropped {
+			f.Extend(h.logical)
+		}
+	}
+	return f
+}
+
+// physicalFrontier is the meet of readers' physical frontiers; constrained
+// is false when no reader imposes one (merging is unrestricted).
+func (s *Spine[K, V]) physicalFrontier() (lattice.Frontier, bool) {
+	var f lattice.Frontier
+	constrained := false
+	for _, h := range s.handles {
+		if !h.dropped && h.physical != nil {
+			constrained = true
+			f.Extend(*h.physical)
+		}
+	}
+	return f, constrained
+}
+
+// visible returns the batches a full-trace cursor navigates: completed
+// batches plus the sources of in-progress merges, oldest first.
+func (s *Spine[K, V]) visible() []*Batch[K, V] {
+	out := make([]*Batch[K, V], 0, len(s.entries)+2)
+	for i := range s.entries {
+		if m := s.entries[i].merge; m != nil {
+			out = append(out, m.a, m.b)
+		} else {
+			out = append(out, s.entries[i].batch)
+		}
+	}
+	return out
+}
+
+// BatchCount returns the number of visible batches (for tests and stats).
+func (s *Spine[K, V]) BatchCount() int { return len(s.visible()) }
+
+// UpdateCount returns the total updates across visible batches.
+func (s *Spine[K, V]) UpdateCount() int {
+	n := 0
+	for _, b := range s.visible() {
+		n += b.Len()
+	}
+	return n
+}
+
+// NewHandle creates a read handle whose logical frontier starts at the
+// minimum time (full history) and whose physical frontier is unconstrained.
+func (s *Spine[K, V]) NewHandle() *Handle[K, V] {
+	h := &Handle[K, V]{spine: s, logical: lattice.MinFrontier(s.depth)}
+	s.handles = append(s.handles, h)
+	return h
+}
+
+// HasReaders reports whether any non-dropped handle remains.
+func (s *Spine[K, V]) HasReaders() bool {
+	for _, h := range s.handles {
+		if !h.dropped {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle is a per-reader view of a spine (the paper's trace handle). The
+// logical frontier promises the reader will only accumulate collections at
+// times in advance of it, permitting consolidation below it. The physical
+// frontier (nil if unconstrained) promises the reader will only request
+// CursorThrough cuts at or beyond it, permitting merges behind it.
+type Handle[K, V any] struct {
+	spine    *Spine[K, V]
+	logical  lattice.Frontier
+	physical *lattice.Frontier
+	dropped  bool
+}
+
+// SetLogical advances the handle's logical compaction frontier. Frontiers
+// may only advance.
+func (h *Handle[K, V]) SetLogical(f lattice.Frontier) {
+	h.logical = f.Clone()
+}
+
+// SetPhysical advances the handle's physical compaction frontier.
+func (h *Handle[K, V]) SetPhysical(f lattice.Frontier) {
+	c := f.Clone()
+	h.physical = &c
+}
+
+// Logical returns the handle's logical frontier.
+func (h *Handle[K, V]) Logical() lattice.Frontier { return h.logical }
+
+// Drop releases the handle; when the last handle drops, the trace's updates
+// become collectable (the arrange operator stops maintaining the spine).
+func (h *Handle[K, V]) Drop() { h.dropped = true }
+
+// Dropped reports whether the handle has been dropped.
+func (h *Handle[K, V]) Dropped() bool { return h.dropped }
+
+// Spine exposes the underlying spine (worker-local use only).
+func (h *Handle[K, V]) Spine() *Spine[K, V] { return h.spine }
+
+// Cursor returns a cursor over the full trace contents.
+func (h *Handle[K, V]) Cursor() *TraceCursor[K, V] {
+	return newTraceCursor(h.spine.fn, h.spine.visible())
+}
+
+// CursorThrough returns a cursor over exactly the batches with upper ≤ f.
+// The cut must fall on a batch boundary at or beyond the handle's physical
+// frontier; it panics otherwise (an operator logic error).
+func (h *Handle[K, V]) CursorThrough(f lattice.Frontier) *TraceCursor[K, V] {
+	var sel []*Batch[K, V]
+	for _, b := range h.spine.visible() {
+		if frontierCovered(b.Upper, f) {
+			sel = append(sel, b)
+		} else {
+			if frontierCovered(b.Lower, f) && !b.Lower.Equal(f) {
+				panic(fmt.Sprintf("core: CursorThrough(%v) cuts inside batch [%v, %v)",
+					f, b.Lower, b.Upper))
+			}
+			break
+		}
+	}
+	return newTraceCursor(h.spine.fn, sel)
+}
+
+// TraceCursor navigates the union of a set of batches in key order, with
+// forward-only galloping seeks (the alternating-seek pattern of §5.3.1).
+type TraceCursor[K, V any] struct {
+	fn      Funcs[K, V]
+	batches []*Batch[K, V]
+	pos     []int // per batch: current key index
+}
+
+func newTraceCursor[K, V any](fn Funcs[K, V], batches []*Batch[K, V]) *TraceCursor[K, V] {
+	nonEmpty := batches[:0:0]
+	for _, b := range batches {
+		if !b.Empty() {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	return &TraceCursor[K, V]{fn: fn, batches: nonEmpty, pos: make([]int, len(nonEmpty))}
+}
+
+// PeekKey returns the smallest key at or after the cursor position, if any.
+func (c *TraceCursor[K, V]) PeekKey() (K, bool) {
+	var best K
+	found := false
+	for i, b := range c.batches {
+		if c.pos[i] < len(b.Keys) {
+			k := b.Keys[c.pos[i]]
+			if !found || c.fn.LessK(k, best) {
+				best, found = k, true
+			}
+		}
+	}
+	return best, found
+}
+
+// SeekKey advances every constituent cursor to the first key ≥ k, returning
+// whether any batch contains k exactly. Seeks are forward-only.
+func (c *TraceCursor[K, V]) SeekKey(k K) bool {
+	found := false
+	for i, b := range c.batches {
+		c.pos[i] = b.SeekKey(c.fn, k, c.pos[i])
+		if c.pos[i] < len(b.Keys) && c.fn.EqK(b.Keys[c.pos[i]], k) {
+			found = true
+		}
+	}
+	return found
+}
+
+// ForUpdates invokes f with every (val, time, diff) of key k across all
+// batches. The cursor must be positioned at k via SeekKey.
+func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff)) {
+	for i, b := range c.batches {
+		ki := c.pos[i]
+		if ki >= len(b.Keys) || !c.fn.EqK(b.Keys[ki], k) {
+			continue
+		}
+		lo, hi := b.ValRange(ki)
+		for vi := lo; vi < hi; vi++ {
+			ul, uh := b.UpdRange(vi)
+			for ui := ul; ui < uh; ui++ {
+				f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+			}
+		}
+	}
+}
+
+// SkipKey advances past key k (used when iterating keys in order).
+func (c *TraceCursor[K, V]) SkipKey(k K) {
+	for i, b := range c.batches {
+		if c.pos[i] < len(b.Keys) && c.fn.EqK(b.Keys[c.pos[i]], k) {
+			c.pos[i]++
+		}
+	}
+}
+
+// AccumEntry is one (value, accumulated diff) pair used when re-forming a
+// key's collection at a time.
+type AccumEntry[V any] struct {
+	Val  V
+	Diff Diff
+}
+
+// AccumInto adds (v, d) into entries, merging with an existing equal value.
+func AccumInto[V any](entries []AccumEntry[V], eq func(a, b V) bool, v V, d Diff) []AccumEntry[V] {
+	for i := range entries {
+		if eq(entries[i].Val, v) {
+			entries[i].Diff += d
+			return entries
+		}
+	}
+	return append(entries, AccumEntry[V]{Val: v, Diff: d})
+}
+
+// AccumulateKey sums, for each value of key k, the diffs at times ≤ t,
+// invoking f with every value whose accumulated diff is non-zero.
+func (c *TraceCursor[K, V]) AccumulateKey(k K, t lattice.Time,
+	scratch []AccumEntry[V], f func(v V, d Diff)) []AccumEntry[V] {
+
+	scratch = scratch[:0]
+	c.ForUpdates(k, func(v V, ut lattice.Time, d Diff) {
+		if !ut.LessEqual(t) {
+			return
+		}
+		scratch = AccumInto(scratch, c.fn.EqV, v, d)
+	})
+	for _, e := range scratch {
+		if e.Diff != 0 {
+			f(e.Val, e.Diff)
+		}
+	}
+	return scratch
+}

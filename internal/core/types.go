@@ -1,0 +1,109 @@
+// Package core implements shared arrangements, the paper's primary
+// contribution: the arrange operator, immutable indexed batches of update
+// triples, LSM-style multiversioned traces with amortized (fueled) merging
+// and frontier-relative consolidation, read handles with logical and
+// physical compaction frontiers, and cross-dataflow import of traces within
+// a worker.
+package core
+
+import (
+	"math"
+
+	"repro/internal/lattice"
+)
+
+// Diff is the commutative group of update multiplicities ("often the
+// integers", per the paper).
+type Diff = int64
+
+// TimeDiff is one (time, diff) entry in a value's history.
+type TimeDiff struct {
+	Time lattice.Time
+	Diff Diff
+}
+
+// Update is one differential update triple, with the data split into its
+// (key, value) structure as required by data-parallel operators.
+type Update[K, V any] struct {
+	Key  K
+	Val  V
+	Time lattice.Time
+	Diff Diff
+}
+
+// Unit is the value type of key-only collections (the paper's second,
+// simplified batch variant for data that is just keys).
+type Unit = struct{}
+
+// Funcs bundles the ordering and hashing capabilities a key/value pair needs
+// to be arranged: Go has no Ord/Hash traits, so these are explicit. LessK
+// and LessV must be strict weak orders; HashK drives worker routing and must
+// distribute well.
+type Funcs[K, V any] struct {
+	LessK func(a, b K) bool
+	LessV func(a, b V) bool
+	HashK func(K) uint64
+}
+
+// EqK reports key equality, derived from the strict order.
+func (f Funcs[K, V]) EqK(a, b K) bool { return !f.LessK(a, b) && !f.LessK(b, a) }
+
+// EqV reports value equality, derived from the strict order.
+func (f Funcs[K, V]) EqV(a, b V) bool { return !f.LessV(a, b) && !f.LessV(b, a) }
+
+// Mix64 is a 64-bit finalizer (splitmix64) used to turn integer keys into
+// well-distributed hashes.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString hashes a string with FNV-1a followed by mixing.
+func HashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return Mix64(h)
+}
+
+// U64 returns Funcs for collections keyed and valued by uint64.
+func U64() Funcs[uint64, uint64] {
+	return Funcs[uint64, uint64]{
+		LessK: func(a, b uint64) bool { return a < b },
+		LessV: func(a, b uint64) bool { return a < b },
+		HashK: Mix64,
+	}
+}
+
+// U64Key returns Funcs for key-only collections of uint64.
+func U64Key() Funcs[uint64, Unit] {
+	return Funcs[uint64, Unit]{
+		LessK: func(a, b uint64) bool { return a < b },
+		LessV: func(a, b Unit) bool { return false },
+		HashK: Mix64,
+	}
+}
+
+// I64 returns Funcs for collections keyed and valued by int64.
+func I64() Funcs[int64, int64] {
+	return Funcs[int64, int64]{
+		LessK: func(a, b int64) bool { return a < b },
+		LessV: func(a, b int64) bool { return a < b },
+		HashK: func(k int64) uint64 { return Mix64(uint64(k)) },
+	}
+}
+
+// F64Less orders float64s totally (NaN first) for use in value orders.
+func F64Less(a, b float64) bool {
+	if math.IsNaN(a) {
+		return !math.IsNaN(b)
+	}
+	if math.IsNaN(b) {
+		return false
+	}
+	return a < b
+}

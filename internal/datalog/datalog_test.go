@@ -1,0 +1,241 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+func runStatic(t *testing.T, workers int, edges []graphs.Edge,
+	build func(ec dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64]) map[[2]uint64]bool {
+
+	t.Helper()
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *dd.InputCollection[uint64, uint64]
+		w.Dataflow(func(g *timely.Graph) {
+			ein, ec := dd.NewInput[uint64, uint64](g)
+			in = ein
+			out := build(ec)
+			dd.Capture(out, cap)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(in, edges)
+		}
+		in.Close()
+		w.Drain()
+	})
+	out := map[[2]uint64]bool{}
+	for kv, d := range cap.At(lattice.Ts(0)) {
+		if d != 1 {
+			t.Fatalf("non-unit multiplicity %d for %v", d, kv)
+		}
+		out[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	return out
+}
+
+func sameSet(t *testing.T, name string, got, want map[[2]uint64]bool) {
+	t.Helper()
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("%s: missing %v (got %d, want %d)", name, p, len(got), len(want))
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Fatalf("%s: spurious %v", name, p)
+		}
+	}
+}
+
+func TestTCOnChainAndTree(t *testing.T) {
+	for _, edges := range [][]graphs.Edge{graphs.Chain(6), graphs.Tree(2, 3)} {
+		want := TCOracle(edges)
+		got := runStatic(t, 2, edges, TC)
+		sameSet(t, "tc", got, want)
+	}
+}
+
+func TestTCOnRandom(t *testing.T) {
+	edges := graphs.Random(25, 40, 5)
+	want := TCOracle(edges)
+	got := runStatic(t, 1, edges, TC)
+	sameSet(t, "tc-random", got, want)
+}
+
+func TestSGOnTree(t *testing.T) {
+	edges := graphs.Tree(2, 3)
+	want := SGOracle(edges)
+	got := runStatic(t, 2, edges, SG)
+	sameSet(t, "sg", got, want)
+}
+
+func TestSGOnGrid(t *testing.T) {
+	edges := graphs.Grid(4)
+	want := SGOracle(edges)
+	got := runStatic(t, 1, edges, SG)
+	sameSet(t, "sg-grid", got, want)
+}
+
+// TestTCFromInteractive: seeds arrive and depart over epochs; answers must
+// match per-seed closures of the oracle at every epoch.
+func TestTCFromInteractive(t *testing.T) {
+	edges := graphs.Tree(3, 3)
+	full := TCOracle(edges)
+	cap := &dd.Captured[uint64, uint64]{}
+	seedOps := []struct {
+		node uint64
+		d    core.Diff
+		e    uint64
+	}{
+		{0, 1, 0},  // root: reaches everything
+		{1, 1, 1},  // add subtree root
+		{0, -1, 2}, // remove root
+	}
+	timely.Execute(2, func(w *timely.Worker) {
+		var ein *dd.InputCollection[uint64, uint64]
+		var sin *dd.InputCollection[uint64, core.Unit]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			e, ec := dd.NewInput[uint64, uint64](g)
+			s, sc := dd.NewInput[uint64, core.Unit](g)
+			ein, sin = e, s
+			aE := dd.Arrange(ec, core.U64(), "edges")
+			out := TCFrom(aE, sc)
+			dd.Capture(out, cap)
+			probe = dd.Probe(out)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(ein, edges)
+			for e := uint64(0); e < 3; e++ {
+				for _, op := range seedOps {
+					if op.e == e {
+						sin.UpdateAt(op.node, core.Unit{}, op.d)
+					}
+				}
+				ein.AdvanceTo(e + 1)
+				sin.AdvanceTo(e + 1)
+				w.StepUntil(func() bool { return probe.Done(lattice.Ts(e)) })
+			}
+		}
+		ein.Close()
+		sin.Close()
+		w.Drain()
+	})
+	for e := uint64(0); e < 3; e++ {
+		seeds := map[uint64]bool{}
+		for _, op := range seedOps {
+			if op.e <= e {
+				if op.d > 0 {
+					seeds[op.node] = true
+				} else {
+					delete(seeds, op.node)
+				}
+			}
+		}
+		want := map[[2]uint64]bool{}
+		for p := range full {
+			if seeds[p[0]] {
+				want[p] = true
+			}
+		}
+		acc := cap.At(lattice.Ts(e))
+		got := map[[2]uint64]bool{}
+		for kv, d := range acc {
+			if d != 1 {
+				t.Fatalf("epoch %d: multiplicity %d for %v", e, d, kv)
+			}
+			got[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+		}
+		sameSet(t, "tcfrom", got, want)
+	}
+}
+
+func TestTCToMatchesReverseOracle(t *testing.T) {
+	edges := graphs.Chain(7)
+	full := TCOracle(edges)
+	const target = 5
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(1, func(w *timely.Worker) {
+		var ein *dd.InputCollection[uint64, uint64]
+		var sin *dd.InputCollection[uint64, core.Unit]
+		w.Dataflow(func(g *timely.Graph) {
+			e, ec := dd.NewInput[uint64, uint64](g)
+			s, sc := dd.NewInput[uint64, core.Unit](g)
+			ein, sin = e, s
+			rev := dd.Map(ec, func(a, b uint64) (uint64, uint64) { return b, a })
+			aRev := dd.Arrange(rev, core.U64(), "rev-edges")
+			out := TCTo(aRev, sc)
+			dd.Capture(out, cap)
+		})
+		graphs.EdgesInput(ein, edges)
+		sin.Insert(target, core.Unit{})
+		ein.Close()
+		sin.Close()
+		w.Drain()
+	})
+	want := map[[2]uint64]bool{}
+	for p := range full {
+		if p[1] == target {
+			want[p] = true
+		}
+	}
+	got := map[[2]uint64]bool{}
+	for kv := range cap.At(lattice.Ts(0)) {
+		got[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	sameSet(t, "tcto", got, want)
+}
+
+func TestSGFromSeeded(t *testing.T) {
+	edges := graphs.Tree(2, 4)
+	full := SGOracle(edges)
+	const seed = 3 // some node at depth 2
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(2, func(w *timely.Worker) {
+		var ein *dd.InputCollection[uint64, uint64]
+		var sin *dd.InputCollection[uint64, core.Unit]
+		w.Dataflow(func(g *timely.Graph) {
+			e, ec := dd.NewInput[uint64, uint64](g)
+			s, sc := dd.NewInput[uint64, core.Unit](g)
+			ein, sin = e, s
+			aE := dd.Arrange(ec, core.U64(), "edges")
+			rev := dd.Map(ec, func(a, b uint64) (uint64, uint64) { return b, a })
+			aRev := dd.Arrange(rev, core.U64(), "rev-edges")
+			out := SGFrom(aE, aRev, ec, sc)
+			dd.Capture(out, cap)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(ein, edges)
+			sin.Insert(seed, core.Unit{})
+		}
+		ein.Close()
+		sin.Close()
+		w.Drain()
+	})
+	got := map[[2]uint64]bool{}
+	for kv := range cap.At(lattice.Ts(0)) {
+		got[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	// The magic-set result must contain exactly the full sg pairs whose
+	// first argument is the seed... and may contain pairs for other nodes in
+	// the magic set (ancestors of the seed); the answers for the seed are
+	// what the query reads out.
+	for p := range full {
+		if p[0] == seed {
+			if !got[p] {
+				t.Fatalf("sgfrom: missing %v", p)
+			}
+		}
+	}
+	for p := range got {
+		if !full[p] {
+			t.Fatalf("sgfrom: %v not in full sg", p)
+		}
+	}
+}

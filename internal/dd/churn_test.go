@@ -1,0 +1,226 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// TestReachabilityRandomChurn is a heavier randomized variant of the Fig 1
+// program: random edge insertions and deletions over many epochs, with the
+// incrementally maintained result checked against a from-scratch oracle at
+// every epoch. This exercises arrangement compaction, iterative retractions,
+// and multi-worker exchange together.
+func TestReachabilityRandomChurn(t *testing.T) {
+	const (
+		nodes  = 30
+		epochs = 12
+		churn  = 8
+		src    = 0
+	)
+	type op struct {
+		s, d uint64
+		diff core.Diff
+		e    uint64
+	}
+	r := rand.New(rand.NewSource(2024))
+	var ops []op
+	live := map[[2]uint64]bool{}
+	for e := uint64(0); e < epochs; e++ {
+		for c := 0; c < churn; c++ {
+			if len(live) > 0 && r.Intn(3) == 0 {
+				// Remove a random live edge.
+				for k := range live {
+					ops = append(ops, op{k[0], k[1], -1, e})
+					delete(live, k)
+					break
+				}
+			} else {
+				k := [2]uint64{uint64(r.Intn(nodes)), uint64(r.Intn(nodes))}
+				if !live[k] {
+					live[k] = true
+					ops = append(ops, op{k[0], k[1], 1, e})
+				}
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 3} {
+		cap := &Captured[uint64, core.Unit]{}
+		timely.Execute(workers, func(w *timely.Worker) {
+			var edges *InputCollection[uint64, uint64]
+			var roots *InputCollection[uint64, core.Unit]
+			var probe *timely.Probe
+			w.Dataflow(func(g *timely.Graph) {
+				ein, ec := NewInput[uint64, uint64](g)
+				rin, rc := NewInput[uint64, core.Unit](g)
+				edges, roots = ein, rin
+				aE := Arrange(ec, core.U64(), "edges")
+				reach := IterateFrom(rc,
+					func(seed, recur Collection[uint64, core.Unit]) Collection[uint64, core.Unit] {
+						ae := EnterArranged(aE, "edges-enter")
+						ar := DistinctCore(Arrange(recur, core.U64Key(), "reach"))
+						next := JoinCore(ae, ar, "expand",
+							func(k, dst uint64, _ core.Unit) (uint64, core.Unit) {
+								return dst, core.Unit{}
+							})
+						return Distinct(Concat(seed, next), core.U64Key())
+					})
+				Capture(reach, cap)
+				probe = Probe(reach)
+			})
+			if w.Index() != 0 {
+				edges.Close()
+				roots.Close()
+				w.Drain()
+				return
+			}
+			roots.Insert(src, core.Unit{})
+			for e := uint64(0); e < epochs; e++ {
+				for _, o := range ops {
+					if o.e == e {
+						edges.UpdateAt(o.s, o.d, o.diff)
+					}
+				}
+				edges.AdvanceTo(e + 1)
+				roots.AdvanceTo(e + 1)
+				w.StepUntil(func() bool { return probe.Done(lattice.Ts(e)) })
+			}
+			edges.Close()
+			roots.Close()
+			w.Drain()
+		})
+
+		for e := uint64(0); e < epochs; e++ {
+			g := map[[2]uint64]bool{}
+			for _, o := range ops {
+				if o.e <= e {
+					if o.diff > 0 {
+						g[[2]uint64{o.s, o.d}] = true
+					} else {
+						delete(g, [2]uint64{o.s, o.d})
+					}
+				}
+			}
+			want := reachOracle(g, src)
+			acc := cap.At(lattice.Ts(e))
+			if len(acc) != len(want) {
+				t.Fatalf("w=%d epoch %d: %d reachable, want %d", workers, e, len(acc), len(want))
+			}
+			for n := range want {
+				if acc[[2]any{n, core.Unit{}}] != 1 {
+					t.Fatalf("w=%d epoch %d: node %d missing", workers, e, n)
+				}
+			}
+		}
+	}
+}
+
+// TestCountRandomChurnOracle: high-churn counting with interleaved inserts
+// and deletes, validated per epoch.
+func TestCountRandomChurnOracle(t *testing.T) {
+	const epochs = 10
+	r := rand.New(rand.NewSource(55))
+	type op struct {
+		k, v uint64
+		d    core.Diff
+		e    uint64
+	}
+	var ops []op
+	for e := uint64(0); e < epochs; e++ {
+		for i := 0; i < 30; i++ {
+			ops = append(ops, op{uint64(r.Intn(5)), uint64(r.Intn(50)), 1, e})
+		}
+		for i := 0; i < 10 && len(ops) > 0; i++ {
+			prev := ops[r.Intn(len(ops))]
+			if prev.d > 0 && prev.e <= e {
+				ops = append(ops, op{prev.k, prev.v, -1, e})
+			}
+		}
+	}
+	cap := &Captured[uint64, int64]{}
+	timely.Execute(2, func(w *timely.Worker) {
+		var in *InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			ic, c := NewInput[uint64, uint64](g)
+			in = ic
+			out := Count(c, core.U64())
+			Capture(out, cap)
+			probe = Probe(out)
+		})
+		if w.Index() != 0 {
+			in.Close()
+			w.Drain()
+			return
+		}
+		for e := uint64(0); e < epochs; e++ {
+			for _, o := range ops {
+				if o.e == e {
+					in.UpdateAt(o.k, o.v, o.d)
+				}
+			}
+			in.AdvanceTo(e + 1)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(e)) })
+		}
+		in.Close()
+		w.Drain()
+	})
+	for e := uint64(0); e < epochs; e++ {
+		want := map[uint64]int64{}
+		for _, o := range ops {
+			if o.e <= e {
+				want[o.k] += o.d
+			}
+		}
+		acc := cap.At(lattice.Ts(e))
+		n := 0
+		for k, c := range want {
+			if c == 0 {
+				continue
+			}
+			n++
+			if acc[[2]any{k, c}] != 1 {
+				t.Fatalf("epoch %d key %d: want count %d, acc %v", e, k, c, acc)
+			}
+		}
+		if len(acc) != n {
+			t.Fatalf("epoch %d: %d entries want %d", e, len(acc), n)
+		}
+	}
+}
+
+// TestProbeFrontierNeverRegresses: across a long interactive run, each
+// successive probe frontier dominates never regresses below completed work.
+func TestProbeFrontierNeverRegresses(t *testing.T) {
+	timely.Execute(2, func(w *timely.Worker) {
+		var in *InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			ic, c := NewInput[uint64, uint64](g)
+			in = ic
+			probe = Probe(Distinct(c, core.U64()))
+		})
+		if w.Index() != 0 {
+			in.Close()
+			w.Drain()
+			return
+		}
+		for e := uint64(0); e < 30; e++ {
+			in.Insert(e%3, e)
+			in.AdvanceTo(e + 1)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(e)) })
+			// Once an epoch is done it must stay done.
+			for back := uint64(0); back <= e; back++ {
+				if !probe.Done(lattice.Ts(back)) {
+					t.Errorf("epoch %d regressed to open after %d completed", back, e)
+				}
+			}
+		}
+		in.Close()
+		w.Drain()
+	})
+}

@@ -1,0 +1,433 @@
+package dd
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// ValDiff is one (value, multiplicity) entry of a reducer's input or output.
+type ValDiff[V any] struct {
+	Val  V
+	Diff core.Diff
+}
+
+// Reducer transforms the accumulated input multiset of one key into the
+// output multiset. in is sorted by value with non-zero multiplicities; the
+// reducer appends to out. It is not invoked for keys with empty input.
+type Reducer[K, V, V2 any] func(k K, in []ValDiff[V], out *[]ValDiff[V2])
+
+// ReduceCore is the paper's group operator (§5.3.2) as a thin shell over an
+// arranged input. It maintains an output trace of its own (shared like any
+// arrangement, so a subsequent join by the same key reuses the index), and a
+// list of (key, time) future work: outputs can change at least upper bounds
+// of input times that never appear in the input themselves.
+func ReduceCore[K comparable, V, V2 any](a *core.Arranged[K, V],
+	fnOut core.Funcs[K, V2], name string, reducer Reducer[K, V, V2]) *core.Arranged[K, V2] {
+
+	if a.Shift != 0 {
+		panic("dd: ReduceCore requires an un-entered arrangement (arrange inside the scope)")
+	}
+	if a.Agent.Spine() == nil {
+		panic("dd: ReduceCore requires a live input trace")
+	}
+	depth := a.Stream.Depth()
+	outAgent := core.NewAgentForOperator[K, V2](fnOut, depth)
+
+	st := &reduceState[K, V, V2]{
+		fnIn:     a.Agent.Fn,
+		fnOut:    fnOut,
+		hIn:      a.Agent.NewHandle(),
+		outAgent: outAgent,
+		reducer:  reducer,
+		pending:  make(map[K]map[lattice.Time]bool),
+	}
+	st.hOut = outAgent.NewHandle()
+
+	stream := timely.Unary[*core.Batch[K, V], *core.Batch[K, V2]](a.Stream, name, nil, timely.SumID, nil,
+		func(ctx *timely.Ctx, in *timely.In[*core.Batch[K, V]], out *timely.Out[*core.Batch[K, V2]]) {
+			st.schedule(ctx, in, out)
+		})
+	return &core.Arranged[K, V2]{Stream: stream, Agent: outAgent, Trace: outAgent.NewHandle()}
+}
+
+type reduceState[K comparable, V, V2 any] struct {
+	fnIn     core.Funcs[K, V]
+	fnOut    core.Funcs[K, V2]
+	hIn      *core.Handle[K, V]
+	hOut     *core.Handle[K, V2]
+	outAgent *core.TraceAgent[K, V2]
+	reducer  Reducer[K, V, V2]
+
+	pending map[K]map[lattice.Time]bool
+	capSet  lattice.Frontier
+
+	outScratch []core.AccumEntry[V2]
+	inVals     []ValDiff[V]
+	outVals    []ValDiff[V2]
+	// emittedIdx indexes the current round's output buffer by key, so
+	// re-forming a key's output stays linear in that key's corrections.
+	emittedIdx map[K][]int32
+}
+
+func (st *reduceState[K, V, V2]) pend(ctx *timely.Ctx, k K, t lattice.Time) {
+	m := st.pending[k]
+	if m == nil {
+		m = make(map[lattice.Time]bool)
+		st.pending[k] = m
+	}
+	if m[t] {
+		return
+	}
+	m[t] = true
+	if !st.capSet.LessEqual(t) {
+		ctx.Retain(0, t)
+		for _, e := range st.capSet.Elements() {
+			if t.LessEqual(e) {
+				ctx.Drop(0, e)
+			}
+		}
+		st.capSet.Insert(t)
+	}
+}
+
+type keyTime[K comparable] struct {
+	k K
+	t lattice.Time
+}
+
+func (st *reduceState[K, V, V2]) schedule(ctx *timely.Ctx,
+	in *timely.In[*core.Batch[K, V]], out *timely.Out[*core.Batch[K, V2]]) {
+
+	// Ingest: every (key, time) in a new batch is future work.
+	in.ForEach(func(stamp []lattice.Time, data []*core.Batch[K, V]) {
+		for _, b := range data {
+			b.ForEach(func(k K, v V, t lattice.Time, d core.Diff) {
+				st.pend(ctx, k, t)
+			})
+		}
+	})
+
+	frontier := in.Frontier()
+
+	// Collect ready work: pending (key, time) pairs whose input is complete.
+	var ready []keyTime[K]
+	for k, times := range st.pending {
+		for t := range times {
+			if !frontier.LessEqual(t) {
+				ready = append(ready, keyTime[K]{k, t})
+			}
+		}
+	}
+	var emitted []core.Update[K, V2]
+	st.emittedIdx = make(map[K][]int32)
+	// Process in a time-respecting order; lubs discovered along the way that
+	// are also ready join the worklist.
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool {
+			if ready[i].t != ready[j].t {
+				return ready[i].t.TotalLess(ready[j].t)
+			}
+			return st.fnIn.LessK(ready[i].k, ready[j].k)
+		})
+		work := ready
+		ready = nil
+		for _, kt := range work {
+			if !st.pending[kt.k][kt.t] {
+				continue // processed via an earlier duplicate
+			}
+			delete(st.pending[kt.k], kt.t)
+			if len(st.pending[kt.k]) == 0 {
+				delete(st.pending, kt.k)
+			}
+			newWork := st.evaluate(ctx, kt.k, kt.t, frontier, &emitted)
+			ready = append(ready, newWork...)
+		}
+	}
+
+	// Seal an output batch when the frontier advanced.
+	if !frontier.Equal(st.outAgent.Upper()) && frontierDominates(st.outAgent.Upper(), frontier) {
+		b := core.BuildBatch(st.fnOut, emitted, st.outAgent.Upper().Clone(), frontier.Clone(),
+			st.hOut.Logical().Clone())
+		// Rebuild capability coverage for remaining pending work.
+		var newCaps lattice.Frontier
+		for _, times := range st.pending {
+			for t := range times {
+				newCaps.Insert(t)
+			}
+		}
+		for _, t := range newCaps.Elements() {
+			if !frontierContains(st.capSet, t) {
+				ctx.Retain(0, t)
+			}
+		}
+		for _, t := range st.capSet.Elements() {
+			if !frontierContains(newCaps, t) {
+				ctx.Drop(0, t)
+			}
+		}
+		st.capSet = newCaps
+		st.outAgent.Maintain(b)
+		out.SendSlice(b.MinTimes(), []*core.Batch[K, V2]{b})
+	} else if len(emitted) > 0 {
+		panic("dd: reduce emitted output without a sealable frontier")
+	}
+
+	// Compaction frontiers: input and output traces may consolidate up to
+	// the meet of the frontier and all pending work times.
+	logical := frontier.Clone()
+	for _, times := range st.pending {
+		for t := range times {
+			logical.Insert(t)
+		}
+	}
+	if !st.hIn.Dropped() {
+		if frontier.Empty() && len(st.pending) == 0 {
+			st.hIn.Drop()
+		} else {
+			st.hIn.SetLogical(logical)
+		}
+	}
+	if !st.hOut.Dropped() {
+		if frontier.Empty() && len(st.pending) == 0 {
+			st.hOut.Drop()
+		} else {
+			st.hOut.SetLogical(logical)
+		}
+	}
+	if sp := st.outAgent.Spine(); sp != nil {
+		if sp.Work(256) {
+			ctx.Activate()
+		}
+	}
+}
+
+// evaluate re-forms the input of key k at time t, applies the reducer,
+// compares with the re-formed current output, and appends corrective output
+// updates. It returns lub-induced work that became ready.
+func (st *reduceState[K, V, V2]) evaluate(ctx *timely.Ctx, k K, t lattice.Time,
+	frontier lattice.Frontier, emitted *[]core.Update[K, V2]) []keyTime[K] {
+
+	var newReady []keyTime[K]
+	inCur := st.hIn.Cursor()
+	st.inVals = st.inVals[:0]
+	if inCur.SeekKey(k) {
+		// Accumulate input at t; discover lub-induced future work.
+		inCur.ForUpdates(k, func(v V, ut lattice.Time, d core.Diff) {
+			lub := ut.Join(t)
+			if lub != t && lub != ut && !pendingHas(st.pending, k, lub) {
+				st.pend(ctx, k, lub)
+				if !frontier.LessEqual(lub) {
+					newReady = append(newReady, keyTime[K]{k, lub})
+				}
+			}
+			if !ut.LessEqual(t) {
+				return
+			}
+			st.inVals = append(st.inVals, ValDiff[V]{v, d})
+		})
+	}
+	// Sort-and-merge accumulation: O(n log n) rather than the quadratic
+	// linear-scan dedup, which dominates keys with many distinct values.
+	sort.Slice(st.inVals, func(i, j int) bool { return st.fnIn.LessV(st.inVals[i].Val, st.inVals[j].Val) })
+	merged := st.inVals[:0]
+	for i := 0; i < len(st.inVals); {
+		j := i + 1
+		acc := st.inVals[i].Diff
+		for j < len(st.inVals) && st.fnIn.EqV(st.inVals[i].Val, st.inVals[j].Val) {
+			acc += st.inVals[j].Diff
+			j++
+		}
+		if acc != 0 {
+			merged = append(merged, ValDiff[V]{st.inVals[i].Val, acc})
+		}
+		i = j
+	}
+	st.inVals = merged
+
+	st.outVals = st.outVals[:0]
+	if len(st.inVals) > 0 {
+		st.reducer(k, st.inVals, &st.outVals)
+	}
+
+	// Re-form the current output at t: sealed output trace plus updates
+	// emitted earlier in this round.
+	st.outScratch = st.outScratch[:0]
+	outCur := st.hOut.Cursor()
+	if outCur.SeekKey(k) {
+		outCur.ForUpdates(k, func(v V2, ut lattice.Time, d core.Diff) {
+			if ut.LessEqual(t) {
+				st.outScratch = core.AccumInto(st.outScratch, st.fnOut.EqV, v, d)
+			}
+		})
+	}
+	for _, idx := range st.emittedIdx[k] {
+		u := (*emitted)[idx]
+		if u.Time.LessEqual(t) {
+			st.outScratch = core.AccumInto(st.outScratch, st.fnOut.EqV, u.Val, u.Diff)
+		}
+	}
+
+	// Corrections: want minus have.
+	emit := func(u core.Update[K, V2]) {
+		st.emittedIdx[k] = append(st.emittedIdx[k], int32(len(*emitted)))
+		*emitted = append(*emitted, u)
+	}
+	for _, w := range st.outVals {
+		cur := accumGet(st.outScratch, st.fnOut.EqV, w.Val)
+		if w.Diff != cur {
+			emit(core.Update[K, V2]{Key: k, Val: w.Val, Time: t, Diff: w.Diff - cur})
+		}
+	}
+	for _, h := range st.outScratch {
+		if h.Diff == 0 {
+			continue
+		}
+		found := false
+		for _, w := range st.outVals {
+			if st.fnOut.EqV(w.Val, h.Val) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			emit(core.Update[K, V2]{Key: k, Val: h.Val, Time: t, Diff: -h.Diff})
+		}
+	}
+	return newReady
+}
+
+func pendingHas[K comparable](p map[K]map[lattice.Time]bool, k K, t lattice.Time) bool {
+	m, ok := p[k]
+	return ok && m[t]
+}
+
+func accumGet[V any](entries []core.AccumEntry[V], eq func(a, b V) bool, v V) core.Diff {
+	for _, e := range entries {
+		if eq(e.Val, v) {
+			return e.Diff
+		}
+	}
+	return 0
+}
+
+func frontierContains(f lattice.Frontier, t lattice.Time) bool {
+	for _, e := range f.Elements() {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+// frontierDominates reports whether every element of new is in advance of
+// old (the seal-legality check).
+func frontierDominates(old, new lattice.Frontier) bool {
+	for _, t := range new.Elements() {
+		if !old.LessEqual(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce arranges the input and applies ReduceCore, returning the flattened
+// output collection.
+func Reduce[K comparable, V, V2 any](c Collection[K, V], fnIn core.Funcs[K, V],
+	fnOut core.Funcs[K, V2], name string, reducer Reducer[K, V, V2]) Collection[K, V2] {
+	arr := Arrange(c, fnIn, name+"-arrange")
+	return Flatten(ReduceCore(arr, fnOut, name, reducer))
+}
+
+// Count yields, for each key, the total multiplicity of its records.
+func Count[K comparable, V any](c Collection[K, V], fnIn core.Funcs[K, V]) Collection[K, int64] {
+	fnOut := core.Funcs[K, int64]{
+		LessK: fnIn.LessK,
+		LessV: func(a, b int64) bool { return a < b },
+		HashK: fnIn.HashK,
+	}
+	return Reduce(c, fnIn, fnOut, "Count",
+		func(k K, in []ValDiff[V], out *[]ValDiff[int64]) {
+			var total core.Diff
+			for _, e := range in {
+				total += e.Diff
+			}
+			*out = append(*out, ValDiff[int64]{Val: total, Diff: 1})
+		})
+}
+
+// CountCore is Count over an existing arrangement.
+func CountCore[K comparable, V any](a *core.Arranged[K, V]) Collection[K, int64] {
+	fnIn := a.Agent.Fn
+	fnOut := core.Funcs[K, int64]{
+		LessK: fnIn.LessK,
+		LessV: func(a, b int64) bool { return a < b },
+		HashK: fnIn.HashK,
+	}
+	return Flatten(ReduceCore(a, fnOut, "Count",
+		func(k K, in []ValDiff[V], out *[]ValDiff[int64]) {
+			var total core.Diff
+			for _, e := range in {
+				total += e.Diff
+			}
+			*out = append(*out, ValDiff[int64]{Val: total, Diff: 1})
+		}))
+}
+
+// Distinct reduces every present (key, value) to multiplicity one.
+func Distinct[K comparable, V any](c Collection[K, V], fn core.Funcs[K, V]) Collection[K, V] {
+	return Flatten(DistinctCore(Arrange(c, fn, "Distinct-arrange")))
+}
+
+// DistinctCore is Distinct over an existing arrangement, returning the
+// arranged output for reuse.
+func DistinctCore[K comparable, V any](a *core.Arranged[K, V]) *core.Arranged[K, V] {
+	return ReduceCore(a, a.Agent.Fn, "Distinct",
+		func(k K, in []ValDiff[V], out *[]ValDiff[V]) {
+			for _, e := range in {
+				if e.Diff > 0 {
+					*out = append(*out, ValDiff[V]{Val: e.Val, Diff: 1})
+				}
+			}
+		})
+}
+
+// Threshold maps each (key, value) multiplicity through f (zero drops it).
+func Threshold[K comparable, V any](c Collection[K, V], fn core.Funcs[K, V],
+	f func(core.Diff) core.Diff) Collection[K, V] {
+	return Reduce(c, fn, fn, "Threshold",
+		func(k K, in []ValDiff[V], out *[]ValDiff[V]) {
+			for _, e := range in {
+				if d := f(e.Diff); d != 0 {
+					*out = append(*out, ValDiff[V]{Val: e.Val, Diff: d})
+				}
+			}
+		})
+}
+
+// SemiJoin keeps records of c whose key appears in keys (with multiplicity
+// one, regardless of multiplicities in keys).
+func SemiJoin[K comparable, V any](c Collection[K, V], fn core.Funcs[K, V],
+	keys Collection[K, core.Unit], fnK core.Funcs[K, core.Unit]) Collection[K, V] {
+	ac := Arrange(c, fn, "SemiJoin-data")
+	ak := DistinctCore(Arrange(keys, fnK, "SemiJoin-keys"))
+	return JoinCore(ac, ak, "SemiJoin",
+		func(k K, v V, _ core.Unit) (K, V) { return k, v })
+}
+
+// AntiJoin keeps records of c whose key does not appear in keys.
+func AntiJoin[K comparable, V any](c Collection[K, V], fn core.Funcs[K, V],
+	keys Collection[K, core.Unit], fnK core.Funcs[K, core.Unit]) Collection[K, V] {
+	return Concat(c, Negate(SemiJoin(c, fn, keys, fnK)))
+}
+
+// Join arranges both inputs and applies JoinCore.
+func Join[K comparable, V1, V2, K2, VO any](a Collection[K, V1], fnA core.Funcs[K, V1],
+	b Collection[K, V2], fnB core.Funcs[K, V2], name string,
+	f func(K, V1, V2) (K2, VO)) Collection[K2, VO] {
+	aa := Arrange(a, fnA, name+"-arrangeA")
+	ab := Arrange(b, fnB, name+"-arrangeB")
+	return JoinCore(aa, ab, name, f)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/graphs"
+	"repro/internal/graspan"
+	"repro/internal/tpch"
+)
+
+func TestTPCHStreamSmoke(t *testing.T) {
+	d := tpch.Generate(0.002, 1)
+	for _, w := range []int{1, 2} {
+		r := TPCHStream(d, 1, w, 100, 300)
+		if r.Tuples == 0 || r.Elapsed <= 0 {
+			t.Fatalf("no progress: %+v", r)
+		}
+	}
+}
+
+func TestTPCHBatchSmoke(t *testing.T) {
+	d := tpch.Generate(0.002, 2)
+	if e := TPCHBatch(d, 6, 2); e <= 0 {
+		t.Fatalf("elapsed %v", e)
+	}
+	if e := TPCHOracleElapsed(d, 6); e <= 0 {
+		t.Fatalf("oracle elapsed %v", e)
+	}
+}
+
+func TestArrangeLoadSmoke(t *testing.T) {
+	r := ArrangeLoad(1, 1000, 100000, 10, 0)
+	if r.Rec.Len() != 10 {
+		t.Fatalf("recorded %d", r.Rec.Len())
+	}
+	if r.Rec.Median() <= 0 {
+		t.Fatalf("median %v", r.Rec.Median())
+	}
+}
+
+func TestArrangeThroughputSmoke(t *testing.T) {
+	rs := ArrangeThroughput(2, 5, 1000)
+	if len(rs) != 3 {
+		t.Fatalf("want 3 components")
+	}
+	for _, r := range rs {
+		if r.RecordsPerSec <= 0 {
+			t.Fatalf("%s: %v", r.Component, r.RecordsPerSec)
+		}
+	}
+}
+
+func TestJoinProportionalitySmoke(t *testing.T) {
+	out := JoinProportionality(1, 10000, []int{0, 4, 8}, 2)
+	for k, rec := range out {
+		if rec.Len() != 2 {
+			t.Fatalf("k=%d: %d samples", k, rec.Len())
+		}
+	}
+}
+
+func TestGraphTasksSmoke(t *testing.T) {
+	edges := graphs.Random(500, 2000, 3)
+	r := GraphTasks(edges, 2)
+	if r.IndexFwd <= 0 || r.Reach <= 0 || r.BFS <= 0 || r.IndexRev <= 0 || r.WCC <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	a, b, c, d := GraphBaselines(edges)
+	if a <= 0 || b <= 0 || c <= 0 || d <= 0 {
+		t.Fatalf("baselines: %v %v %v %v", a, b, c, d)
+	}
+}
+
+func TestDatalogSmoke(t *testing.T) {
+	edges := graphs.Tree(2, 5)
+	if e := DatalogFull("tc", edges, 2); e <= 0 {
+		t.Fatalf("tc: %v", e)
+	}
+	if e := DatalogFull("sg", edges, 1); e <= 0 {
+		t.Fatalf("sg: %v", e)
+	}
+	rec := DatalogInteractive("tcfrom", edges, 2, 5)
+	if rec.Len() != 5 {
+		t.Fatalf("interactive samples: %d", rec.Len())
+	}
+}
+
+func TestGraspanSmoke(t *testing.T) {
+	prog := graspan.Generate(80, 3)
+	r := GraspanDataflow(prog, 2, 3)
+	if r.Full <= 0 || r.Rec.Len() != 3 {
+		t.Fatalf("%+v", r)
+	}
+	if e := GraspanPointsTo(prog, 1, graspan.PointsToOptions{}); e <= 0 {
+		t.Fatalf("points-to: %v", e)
+	}
+	if e := GraspanPointsTo(prog, 1, graspan.PointsToOptions{Optimized: true, NoSharing: true}); e <= 0 {
+		t.Fatalf("points-to opt/nos: %v", e)
+	}
+}
+
+func TestInteractiveRunSmoke(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		r := InteractiveRun(2, 200, 600, 20, 5, shared)
+		if r.Lookup.Len() != 5 || r.Path.Len() != 5 {
+			t.Fatalf("rounds recorded: %d %d", r.Lookup.Len(), r.Path.Len())
+		}
+		if r.HeapEndMB <= 0 {
+			t.Fatalf("heap sample missing")
+		}
+	}
+}
+
+func TestQueryBatchLatencySmoke(t *testing.T) {
+	out := QueryBatchLatency(2, 200, 600, 10)
+	for _, name := range []string{"look-up", "one-hop", "two-hop", "four-path"} {
+		if out[name] <= 0 {
+			t.Fatalf("%s missing", name)
+		}
+	}
+}
+
+func TestMergeLevelsSmoke(t *testing.T) {
+	out := MergeLevels(1, 1000, 200000, 5)
+	if len(out) != 3 {
+		t.Fatalf("want 3 levels")
+	}
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/graspan"
+	"repro/internal/harness"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// GraphTaskResult reproduces one row of Tables 7/8/9: index build times and
+// task times over one synthetic graph scale.
+type GraphTaskResult struct {
+	Workers  int
+	Nodes    uint64
+	Edges    uint64
+	IndexFwd time.Duration
+	Reach    time.Duration
+	BFS      time.Duration
+	IndexRev time.Duration
+	WCC      time.Duration
+}
+
+// GraphTasks builds the forward index, answers reach and bfs from the first
+// source by importing that shared index into fresh dataflows, builds the
+// reverse index, and runs undirected connectivity over both indices —
+// mirroring the structure (and sharing) of the paper's Tables 7-9.
+func GraphTasks(edges []graphs.Edge, workers int) GraphTaskResult {
+	res := GraphTaskResult{Workers: workers, Nodes: graphs.MaxNode(edges), Edges: uint64(len(edges))}
+	root := graphs.FirstWithOut(edges)
+	timely.Execute(workers, func(w *timely.Worker) {
+		var ein, rin *dd.InputCollection[uint64, uint64]
+		var pF, pR *timely.Probe
+		var aFwd, aRev *core.Arranged[uint64, uint64]
+		var ecol dd.Collection[uint64, uint64]
+
+		// Forward index.
+		w.Dataflow(func(g *timely.Graph) {
+			in, c := dd.NewInput[uint64, uint64](g)
+			ein, ecol = in, c
+			aFwd = dd.Arrange(c, core.U64(), "fwd")
+			pF = timely.NewProbe(aFwd.Stream)
+		})
+		_ = ecol
+		start := time.Now()
+		if w.Index() == 0 {
+			graphs.EdgesInput(ein, edges)
+		}
+		ein.AdvanceTo(1)
+		w.StepUntil(func() bool { return pF.Done(lattice.Ts(0)) })
+		if w.Index() == 0 {
+			res.IndexFwd = time.Since(start)
+		}
+
+		// Reach over the imported forward index.
+		var reachProbe *timely.Probe
+		var sin *dd.InputCollection[uint64, core.Unit]
+		start = time.Now()
+		w.Dataflow(func(g *timely.Graph) {
+			imp := dd.ImportArranged(g, aFwd.Agent, "fwd-import")
+			si, sc := dd.NewInput[uint64, core.Unit](g)
+			sin = si
+			reachProbe = dd.Probe(graphs.Reach(imp, sc))
+		})
+		if w.Index() == 0 {
+			sin.Insert(root, core.Unit{})
+		}
+		sin.Close()
+		w.StepUntil(func() bool {
+			return !reachProbe.Frontier().LessEqual(lattice.Ts(0))
+		})
+		if w.Index() == 0 {
+			res.Reach = time.Since(start)
+		}
+
+		// BFS distance labeling over the same imported index.
+		var bfsProbe *timely.Probe
+		var bin *dd.InputCollection[uint64, core.Unit]
+		start = time.Now()
+		w.Dataflow(func(g *timely.Graph) {
+			imp := dd.ImportArranged(g, aFwd.Agent, "fwd-import-2")
+			bi, bc := dd.NewInput[uint64, core.Unit](g)
+			bin = bi
+			bfsProbe = dd.Probe(graphs.BFS(imp, bc))
+		})
+		if w.Index() == 0 {
+			bin.Insert(root, core.Unit{})
+		}
+		bin.Close()
+		w.StepUntil(func() bool {
+			return !bfsProbe.Frontier().LessEqual(lattice.Ts(0))
+		})
+		if w.Index() == 0 {
+			res.BFS = time.Since(start)
+		}
+
+		// Reverse index.
+		w.Dataflow(func(g *timely.Graph) {
+			in, c := dd.NewInput[uint64, uint64](g)
+			rin = in
+			aRev = dd.Arrange(c, core.U64(), "rev")
+			pR = timely.NewProbe(aRev.Stream)
+		})
+		start = time.Now()
+		if w.Index() == 0 {
+			rev := make([]graphs.Edge, len(edges))
+			for i, e := range edges {
+				rev[i] = graphs.Edge{Src: e.Dst, Dst: e.Src}
+			}
+			graphs.EdgesInput(rin, rev)
+		}
+		rin.AdvanceTo(1)
+		w.StepUntil(func() bool { return pR.Done(lattice.Ts(0)) })
+		if w.Index() == 0 {
+			res.IndexRev = time.Since(start)
+		}
+
+		// WCC over both imported indices.
+		var wccProbe *timely.Probe
+		var nin *dd.InputCollection[uint64, core.Unit]
+		start = time.Now()
+		w.Dataflow(func(g *timely.Graph) {
+			impF := dd.ImportArranged(g, aFwd.Agent, "fwd-import-3")
+			impR := dd.ImportArranged(g, aRev.Agent, "rev-import")
+			ni, nc := dd.NewInput[uint64, core.Unit](g)
+			nin = ni
+			wccProbe = dd.Probe(graphs.CCBidirectional(impF, impR, nc))
+		})
+		if w.Index() == 0 {
+			nodes := make([]core.Update[uint64, core.Unit], 0, res.Nodes)
+			seen := map[uint64]bool{}
+			for _, e := range edges {
+				for _, n := range []uint64{e.Src, e.Dst} {
+					if !seen[n] {
+						seen[n] = true
+						nodes = append(nodes, core.Update[uint64, core.Unit]{
+							Key: n, Time: lattice.Ts(0), Diff: 1,
+						})
+					}
+				}
+			}
+			nin.SendSlice(nodes)
+		}
+		nin.Close()
+		w.StepUntil(func() bool {
+			return !wccProbe.Frontier().LessEqual(lattice.Ts(0))
+		})
+		if w.Index() == 0 {
+			res.WCC = time.Since(start)
+		}
+
+		ein.Close()
+		rin.Close()
+		w.Drain()
+	})
+	return res
+}
+
+// GraphBaselines times the purpose-written single-threaded codes of Tables
+// 7-9 (array-indexed and hash-map variants).
+func GraphBaselines(edges []graphs.Edge) (bfsArr, bfsHash, wccUF, wccHash time.Duration) {
+	n := graphs.MaxNode(edges)
+	root := graphs.FirstWithOut(edges)
+	start := time.Now()
+	graphs.BFSArray(edges, n, root)
+	bfsArr = time.Since(start)
+	start = time.Now()
+	graphs.BFSHash(edges, root)
+	bfsHash = time.Since(start)
+	sym := graphs.Symmetrize(edges)
+	start = time.Now()
+	graphs.WCCUnionFind(sym, n)
+	wccUF = time.Since(start)
+	start = time.Now()
+	graphs.WCCHash(sym)
+	wccHash = time.Since(start)
+	return
+}
+
+// DatalogFull evaluates tc or sg bottom-up over a graph (Table 11).
+func DatalogFull(task string, edges []graphs.Edge, workers int) time.Duration {
+	var elapsed time.Duration
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *dd.InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			ein, ec := dd.NewInput[uint64, uint64](g)
+			in = ein
+			switch task {
+			case "tc":
+				probe = dd.Probe(datalog.TC(ec))
+			case "sg":
+				probe = dd.Probe(datalog.SG(ec))
+			default:
+				panic("unknown datalog task " + task)
+			}
+		})
+		start := time.Now()
+		if w.Index() == 0 {
+			graphs.EdgesInput(in, edges)
+		}
+		in.Close()
+		w.StepUntil(func() bool { return probe.Frontier().Empty() })
+		if w.Index() == 0 {
+			elapsed = time.Since(start)
+		}
+		w.Drain()
+	})
+	return elapsed
+}
+
+// DatalogInteractive runs seeded queries (tc(x,?), tc(?,x), sg(x,?)) against
+// maintained indices: one query argument per epoch, recording per-query
+// latency (Table 2).
+func DatalogInteractive(query string, edges []graphs.Edge, workers, nQueries int) *harness.Recorder {
+	rec := &harness.Recorder{}
+	n := graphs.MaxNode(edges)
+	timely.Execute(workers, func(w *timely.Worker) {
+		var ein *dd.InputCollection[uint64, uint64]
+		var sin *dd.InputCollection[uint64, core.Unit]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			e, ec := dd.NewInput[uint64, uint64](g)
+			s, sc := dd.NewInput[uint64, core.Unit](g)
+			ein, sin = e, s
+			aE := dd.Arrange(ec, core.U64(), "edges")
+			rev := dd.Map(ec, func(a, b uint64) (uint64, uint64) { return b, a })
+			aRev := dd.Arrange(rev, core.U64(), "rev-edges")
+			switch query {
+			case "tcfrom":
+				probe = dd.Probe(datalog.TCFrom(aE, sc))
+			case "tcto":
+				probe = dd.Probe(datalog.TCTo(aRev, sc))
+			case "sgfrom":
+				probe = dd.Probe(datalog.SGFrom(aE, aRev, ec, sc))
+			default:
+				panic("unknown interactive query " + query)
+			}
+		})
+		if w.Index() != 0 {
+			// Frontier advancement is driven by worker 0's handles alone.
+			ein.Close()
+			sin.Close()
+			w.Drain()
+			return
+		}
+		graphs.EdgesInput(ein, edges)
+		ein.AdvanceTo(1)
+		sin.AdvanceTo(1)
+		w.StepUntil(func() bool { return probe.Done(lattice.Ts(0)) })
+		epoch := uint64(1)
+		for q := 0; q < nQueries; q++ {
+			seed := uint64(q*2654435761) % n
+			start := time.Now()
+			sin.Insert(seed, core.Unit{})
+			epoch++
+			sin.AdvanceTo(epoch)
+			ein.AdvanceTo(epoch)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(epoch - 1)) })
+			rec.Add(time.Since(start))
+			// Retract the query to keep maintained state small.
+			sin.Remove(seed, core.Unit{})
+			epoch++
+			sin.AdvanceTo(epoch)
+			ein.AdvanceTo(epoch)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(epoch - 1)) })
+		}
+		ein.Close()
+		sin.Close()
+		w.Drain()
+	})
+	return rec
+}
+
+// GraspanDataflowResult reproduces Table 3's K-Pg rows.
+type GraspanDataflowResult struct {
+	Full time.Duration
+	Rec  *harness.Recorder // per-removal latencies
+}
+
+// GraspanDataflow runs the null-propagation analysis to completion, then
+// interactively removes null sources one at a time, recording correction
+// latencies.
+func GraspanDataflow(prog graspan.Program, workers, removals int) GraspanDataflowResult {
+	res := GraspanDataflowResult{Rec: &harness.Recorder{}}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var ain *dd.InputCollection[uint64, uint64]
+		var nin *dd.InputCollection[uint64, core.Unit]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			a, ac := dd.NewInput[uint64, uint64](g)
+			ni, nc := dd.NewInput[uint64, core.Unit](g)
+			ain, nin = a, ni
+			aA := dd.Arrange(ac, core.U64(), "assign")
+			probe = dd.Probe(graspan.DataflowAnalysis(aA, nc))
+		})
+		if w.Index() != 0 {
+			ain.Close()
+			nin.Close()
+			w.Drain()
+			return
+		}
+		graphs.EdgesInput(ain, prog.Assign)
+		for _, s := range prog.Nulls {
+			nin.Insert(s, core.Unit{})
+		}
+		start := time.Now()
+		ain.AdvanceTo(1)
+		nin.AdvanceTo(1)
+		w.StepUntil(func() bool { return probe.Done(lattice.Ts(0)) })
+		res.Full = time.Since(start)
+		epoch := uint64(1)
+		for i := 0; i < removals && i < len(prog.Nulls); i++ {
+			t0 := time.Now()
+			nin.Remove(prog.Nulls[i], core.Unit{})
+			epoch++
+			nin.AdvanceTo(epoch)
+			ain.AdvanceTo(epoch)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(epoch - 1)) })
+			res.Rec.Add(time.Since(t0))
+		}
+		ain.Close()
+		nin.Close()
+		w.Drain()
+	})
+	return res
+}
+
+// GraspanPointsTo runs the points-to analysis in the chosen variant,
+// returning the elapsed time (Table 4: base, Opt, NoS).
+func GraspanPointsTo(prog graspan.Program, workers int, opt graspan.PointsToOptions) time.Duration {
+	var elapsed time.Duration
+	timely.Execute(workers, func(w *timely.Worker) {
+		var ain, din *dd.InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			a, ac := dd.NewInput[uint64, uint64](g)
+			d, dc := dd.NewInput[uint64, uint64](g)
+			ain, din = a, d
+			res := graspan.PointsTo(ac, dc, opt)
+			probe = dd.Probe(res.MemoryAlias)
+		})
+		start := time.Now()
+		if w.Index() == 0 {
+			graphs.EdgesInput(ain, prog.Assign)
+			graphs.EdgesInput(din, prog.Deref)
+		}
+		ain.Close()
+		din.Close()
+		w.StepUntil(func() bool { return probe.Frontier().Empty() })
+		if w.Index() == 0 {
+			elapsed = time.Since(start)
+		}
+		w.Drain()
+	})
+	return elapsed
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/harness"
+	"repro/internal/interactive"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// InteractiveResult bundles the per-class latency distributions, heap
+// samples, and run metadata for the Fig 5 experiments.
+type InteractiveResult struct {
+	Lookup, OneHop, TwoHop, Path *harness.Recorder
+	HeapStartMB, HeapEndMB       float64
+	Rounds                       int
+}
+
+// InteractiveRun maintains the four query classes over an evolving graph:
+// each round applies edge churn (half insertions, half deletions) and a
+// fresh query of every class, then waits on all probes and records the
+// round latency under each class's recorder. shared selects one edges
+// arrangement for all classes versus one per class (Fig 5a/5b/5c).
+func InteractiveRun(workers int, nodes, initEdges uint64, churn, rounds int, shared bool) InteractiveResult {
+	res := InteractiveResult{
+		Lookup: &harness.Recorder{}, OneHop: &harness.Recorder{},
+		TwoHop: &harness.Recorder{}, Path: &harness.Recorder{},
+		Rounds: rounds,
+	}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var sys *interactive.System
+		w.Dataflow(func(g *timely.Graph) {
+			sys = interactive.BuildSystem(g, shared)
+		})
+		if w.Index() != 0 {
+			sys.CloseAll()
+			w.Drain()
+			return
+		}
+		r := rand.New(rand.NewSource(99))
+		live := graphs.Random(nodes, initEdges, 5)
+		graphs.EdgesInput(sys.Edges, live)
+		sys.AdvanceAll(1)
+		w.StepUntil(func() bool {
+			return sys.ProbeLookup.Done(lattice.Ts(0)) && sys.Probe1.Done(lattice.Ts(0)) &&
+				sys.Probe2.Done(lattice.Ts(0)) && sys.ProbePath.Done(lattice.Ts(0))
+		})
+		res.HeapStartMB = harness.HeapMB()
+
+		epoch := uint64(1)
+		var prevL, prev1, prev2 uint64
+		var prevP [2]uint64
+		for round := 0; round < rounds; round++ {
+			start := time.Now()
+			// Graph churn: half additions, half removals of random existing.
+			for c := 0; c < churn/2; c++ {
+				e := graphs.Edge{Src: uint64(r.Int63n(int64(nodes))), Dst: uint64(r.Int63n(int64(nodes)))}
+				sys.Edges.Insert(e.Src, e.Dst)
+				live = append(live, e)
+				victim := r.Intn(len(live))
+				sys.Edges.Remove(live[victim].Src, live[victim].Dst)
+				live[victim] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			// Rotate one query of each class.
+			if round > 0 {
+				sys.QLookup.Remove(prevL, core.Unit{})
+				sys.Q1Hop.Remove(prev1, core.Unit{})
+				sys.Q2Hop.Remove(prev2, core.Unit{})
+				sys.QPath.Remove(prevP[0], prevP[1])
+			}
+			prevL = uint64(r.Int63n(int64(nodes)))
+			prev1 = uint64(r.Int63n(int64(nodes)))
+			prev2 = uint64(r.Int63n(int64(nodes)))
+			prevP = [2]uint64{uint64(r.Int63n(int64(nodes))), uint64(r.Int63n(int64(nodes)))}
+			sys.QLookup.Insert(prevL, core.Unit{})
+			sys.Q1Hop.Insert(prev1, core.Unit{})
+			sys.Q2Hop.Insert(prev2, core.Unit{})
+			sys.QPath.Insert(prevP[0], prevP[1])
+
+			epoch++
+			sys.AdvanceAll(epoch)
+			at := lattice.Ts(epoch - 1)
+			w.StepUntil(func() bool { return sys.ProbeLookup.Done(at) })
+			res.Lookup.Add(time.Since(start))
+			w.StepUntil(func() bool { return sys.Probe1.Done(at) })
+			res.OneHop.Add(time.Since(start))
+			w.StepUntil(func() bool { return sys.Probe2.Done(at) })
+			res.TwoHop.Add(time.Since(start))
+			w.StepUntil(func() bool { return sys.ProbePath.Done(at) })
+			res.Path.Add(time.Since(start))
+		}
+		res.HeapEndMB = harness.HeapMB()
+		sys.CloseAll()
+		w.Drain()
+	})
+	return res
+}
+
+// QueryBatchLatency measures the average latency to submit and complete a
+// batch of concurrent queries of each class against a static graph (Table
+// 10: batch sizes 1, 10, 100, 1000).
+func QueryBatchLatency(workers int, nodes, edges uint64, batch int) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var sys *interactive.System
+		w.Dataflow(func(g *timely.Graph) {
+			sys = interactive.BuildSystem(g, true)
+		})
+		if w.Index() != 0 {
+			sys.CloseAll()
+			w.Drain()
+			return
+		}
+		r := rand.New(rand.NewSource(123))
+		graphs.EdgesInput(sys.Edges, graphs.Random(nodes, edges, 5))
+		sys.AdvanceAll(1)
+		w.StepUntil(func() bool {
+			return sys.ProbeLookup.Done(lattice.Ts(0)) && sys.ProbePath.Done(lattice.Ts(0))
+		})
+		epoch := uint64(1)
+		const reps = 5
+		type class struct {
+			name  string
+			emit  func()
+			probe *timely.Probe
+		}
+		classes := []class{
+			{"look-up", func() {
+				for i := 0; i < batch; i++ {
+					sys.QLookup.Insert(uint64(r.Int63n(int64(nodes))), core.Unit{})
+				}
+			}, sys.ProbeLookup},
+			{"one-hop", func() {
+				for i := 0; i < batch; i++ {
+					sys.Q1Hop.Insert(uint64(r.Int63n(int64(nodes))), core.Unit{})
+				}
+			}, sys.Probe1},
+			{"two-hop", func() {
+				for i := 0; i < batch; i++ {
+					sys.Q2Hop.Insert(uint64(r.Int63n(int64(nodes))), core.Unit{})
+				}
+			}, sys.Probe2},
+			{"four-path", func() {
+				for i := 0; i < batch; i++ {
+					sys.QPath.Insert(uint64(r.Int63n(int64(nodes))), uint64(r.Int63n(int64(nodes))))
+				}
+			}, sys.ProbePath},
+		}
+		for _, cl := range classes {
+			var total time.Duration
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				cl.emit()
+				epoch++
+				sys.AdvanceAll(epoch)
+				at := lattice.Ts(epoch - 1)
+				w.StepUntil(func() bool { return cl.probe.Done(at) })
+				total += time.Since(start)
+			}
+			out[cl.name] = total / reps
+		}
+		sys.CloseAll()
+		w.Drain()
+	})
+	return out
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/harness"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// ArrangeLoadResult carries a latency distribution for one configuration.
+type ArrangeLoadResult struct {
+	Workers int
+	Keys    uint64
+	Rate    int // updates per second offered
+	Rec     *harness.Recorder
+}
+
+// ArrangeLoad drives an open-loop stream of updates to 64-bit keys through
+// an arrange operator with a maintained count, recording per-batch
+// latencies: Figure 6a (vary rate), 6b (vary workers, fixed load), 6c (vary
+// both). Updates are half insertions of fresh values and half retractions,
+// over the given key space.
+func ArrangeLoad(workers int, keys uint64, rate, batches int, coef int) ArrangeLoadResult {
+	rec := &harness.Recorder{}
+	const perBatch = 1000
+	interval := time.Duration(float64(perBatch) / float64(rate) * float64(time.Second))
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *dd.InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			inputs, c := dd.NewInput[uint64, uint64](g)
+			in = inputs
+			arr := dd.ArrangeOpts(c, core.U64(), "arrange", core.ArrangeOptions{MergeCoef: coef})
+			probe = dd.Probe(dd.CountCore(arr))
+		})
+		if w.Index() == 0 {
+			r := rand.New(rand.NewSource(1))
+			ol := &harness.OpenLoop{
+				Interval: interval,
+				Batches:  batches,
+				Rec:      rec,
+				Emit: func(i int) {
+					upds := make([]core.Update[uint64, uint64], perBatch)
+					for j := range upds {
+						k := uint64(r.Int63n(int64(keys)))
+						diff := core.Diff(1)
+						if j%2 == 1 {
+							diff = -1
+						}
+						upds[j] = core.Update[uint64, uint64]{
+							Key: k, Val: uint64(i), Time: lattice.Ts(uint64(i + 1)), Diff: diff,
+						}
+					}
+					in.SendSlice(upds)
+					in.AdvanceTo(uint64(i + 2))
+				},
+				Wait: func(i int) {
+					w.StepUntil(func() bool { return probe.Done(lattice.Ts(uint64(i + 1))) })
+				},
+			}
+			in.AdvanceTo(1)
+			ol.Run()
+			in.Close()
+		} else {
+			in.Close()
+		}
+		w.Drain()
+	})
+	return ArrangeLoadResult{Workers: workers, Keys: keys, Rate: rate, Rec: rec}
+}
+
+// ThroughputResult is one component's peak throughput (Fig 6d).
+type ThroughputResult struct {
+	Component string
+	Workers   int
+	RecordsPerSec float64
+}
+
+// ArrangeThroughput measures the peak throughput of arrangement
+// sub-components with closed-loop rounds of batched updates per worker:
+// batch formation (no trace maintained), trace maintenance (arrange with a
+// live trace), and a maintained count operator (Fig 6d).
+func ArrangeThroughput(workers, rounds, perRound int) []ThroughputResult {
+	run := func(component string) ThroughputResult {
+		var elapsed time.Duration
+		total := workers * rounds * perRound
+		timely.Execute(workers, func(w *timely.Worker) {
+			var in *dd.InputCollection[uint64, uint64]
+			var probe *timely.Probe
+			w.Dataflow(func(g *timely.Graph) {
+				inputs, c := dd.NewInput[uint64, uint64](g)
+				in = inputs
+				switch component {
+				case "batch formation":
+					arr := dd.ArrangeOpts(c, core.U64(), "arrange", core.ArrangeOptions{StreamOnly: true})
+					probe = timely.NewProbe(arr.Stream)
+				case "trace maintenance":
+					arr := dd.Arrange(c, core.U64(), "arrange")
+					probe = timely.NewProbe(arr.Stream)
+				case "count":
+					arr := dd.Arrange(c, core.U64(), "arrange")
+					probe = dd.Probe(dd.CountCore(arr))
+				}
+			})
+			r := rand.New(rand.NewSource(int64(w.Index())))
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				upds := make([]core.Update[uint64, uint64], perRound)
+				for j := range upds {
+					upds[j] = core.Update[uint64, uint64]{
+						Key: uint64(r.Int63n(1 << 24)), Val: uint64(j),
+						Time: lattice.Ts(uint64(i)), Diff: 1,
+					}
+				}
+				in.SendSlice(upds)
+				in.AdvanceTo(uint64(i + 1))
+				w.StepUntil(func() bool { return probe.Done(lattice.Ts(uint64(i))) })
+			}
+			if w.Index() == 0 {
+				elapsed = time.Since(start)
+			}
+			in.Close()
+			w.Drain()
+		})
+		return ThroughputResult{Component: component, Workers: workers,
+			RecordsPerSec: float64(total) / elapsed.Seconds()}
+	}
+	return []ThroughputResult{
+		run("batch formation"),
+		run("trace maintenance"),
+		run("count"),
+	}
+}
+
+// MergeLevels runs the amortized-merging experiment (Fig 6e): the same
+// open-loop load under eager, default, and lazy merge coefficients.
+func MergeLevels(workers int, keys uint64, rate, batches int) map[string]*harness.Recorder {
+	out := map[string]*harness.Recorder{}
+	for name, coef := range map[string]int{
+		"eager":   core.MergeEager,
+		"default": core.MergeDefault,
+		"lazy":    core.MergeLazy,
+	} {
+		out[name] = ArrangeLoad(workers, keys, rate, batches, coef).Rec
+	}
+	return out
+}
+
+// JoinProportionality measures the latency to install, execute, and
+// complete a brand-new dataflow that joins a small collection of 2^k keys
+// against a pre-arranged collection (Fig 6f): the cost must be proportional
+// to the small collection, not the large trace.
+func JoinProportionality(workers int, preKeys uint64, ks []int, reps int) map[int]*harness.Recorder {
+	out := map[int]*harness.Recorder{}
+	for _, k := range ks {
+		out[k] = &harness.Recorder{}
+	}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *dd.InputCollection[uint64, uint64]
+		var probe *timely.Probe
+		var arr *core.Arranged[uint64, uint64]
+		w.Dataflow(func(g *timely.Graph) {
+			inputs, c := dd.NewInput[uint64, uint64](g)
+			in = inputs
+			arr = dd.Arrange(c, core.U64(), "base")
+			probe = timely.NewProbe(arr.Stream)
+		})
+		// Load the base collection once.
+		if w.Index() == 0 {
+			upds := make([]core.Update[uint64, uint64], 0, preKeys)
+			for i := uint64(0); i < preKeys; i++ {
+				upds = append(upds, core.Update[uint64, uint64]{
+					Key: i, Val: i, Time: lattice.Ts(0), Diff: 1,
+				})
+			}
+			in.SendSlice(upds)
+		}
+		in.AdvanceTo(1)
+		w.StepUntil(func() bool { return probe.Done(lattice.Ts(0)) })
+
+		r := rand.New(rand.NewSource(7))
+		for _, k := range ks {
+			size := 1 << k
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				var qin *dd.InputCollection[uint64, core.Unit]
+				var qprobe *timely.Probe
+				w.Dataflow(func(g *timely.Graph) {
+					qi, qc := dd.NewInput[uint64, core.Unit](g)
+					qin = qi
+					imported := dd.ImportArranged(g, arr.Agent, "import")
+					aq := dd.DistinctCore(dd.Arrange(qc, core.U64Key(), "q"))
+					joined := dd.JoinCore(imported, aq, "lookup",
+						func(k, v uint64, _ core.Unit) (uint64, uint64) { return k, v })
+					qprobe = dd.Probe(joined)
+				})
+				if w.Index() == 0 {
+					upds := make([]core.Update[uint64, core.Unit], size)
+					for j := range upds {
+						upds[j] = core.Update[uint64, core.Unit]{
+							Key: uint64(r.Int63n(int64(preKeys))), Time: lattice.Ts(0), Diff: 1,
+						}
+					}
+					qin.SendSlice(upds)
+				}
+				qin.Close()
+				// The base trace stays open (epoch 1), so the import's
+				// frontier never empties; epoch-0 completion is the signal.
+				w.StepUntil(func() bool { return qprobe.Done(lattice.Ts(0)) })
+				if w.Index() == 0 {
+					out[k].Add(time.Since(start))
+				}
+			}
+		}
+		in.Close()
+		w.Drain()
+	})
+	return out
+}
+
+// FmtRate renders a records/s number compactly.
+func FmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", r)
+	}
+}

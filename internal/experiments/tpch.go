@@ -1,0 +1,131 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6), shared by the cmd/kpg binary and the testing.B
+// benchmarks. Sizes are parameterized so the same code scales from smoke
+// tests to the full (laptop-scale) runs recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+	"repro/internal/tpch"
+)
+
+// TPCHStreamResult is one streaming-run measurement.
+type TPCHStreamResult struct {
+	Query   int
+	Workers int
+	Batch   int // logical batch: orders per epoch
+	Tuples  int // orders + lineitems introduced
+	Elapsed time.Duration
+}
+
+// TuplesPerSec reports the update throughput.
+func (r TPCHStreamResult) TuplesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tuples) / r.Elapsed.Seconds()
+}
+
+// TPCHStream loads the static relations, then streams totalOrders orders
+// (with their lineitems) in logical batches of the given size, one epoch per
+// batch, waiting on the query's probe at every epoch (Fig 4a/4b/4c, Table 5).
+func TPCHStream(d *tpch.Data, q, workers, batch, totalOrders int) TPCHStreamResult {
+	r := TPCHStreamQuery(d, tpch.Queries[q], workers, batch, totalOrders)
+	r.Query = q
+	return r
+}
+
+// TPCHStreamQuery is TPCHStream for an explicit query builder (used by the
+// Q15 hierarchical-argmax ablation).
+func TPCHStreamQuery(d *tpch.Data, q tpch.QueryFunc, workers, batch, totalOrders int) TPCHStreamResult {
+	if totalOrders > len(d.Orders) {
+		totalOrders = len(d.Orders)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	res := TPCHStreamResult{Workers: workers, Batch: batch}
+	var elapsed time.Duration
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *tpch.Inputs
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			inputs, colls := tpch.NewInputs(g)
+			in = inputs
+			probe = dd.Probe(q(colls))
+		})
+		if w.Index() == 0 {
+			in.LoadStatic(d)
+			in.AdvanceAll(1)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(0)) })
+			start := time.Now()
+			epoch := uint64(1)
+			for lo := 0; lo < totalOrders; lo += batch {
+				hi := lo + batch
+				if hi > totalOrders {
+					hi = totalOrders
+				}
+				in.LoadOrders(d, lo, hi)
+				epoch++
+				in.AdvanceAll(epoch)
+				w.StepUntil(func() bool { return probe.Done(lattice.Ts(epoch - 1)) })
+			}
+			elapsed = time.Since(start)
+			in.CloseAll()
+		} else {
+			in.AdvanceAll(1)
+			in.CloseAll()
+		}
+		w.Drain()
+	})
+	res.Elapsed = elapsed
+	for _, o := range d.Orders[:totalOrders] {
+		_ = o
+		res.Tuples++
+	}
+	for _, l := range d.Items {
+		if int(l.OrderKey) <= totalOrders {
+			res.Tuples++
+		}
+	}
+	return res
+}
+
+// TPCHBatch runs a query as a batch processor: everything in one epoch
+// (Table 6), returning the elapsed time to complete output.
+func TPCHBatch(d *tpch.Data, q, workers int) time.Duration {
+	var elapsed time.Duration
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *tpch.Inputs
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			inputs, colls := tpch.NewInputs(g)
+			in = inputs
+			probe = dd.Probe(tpch.Queries[q](colls))
+		})
+		start := time.Now()
+		if w.Index() == 0 {
+			in.LoadStatic(d)
+			in.LoadOrders(d, 0, len(d.Orders))
+		}
+		in.CloseAll()
+		w.StepUntil(func() bool { return probe.Frontier().Empty() })
+		if w.Index() == 0 {
+			elapsed = time.Since(start)
+		}
+		w.Drain()
+	})
+	return elapsed
+}
+
+// TPCHOracleElapsed times the naive full re-evaluation of a query (the
+// re-evaluation baseline of Table 6).
+func TPCHOracleElapsed(d *tpch.Data, q int) time.Duration {
+	start := time.Now()
+	_ = tpch.Oracle(q, d)
+	return time.Since(start)
+}

@@ -1,0 +1,174 @@
+package graphs
+
+// Purpose-written single-threaded baselines, as in the paper's Tables 7-9:
+// array-indexed variants assume pre-processed dense identifiers; "hash map"
+// variants use Go maps for vertex state, as one would for arbitrary
+// identifiers (the configuration in which the paper found K-Pg competitive
+// at two to four cores).
+
+// BFSArray computes hop distances from root using a dense adjacency index.
+// It returns the distance array (^uint64(0) = unreachable).
+func BFSArray(edges []Edge, n uint64, root uint64) []uint64 {
+	adjOff, adjDst := buildCSR(edges, n)
+	const inf = ^uint64(0)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[root] = 0
+	queue := []uint64{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adjDst[adjOff[u]:adjOff[u+1]] {
+			if dist[v] == inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// buildCSR builds a compressed sparse row adjacency from an edge list.
+func buildCSR(edges []Edge, n uint64) ([]uint64, []uint64) {
+	off := make([]uint64, n+1)
+	for _, e := range edges {
+		off[e.Src+1]++
+	}
+	for i := uint64(1); i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	dst := make([]uint64, len(edges))
+	cur := make([]uint64, n)
+	for _, e := range edges {
+		dst[off[e.Src]+cur[e.Src]] = e.Dst
+		cur[e.Src]++
+	}
+	return off, dst
+}
+
+// BFSHash is BFSArray with hash maps for adjacency and state, as required
+// for general (non-dense) vertex identifiers.
+func BFSHash(edges []Edge, root uint64) map[uint64]uint64 {
+	adj := make(map[uint64][]uint64)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	dist := map[uint64]uint64{root: 0}
+	queue := []uint64{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ReachArray computes the set of nodes reachable from root (dense index).
+func ReachArray(edges []Edge, n uint64, root uint64) []bool {
+	adjOff, adjDst := buildCSR(edges, n)
+	seen := make([]bool, n)
+	seen[root] = true
+	stack := []uint64{root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adjDst[adjOff[u]:adjOff[u+1]] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// UnionFind is the classic disjoint-set structure with path halving and
+// union by size; the paper notes it outperforms label propagation for
+// undirected connectivity.
+type UnionFind struct {
+	parent []uint64
+	size   []uint64
+}
+
+// NewUnionFind creates a forest of n singletons.
+func NewUnionFind(n uint64) *UnionFind {
+	uf := &UnionFind{parent: make([]uint64, n), size: make([]uint64, n)}
+	for i := range uf.parent {
+		uf.parent[i] = uint64(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x.
+func (uf *UnionFind) Find(x uint64) uint64 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b.
+func (uf *UnionFind) Union(a, b uint64) {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// WCCUnionFind labels every node with its component representative.
+func WCCUnionFind(edges []Edge, n uint64) []uint64 {
+	uf := NewUnionFind(n)
+	for _, e := range edges {
+		uf.Union(e.Src, e.Dst)
+	}
+	labels := make([]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		labels[i] = uf.Find(i)
+	}
+	return labels
+}
+
+// WCCHash is undirected connectivity with hash-map state (label propagation
+// over a hash adjacency).
+func WCCHash(edges []Edge) map[uint64]uint64 {
+	adj := make(map[uint64][]uint64)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	label := make(map[uint64]uint64, len(adj))
+	for u := range adj {
+		label[u] = u
+	}
+	changed := true
+	for changed {
+		changed = false
+		for u, vs := range adj {
+			min := label[u]
+			for _, v := range vs {
+				if label[v] < min {
+					min = label[v]
+				}
+			}
+			if min < label[u] {
+				label[u] = min
+				changed = true
+			}
+		}
+	}
+	return label
+}

@@ -1,0 +1,151 @@
+package graspan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+func toSet(t *testing.T, cap *dd.Captured[uint64, uint64], at lattice.Time) map[[2]uint64]bool {
+	t.Helper()
+	out := map[[2]uint64]bool{}
+	for kv, d := range cap.At(at) {
+		if d != 1 {
+			t.Fatalf("multiplicity %d for %v", d, kv)
+		}
+		out[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	return out
+}
+
+func sameSet(t *testing.T, name string, got, want map[[2]uint64]bool) {
+	t.Helper()
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("%s: missing %v (got %d want %d)", name, p, len(got), len(want))
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Fatalf("%s: spurious %v", name, p)
+		}
+	}
+}
+
+func TestDataflowAnalysisInteractiveRemoval(t *testing.T) {
+	prog := Generate(60, 3)
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(2, func(w *timely.Worker) {
+		var ain *dd.InputCollection[uint64, uint64]
+		var nin *dd.InputCollection[uint64, core.Unit]
+		var probe *timely.Probe
+		w.Dataflow(func(g *timely.Graph) {
+			a, ac := dd.NewInput[uint64, uint64](g)
+			n, nc := dd.NewInput[uint64, core.Unit](g)
+			ain, nin = a, n
+			aA := dd.Arrange(ac, core.U64(), "assign")
+			out := DataflowAnalysis(aA, nc)
+			dd.Capture(out, cap)
+			probe = dd.Probe(out)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(ain, prog.Assign)
+			for _, s := range prog.Nulls {
+				nin.Insert(s, core.Unit{})
+			}
+			ain.AdvanceTo(1)
+			nin.AdvanceTo(1)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(0)) })
+			// Epoch 1: remove the first null source.
+			nin.Remove(prog.Nulls[0], core.Unit{})
+			ain.AdvanceTo(2)
+			nin.AdvanceTo(2)
+			w.StepUntil(func() bool { return probe.Done(lattice.Ts(1)) })
+		}
+		ain.Close()
+		nin.Close()
+		w.Drain()
+	})
+	want0 := DataflowOracle(prog.Assign, prog.Nulls)
+	sameSet(t, "dataflow@0", toSet(t, cap, lattice.Ts(0)), want0)
+	// After removing the first source (it may repeat in Nulls; the oracle set
+	// drops only if no duplicate remains).
+	remaining := []uint64{}
+	removed := false
+	for _, s := range prog.Nulls {
+		if !removed && s == prog.Nulls[0] {
+			removed = true
+			continue
+		}
+		remaining = append(remaining, s)
+	}
+	want1 := DataflowOracle(prog.Assign, remaining)
+	sameSet(t, "dataflow@1", toSet(t, cap, lattice.Ts(1)), want1)
+}
+
+func runPointsTo(t *testing.T, workers int, prog Program, opt PointsToOptions) (vf, va, ma map[[2]uint64]bool) {
+	t.Helper()
+	capVF := &dd.Captured[uint64, uint64]{}
+	capVA := &dd.Captured[uint64, uint64]{}
+	capMA := &dd.Captured[uint64, uint64]{}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var ain, din *dd.InputCollection[uint64, uint64]
+		w.Dataflow(func(g *timely.Graph) {
+			a, ac := dd.NewInput[uint64, uint64](g)
+			d, dc := dd.NewInput[uint64, uint64](g)
+			ain, din = a, d
+			res := PointsTo(ac, dc, opt)
+			dd.Capture(dd.Consolidate(res.ValueFlow, core.U64()), capVF)
+			dd.Capture(dd.Consolidate(res.ValueAlias, core.U64()), capVA)
+			dd.Capture(dd.Consolidate(res.MemoryAlias, core.U64()), capMA)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(ain, prog.Assign)
+			graphs.EdgesInput(din, prog.Deref)
+		}
+		ain.Close()
+		din.Close()
+		w.Drain()
+	})
+	return toSet(t, capVF, lattice.Ts(0)), toSet(t, capVA, lattice.Ts(0)), toSet(t, capMA, lattice.Ts(0))
+}
+
+func TestPointsToMatchesOracle(t *testing.T) {
+	prog := Program{
+		Assign: []graphs.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 2}, {Src: 4, Dst: 5}},
+		Deref:  []graphs.Edge{{Src: 0, Dst: 6}, {Src: 3, Dst: 7}, {Src: 4, Dst: 8}},
+	}
+	wVF, wVA, wMA := PointsToOracle(prog.Assign, prog.Deref)
+	vf, va, ma := runPointsTo(t, 1, prog, PointsToOptions{})
+	sameSet(t, "vf", vf, wVF)
+	sameSet(t, "va", va, wVA)
+	sameSet(t, "ma", ma, wMA)
+}
+
+func TestPointsToGeneratedGraph(t *testing.T) {
+	prog := Generate(24, 9)
+	wVF, wVA, wMA := PointsToOracle(prog.Assign, prog.Deref)
+	vf, va, ma := runPointsTo(t, 2, prog, PointsToOptions{})
+	sameSet(t, "vf", vf, wVF)
+	sameSet(t, "va", va, wVA)
+	sameSet(t, "ma", ma, wMA)
+}
+
+// TestPointsToOptSameMemoryAlias: the optimized variant restricts value
+// aliasing but must produce the identical memory-alias relation.
+func TestPointsToOptSameMemoryAlias(t *testing.T) {
+	prog := Generate(24, 11)
+	_, _, wMA := PointsToOracle(prog.Assign, prog.Deref)
+	for _, o := range []PointsToOptions{
+		{Optimized: true},
+		{Optimized: true, NoSharing: true},
+		{NoSharing: true},
+	} {
+		_, _, ma := runPointsTo(t, 1, prog, o)
+		sameSet(t, "ma-opt", ma, wMA)
+	}
+}

@@ -1,0 +1,184 @@
+// Package harness provides the measurement machinery shared by the
+// benchmark binaries and the testing.B benches: latency recorders with
+// complementary-CDF reporting (the paper's preferred presentation), an
+// open-loop load driver, throughput meters, heap sampling for the memory
+// experiments, and an aligned table printer for regenerating the paper's
+// tables.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency samples.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Len returns the number of samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// sorted returns a sorted copy of the samples.
+func (r *Recorder) sorted() []time.Duration {
+	r.mu.Lock()
+	out := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100).
+func (r *Recorder) Percentile(p float64) time.Duration {
+	s := r.sorted()
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Median returns the 50th percentile.
+func (r *Recorder) Median() time.Duration { return r.Percentile(50) }
+
+// Max returns the largest sample.
+func (r *Recorder) Max() time.Duration { return r.Percentile(100) }
+
+// CCDF returns (latency, fraction-greater) points at the given fractions,
+// matching the paper's complementary-cdf plots.
+func (r *Recorder) CCDF(fractions ...float64) []CCDFPoint {
+	s := r.sorted()
+	out := make([]CCDFPoint, 0, len(fractions))
+	for _, f := range fractions {
+		if len(s) == 0 {
+			out = append(out, CCDFPoint{Fraction: f})
+			continue
+		}
+		idx := int((1 - f) * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CCDFPoint{Fraction: f, Latency: s[idx]})
+	}
+	return out
+}
+
+// CCDFPoint is one point of a complementary CDF: Fraction of samples exceed
+// Latency.
+type CCDFPoint struct {
+	Fraction float64
+	Latency  time.Duration
+}
+
+// CCDFRow renders a recorder as one table row of tail quantiles.
+func (r *Recorder) CCDFRow() string {
+	pts := r.CCDF(0.5, 0.1, 0.01, 0.001)
+	parts := make([]string, len(pts))
+	for i, p := range pts {
+		parts[i] = fmt.Sprintf("p%g=%v", 100*(1-p.Fraction), p.Latency.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
+}
+
+// HeapMB returns the current live-heap size in MiB (the memory metric for
+// Figure 5c; the paper reports RSS, we report Go heap).
+func HeapMB() float64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / (1 << 20)
+}
+
+// Table accumulates aligned rows for printing paper-style tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row, stringifying the cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Rate formats a tuples-per-second throughput.
+func Rate(n int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())
+}
+
+// OpenLoop drives a workload at a fixed offered rate: at every tick it calls
+// emit with the batch index, then records the latency from the *intended*
+// emission time to when done reports completion — so queueing delay counts
+// against the system, as in the paper's open-loop harness.
+type OpenLoop struct {
+	Interval time.Duration
+	Batches  int
+	Emit     func(i int)
+	Wait     func(i int)
+	Rec      *Recorder
+}
+
+// Run executes the open loop.
+func (o *OpenLoop) Run() {
+	start := time.Now()
+	for i := 0; i < o.Batches; i++ {
+		intended := start.Add(time.Duration(i) * o.Interval)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		o.Emit(i)
+		o.Wait(i)
+		o.Rec.Add(time.Since(intended))
+	}
+}

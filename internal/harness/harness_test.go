@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderQuantiles(t *testing.T) {
+	r := &Recorder{}
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if m := r.Median(); m < 49*time.Millisecond || m > 52*time.Millisecond {
+		t.Fatalf("median %v", m)
+	}
+	if r.Max() != 100*time.Millisecond {
+		t.Fatalf("max %v", r.Max())
+	}
+	if p := r.Percentile(99); p < 98*time.Millisecond {
+		t.Fatalf("p99 %v", p)
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	r := &Recorder{}
+	for i := 1; i <= 1000; i++ {
+		r.Add(time.Duration(i) * time.Microsecond)
+	}
+	pts := r.CCDF(0.5, 0.1, 0.01)
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	// Half the samples exceed ~500us; 10% exceed ~900us.
+	if pts[0].Latency < 490*time.Microsecond || pts[0].Latency > 510*time.Microsecond {
+		t.Fatalf("ccdf(0.5) = %v", pts[0].Latency)
+	}
+	if pts[1].Latency < 890*time.Microsecond || pts[1].Latency > 910*time.Microsecond {
+		t.Fatalf("ccdf(0.1) = %v", pts[1].Latency)
+	}
+	if !strings.Contains(r.CCDFRow(), "p50=") {
+		t.Fatalf("row: %s", r.CCDFRow())
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := &Recorder{}
+	if r.Median() != 0 || r.Max() != 0 {
+		t.Fatalf("empty recorder must report zero")
+	}
+	if pts := r.CCDF(0.5); pts[0].Latency != 0 {
+		t.Fatalf("empty ccdf")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("a", 1)
+	tb.Add("longer-name", 123456)
+	var sb strings.Builder
+	tb.Write(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "longer-name  ") {
+		t.Fatalf("alignment: %q", lines[2])
+	}
+}
+
+func TestHeapMB(t *testing.T) {
+	if HeapMB() <= 0 {
+		t.Fatalf("heap must be positive")
+	}
+}
+
+func TestOpenLoopCountsQueueing(t *testing.T) {
+	rec := &Recorder{}
+	ol := &OpenLoop{
+		Interval: time.Millisecond,
+		Batches:  5,
+		Rec:      rec,
+		Emit:     func(i int) {},
+		Wait:     func(i int) { time.Sleep(2 * time.Millisecond) },
+	}
+	ol.Run()
+	if rec.Len() != 5 {
+		t.Fatalf("samples: %d", rec.Len())
+	}
+	// The system is slower than the offered rate, so latencies accumulate
+	// queueing delay: the last sample exceeds a single service time.
+	if rec.Max() < 3*time.Millisecond {
+		t.Fatalf("open loop must accumulate queueing delay: %v", rec.Max())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(1000, time.Second) != "1000" {
+		t.Fatalf("rate: %s", Rate(1000, time.Second))
+	}
+	if Rate(5, 0) != "inf" {
+		t.Fatalf("zero elapsed")
+	}
+}

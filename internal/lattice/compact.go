@@ -1,0 +1,39 @@
+package lattice
+
+// Compact returns rep_F(t): the representative of time t relative to the
+// frontier f, defined (Appendix A of the paper) as
+//
+//	rep_F(t) = ⋀_{x ∈ F} (t ∨ x)
+//
+// the greatest lower bound of the least upper bounds of t with each frontier
+// element. The representative compares identically to t against every time
+// in advance of F (Theorem 1, correctness), and any two times that compare
+// identically against all times in advance of F share a representative
+// (Theorem 2, optimality). Updates whose times share a representative may be
+// consolidated.
+//
+// The second result reports whether a representative exists: when f is empty
+// no reader can observe the update at all, and it may be discarded.
+func Compact(t Time, f Frontier) (Time, bool) {
+	if len(f.elems) == 0 {
+		return Time{}, false
+	}
+	rep := t.Join(f.elems[0])
+	for _, x := range f.elems[1:] {
+		rep = rep.Meet(t.Join(x))
+	}
+	return rep, true
+}
+
+// Indistinguishable reports whether t1 ≡_F t2: whether t1 and t2 compare
+// identically (under ≤) to every time in advance of f. This is the defining
+// relation of Appendix A; it is implemented via representatives, which is
+// exact by Theorems 1 and 2.
+func Indistinguishable(t1, t2 Time, f Frontier) bool {
+	r1, ok1 := Compact(t1, f)
+	r2, ok2 := Compact(t2, f)
+	if ok1 != ok2 {
+		return false
+	}
+	return !ok1 || r1 == r2
+}

@@ -1,0 +1,127 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFrontierBasics(t *testing.T) {
+	f := NewFrontier(Ts(2, 1), Ts(1, 2))
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if !f.LessEqual(Ts(2, 2)) {
+		t.Fatalf("(2,2) should be in advance")
+	}
+	if f.LessEqual(Ts(1, 1)) {
+		t.Fatalf("(1,1) should not be in advance")
+	}
+	if !f.LessEqual(Ts(2, 1)) {
+		t.Fatalf("elements are in advance of their own frontier")
+	}
+}
+
+func TestFrontierInsertDominance(t *testing.T) {
+	var f Frontier
+	if !f.Insert(Ts(2, 2)) {
+		t.Fatalf("insert into empty must change")
+	}
+	if f.Insert(Ts(3, 3)) {
+		t.Fatalf("dominated insert must not change")
+	}
+	if !f.Insert(Ts(1, 1)) {
+		t.Fatalf("dominating insert must change")
+	}
+	if f.Len() != 1 || f.Elements()[0] != Ts(1, 1) {
+		t.Fatalf("dominated element should have been removed: %v", f)
+	}
+	// incomparable grows the antichain
+	f = NewFrontier(Ts(0, 5))
+	f.Insert(Ts(5, 0))
+	if f.Len() != 2 {
+		t.Fatalf("incomparable insert should grow antichain")
+	}
+}
+
+func TestEmptyFrontier(t *testing.T) {
+	var f Frontier
+	if !f.Empty() {
+		t.Fatalf("zero frontier must be empty")
+	}
+	if f.LessEqual(Ts(0)) {
+		t.Fatalf("nothing is in advance of the empty frontier")
+	}
+}
+
+func TestMinFrontier(t *testing.T) {
+	f := MinFrontier(2)
+	if !f.LessEqual(Ts(0, 0)) || !f.LessEqual(Ts(9, 9)) {
+		t.Fatalf("everything is in advance of the minimum frontier")
+	}
+}
+
+func TestFrontierEqualClone(t *testing.T) {
+	f := NewFrontier(Ts(1, 2), Ts(2, 1))
+	g := NewFrontier(Ts(2, 1), Ts(1, 2))
+	if !f.Equal(g) {
+		t.Fatalf("order must not matter")
+	}
+	c := f.Clone()
+	c.Insert(Ts(0, 0))
+	if f.Equal(c) {
+		t.Fatalf("clone must be independent")
+	}
+}
+
+func TestFrontierDominates(t *testing.T) {
+	early := NewFrontier(Ts(1, 1))
+	late := NewFrontier(Ts(3, 3))
+	if !early.Dominates(late) {
+		t.Fatalf("earlier frontier dominates later")
+	}
+	if late.Dominates(early) {
+		t.Fatalf("later must not dominate earlier")
+	}
+	// A frontier dominates itself and the empty frontier.
+	if !early.Dominates(early) || !early.Dominates(Frontier{}) {
+		t.Fatalf("reflexive / empty dominance failed")
+	}
+}
+
+func TestMeetAllIsLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		f := NewFrontier(randTime(r, 2, 5), randTime(r, 2, 5))
+		g := NewFrontier(randTime(r, 2, 5), randTime(r, 2, 5))
+		m := MeetAll(f, g)
+		if !m.Dominates(f) || !m.Dominates(g) {
+			t.Fatalf("MeetAll must dominate both inputs: %v %v -> %v", f, g, m)
+		}
+		// Everything in advance of f or g is in advance of m.
+		probe := randTime(r, 2, 6)
+		if (f.LessEqual(probe) || g.LessEqual(probe)) && !m.LessEqual(probe) {
+			t.Fatalf("lower-bound property failed at %v", probe)
+		}
+	}
+}
+
+func TestFrontierExtend(t *testing.T) {
+	f := NewFrontier(Ts(2, 2))
+	changed := f.Extend(NewFrontier(Ts(1, 3), Ts(3, 3)))
+	if !changed {
+		t.Fatalf("extend with incomparable element must change")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len = %d, want 2 ((2,2) and (1,3))", f.Len())
+	}
+	if f.Extend(NewFrontier(Ts(4, 4))) {
+		t.Fatalf("extend with dominated elements must not change")
+	}
+}
+
+func TestFrontierString(t *testing.T) {
+	f := NewFrontier(Ts(2, 1), Ts(1, 2))
+	if got := f.String(); got != "{(1,2), (2,1)}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,466 @@
+package timely
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// Worker is one of the static set of dataflow workers. Each worker owns a
+// shard of every operator of every dataflow it builds. Workers are driven by
+// Step / StepUntil / Drain from the user's program closure.
+type Worker struct {
+	index  int
+	rt     *runtime
+	graphs []*Graph
+	seq    int
+}
+
+// Index returns this worker's index in 0..Peers()-1.
+func (w *Worker) Index() int { return w.index }
+
+// Peers returns the total number of workers.
+func (w *Worker) Peers() int { return w.rt.peers }
+
+// Dataflow constructs a new dataflow. Every worker must call Dataflow the
+// same number of times with structurally identical build closures (operator
+// identities are assigned by construction order, as in timely dataflow).
+func (w *Worker) Dataflow(build func(g *Graph)) *Graph {
+	g := &Graph{w: w, seq: w.seq, tracker: w.rt.trackerFor(w.seq)}
+	w.seq++
+	build(g)
+	w.graphs = append(w.graphs, g)
+	w.rt.wake()
+	return g
+}
+
+// Step schedules every operator shard owned by this worker once and reports
+// whether any of them did work.
+func (w *Worker) Step() bool {
+	active := false
+	for _, g := range w.graphs {
+		for _, op := range g.ops {
+			if op.schedule() {
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+// StepUntil steps the worker until cond returns true, parking the goroutine
+// when no local work is available.
+func (w *Worker) StepUntil(cond func() bool) {
+	for !cond() {
+		gen := w.rt.activityGen()
+		if w.Step() {
+			continue
+		}
+		if cond() {
+			return
+		}
+		w.rt.waitActivity(gen)
+	}
+}
+
+// Drain steps until every dataflow this worker participates in is complete
+// (no pointstamps remain anywhere), then clears remaining local messages.
+func (w *Worker) Drain() {
+	w.StepUntil(func() bool {
+		for _, g := range w.graphs {
+			if !g.tracker.quiescent() {
+				return false
+			}
+		}
+		return true
+	})
+	for w.Step() {
+	}
+}
+
+// Graph is one worker's view of one dataflow under construction and during
+// execution.
+type Graph struct {
+	w        *Worker
+	seq      int
+	tracker  *tracker
+	nextOp   int
+	nextChan int
+	ops      []*opState
+}
+
+// Worker returns the worker that owns this graph shard.
+func (g *Graph) Worker() *Worker { return g.w }
+
+// Complete reports whether the dataflow has finished (no outstanding work at
+// any worker).
+func (g *Graph) Complete() bool { return g.tracker.quiescent() }
+
+func (g *Graph) allocOp() int {
+	id := g.nextOp
+	g.nextOp++
+	return id
+}
+
+func (g *Graph) allocChan() int {
+	id := g.nextChan
+	g.nextChan++
+	return id
+}
+
+// Stream is a typed dataflow edge endpoint: the output of an operator, to
+// which consumers may attach. Depth is the timestamp depth of data on the
+// stream (1 outside any iteration scope).
+type Stream[D any] struct {
+	g       *Graph
+	srcOp   int
+	srcPort int
+	depth   int
+	reg     *outReg[D]
+}
+
+// Graph returns the graph the stream belongs to.
+func (s *Stream[D]) Graph() *Graph { return s.g }
+
+// Depth returns the timestamp depth of the stream.
+func (s *Stream[D]) Depth() int { return s.depth }
+
+// outReg is the mutable set of channels attached to one operator output.
+type outReg[D any] struct {
+	channels []*channelDesc[D]
+}
+
+// channelDesc is one edge from an operator output to a consumer input, with
+// its per-target-worker mailboxes.
+type channelDesc[D any] struct {
+	dstOp    int
+	dstPort  int
+	exchange func(D) uint64 // nil for pipeline (worker-local) channels
+	boxes    []*mailbox[D]  // indexed by target worker (len 1 for pipeline)
+	tracker  *tracker
+	rt       *runtime
+	sender   int // worker index of this (per-worker) descriptor
+}
+
+func (c *channelDesc[D]) send(stamp []lattice.Time, data []D) {
+	if len(data) == 0 {
+		return
+	}
+	if c.exchange == nil {
+		c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, 1)
+		c.boxes[0].push(message[D]{stamp: stamp, data: data})
+		c.rt.wake()
+		return
+	}
+	peers := uint64(c.rt.peers)
+	parts := make([][]D, peers)
+	for _, d := range data {
+		i := c.exchange(d) % peers
+		parts[i] = append(parts[i], d)
+	}
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, 1)
+		c.boxes[i].push(message[D]{stamp: stamp, data: p})
+	}
+	c.rt.wake()
+}
+
+// attachIn connects a stream to input port dstPort of operator dstOp,
+// creating the channel (pipeline if exch is nil, hash-exchanged otherwise)
+// and returning the typed input endpoint for this worker's shard.
+func attachIn[A any](s *Stream[A], st *opState, dstPort int, exch func(A) uint64) *In[A] {
+	g := s.g
+	ch := g.allocChan()
+	rt := g.w.rt
+	desc := &channelDesc[A]{
+		dstOp:    st.id,
+		dstPort:  dstPort,
+		exchange: exch,
+		tracker:  g.tracker,
+		rt:       rt,
+		sender:   g.w.index,
+	}
+	if exch == nil {
+		desc.boxes = []*mailbox[A]{mailboxFor[A](rt, g.seq, ch, g.w.index)}
+	} else {
+		desc.boxes = make([]*mailbox[A], rt.peers)
+		for i := range desc.boxes {
+			desc.boxes[i] = mailboxFor[A](rt, g.seq, ch, i)
+		}
+	}
+	s.reg.channels = append(s.reg.channels, desc)
+	g.tracker.registerEdge(edgeSpec{s.srcOp, s.srcPort, st.id, dstPort})
+	return &In[A]{
+		o:    st,
+		port: dstPort,
+		mb:   mailboxFor[A](rt, g.seq, ch, g.w.index),
+	}
+}
+
+// opState is the per-worker shard state of one operator, including its
+// persistent capabilities and the progress batch under construction.
+type opState struct {
+	g         *Graph
+	id        int
+	name      string
+	nIn, nOut int
+	summaries [][]Summary
+	caps      []map[lattice.Time]int64 // persistent capabilities, per out port
+	justif    []lattice.Frontier       // per out port: times we may send at, this schedule
+	batch     progressBatch
+	activity  bool
+	reactive  bool // request re-scheduling even without new input
+	run       func(ctx *Ctx)
+}
+
+func (o *opState) schedule() bool {
+	o.activity = o.reactive
+	o.reactive = false
+	for p := 0; p < o.nOut; p++ {
+		var f lattice.Frontier
+		for t := range o.caps[p] {
+			f.Insert(t)
+		}
+		o.justif[p] = f
+	}
+	if o.run != nil {
+		o.run(&Ctx{o})
+	}
+	if !o.batch.empty() {
+		o.g.tracker.apply(&o.batch)
+		o.g.w.rt.wake()
+	}
+	return o.activity
+}
+
+func newOpState(g *Graph, name string, nIn, nOut int, summaries [][]Summary) *opState {
+	st := &opState{
+		g: g, id: g.allocOp(), name: name,
+		nIn: nIn, nOut: nOut, summaries: summaries,
+		caps:   make([]map[lattice.Time]int64, nOut),
+		justif: make([]lattice.Frontier, nOut),
+	}
+	for i := range st.caps {
+		st.caps[i] = make(map[lattice.Time]int64)
+	}
+	g.ops = append(g.ops, st)
+	return st
+}
+
+// Ctx is the operator-facing view of its shard during one schedule call.
+type Ctx struct {
+	o *opState
+}
+
+// Worker returns the index of the worker scheduling the operator.
+func (c *Ctx) Worker() int { return c.o.g.w.index }
+
+// Peers returns the number of workers.
+func (c *Ctx) Peers() int { return c.o.g.w.rt.peers }
+
+// Activate requests that the operator be rescheduled even if no new input
+// arrives (used for fueled, amortized work such as trace merging).
+func (c *Ctx) Activate() { c.o.reactive = true; c.o.activity = true }
+
+// Retain acquires a persistent capability to send at times ≥ t on the given
+// output port. The time must currently be justified (≥ a held capability or
+// ≥ the summary-image of a message consumed in this schedule call).
+func (c *Ctx) Retain(port int, t lattice.Time) {
+	o := c.o
+	if !o.justif[port].LessEqual(t) {
+		panic(fmt.Sprintf("timely: op %q retains unjustified capability %v (justified: %v)",
+			o.name, t, o.justif[port]))
+	}
+	o.caps[port][t]++
+	o.batch.capPlus(o.id, port, t, 1)
+	o.justif[port].Insert(t)
+	o.activity = true
+}
+
+// Drop releases one persistent capability at t on the given output port.
+func (c *Ctx) Drop(port int, t lattice.Time) {
+	o := c.o
+	if o.caps[port][t] <= 0 {
+		panic(fmt.Sprintf("timely: op %q drops capability %v it does not hold", o.name, t))
+	}
+	o.caps[port][t]--
+	if o.caps[port][t] == 0 {
+		delete(o.caps[port], t)
+	}
+	o.batch.capMinus(o.id, port, t, 1)
+	o.activity = true
+}
+
+// HeldCaps returns the times of persistent capabilities held on port.
+func (c *Ctx) HeldCaps(port int) []lattice.Time {
+	out := make([]lattice.Time, 0, len(c.o.caps[port]))
+	for t := range c.o.caps[port] {
+		out = append(out, t)
+	}
+	return out
+}
+
+// In is a typed operator input endpoint.
+type In[A any] struct {
+	o    *opState
+	port int
+	mb   *mailbox[A]
+}
+
+// ForEach drains and delivers all pending messages. The callback must treat
+// both the stamp and the data as immutable (data may be shared with other
+// consumers of the same stream).
+func (in *In[A]) ForEach(f func(stamp []lattice.Time, data []A)) {
+	msgs := in.mb.drain()
+	for _, m := range msgs {
+		in.o.activity = true
+		for _, t := range m.stamp {
+			in.o.batch.msgMinus(in.o.id, in.port, t, 1)
+			for out := 0; out < in.o.nOut; out++ {
+				if t2, ok := in.o.summaries[in.port][out].Apply(t); ok {
+					in.o.justif[out].Insert(t2)
+				}
+			}
+		}
+		f(m.stamp, m.data)
+	}
+}
+
+// Frontier returns the lower bound of timestamps that may still arrive at
+// this input, across all workers.
+func (in *In[A]) Frontier() lattice.Frontier {
+	return in.o.g.tracker.frontierAt(in.o.id, in.port)
+}
+
+// Out is a typed operator output endpoint.
+type Out[B any] struct {
+	o    *opState
+	port int
+	reg  *outReg[B]
+}
+
+// SendSlice emits data stamped with the given antichain of minimal logical
+// times. Ownership of both slices passes to the runtime; the data slice may
+// be shared with multiple consumers and must not be mutated afterwards.
+// Every stamp element must be justified by a held capability or by an input
+// message consumed in the current schedule call.
+func (o *Out[B]) SendSlice(stamp []lattice.Time, data []B) {
+	if len(data) == 0 {
+		return
+	}
+	st := o.o
+	for _, t := range stamp {
+		if !st.justif[o.port].LessEqual(t) {
+			panic(fmt.Sprintf("timely: op %q sends at unjustified time %v (justified: %v)",
+				st.name, t, st.justif[o.port]))
+		}
+	}
+	st.activity = true
+	for _, ch := range o.reg.channels {
+		ch.send(stamp, data)
+	}
+}
+
+// Send emits data at a single logical time.
+func (o *Out[B]) Send(t lattice.Time, data ...B) {
+	o.SendSlice([]lattice.Time{t}, data)
+}
+
+func depthAfter(sum Summary, depth int) int {
+	switch sum {
+	case SumEnter:
+		return depth + 1
+	case SumLeave:
+		return depth - 1
+	default:
+		return depth
+	}
+}
+
+// Unary constructs a single-input single-output operator. exch selects the
+// exchange channel (nil for pipeline). sum is the progress summary from the
+// input to the output. initCaps declares capabilities each worker's shard
+// holds at construction.
+func Unary[A, B any](s *Stream[A], name string, exch func(A) uint64, sum Summary,
+	initCaps []lattice.Time, logic func(ctx *Ctx, in *In[A], out *Out[B])) *Stream[B] {
+
+	g := s.g
+	st := newOpState(g, name, 1, 1, [][]Summary{{sum}})
+	reg := &outReg[B]{}
+	in := attachIn(s, st, 0, exch)
+	out := &Out[B]{o: st, port: 0, reg: reg}
+	st.run = func(ctx *Ctx) { logic(ctx, in, out) }
+	var ic lattice.Frontier
+	for _, t := range initCaps {
+		ic.Insert(t)
+	}
+	g.tracker.registerNode(st.id, nodeSpec{
+		name: name, inPorts: 1, outPorts: 1,
+		summaries:   [][]Summary{{sum}},
+		initialCaps: []lattice.Frontier{ic},
+	})
+	return &Stream[B]{g: g, srcOp: st.id, srcPort: 0, depth: depthAfter(sum, s.depth), reg: reg}
+}
+
+// Binary constructs a two-input single-output operator.
+func Binary[A, B, C any](sa *Stream[A], sb *Stream[B], name string,
+	exchA func(A) uint64, exchB func(B) uint64,
+	logic func(ctx *Ctx, inA *In[A], inB *In[B], out *Out[C])) *Stream[C] {
+
+	if sa.g != sb.g {
+		panic("timely: Binary inputs from different dataflows")
+	}
+	if sa.depth != sb.depth {
+		panic("timely: Binary inputs at different depths")
+	}
+	g := sa.g
+	sums := [][]Summary{{SumID}, {SumID}}
+	st := newOpState(g, name, 2, 1, sums)
+	reg := &outReg[C]{}
+	inA := attachIn(sa, st, 0, exchA)
+	inB := attachIn(sb, st, 1, exchB)
+	out := &Out[C]{o: st, port: 0, reg: reg}
+	st.run = func(ctx *Ctx) { logic(ctx, inA, inB, out) }
+	g.tracker.registerNode(st.id, nodeSpec{
+		name: name, inPorts: 2, outPorts: 1,
+		summaries:   sums,
+		initialCaps: []lattice.Frontier{{}},
+	})
+	return &Stream[C]{g: g, srcOp: st.id, srcPort: 0, depth: sa.depth, reg: reg}
+}
+
+// Source constructs a zero-input single-output operator holding an initial
+// capability at initCap on every worker; logic runs every schedule and
+// manages the capability through ctx.
+func Source[B any](g *Graph, name string, depth int, initCap lattice.Time,
+	logic func(ctx *Ctx, out *Out[B])) *Stream[B] {
+
+	st := newOpState(g, name, 0, 1, nil)
+	reg := &outReg[B]{}
+	out := &Out[B]{o: st, port: 0, reg: reg}
+	st.run = func(ctx *Ctx) { logic(ctx, out) }
+	st.caps[0][initCap]++ // worker-local record of the pre-seeded capability
+	g.tracker.registerNode(st.id, nodeSpec{
+		name: name, inPorts: 0, outPorts: 1,
+		summaries:   nil,
+		initialCaps: []lattice.Frontier{lattice.NewFrontier(initCap)},
+	})
+	return &Stream[B]{g: g, srcOp: st.id, srcPort: 0, depth: depth, reg: reg}
+}
+
+// Sink constructs a single-input zero-output operator.
+func Sink[A any](s *Stream[A], name string, exch func(A) uint64,
+	logic func(ctx *Ctx, in *In[A])) {
+
+	g := s.g
+	st := newOpState(g, name, 1, 0, [][]Summary{{}})
+	in := attachIn(s, st, 0, exch)
+	st.run = func(ctx *Ctx) { logic(ctx, in) }
+	g.tracker.registerNode(st.id, nodeSpec{
+		name: name, inPorts: 1, outPorts: 0,
+		summaries: [][]Summary{{}},
+	})
+}

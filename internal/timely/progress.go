@@ -1,0 +1,311 @@
+package timely
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// Summary describes how an operator transforms timestamps from an input port
+// to an output port, for the purposes of progress tracking ("could result
+// in"). It corresponds to Naiad's path summaries, restricted to the four
+// shapes this runtime needs.
+type Summary uint8
+
+const (
+	// SumNone: no path from the input to the output.
+	SumNone Summary = iota
+	// SumID: outputs carry times greater or equal to input times.
+	SumID
+	// SumStep: the feedback summary; increments the innermost coordinate.
+	SumStep
+	// SumEnter: ingress into an iteration scope; appends a 0 coordinate.
+	SumEnter
+	// SumLeave: egress from an iteration scope; strips the last coordinate.
+	SumLeave
+)
+
+// Apply transforms t through the summary; ok is false for SumNone.
+func (s Summary) Apply(t lattice.Time) (lattice.Time, bool) {
+	switch s {
+	case SumNone:
+		return lattice.Time{}, false
+	case SumID:
+		return t, true
+	case SumStep:
+		return t.Step(), true
+	case SumEnter:
+		return t.Enter(), true
+	case SumLeave:
+		return t.Leave(), true
+	}
+	panic("timely: unknown summary")
+}
+
+// portKey identifies an operator port; out selects the output port space.
+type portKey struct {
+	op   int
+	port int
+	out  bool
+}
+
+type portTime struct {
+	key portKey
+	t   lattice.Time
+}
+
+// nodeSpec describes one operator's progress-relevant shape. All workers
+// build identical dataflows, so the first worker to register wins and later
+// registrations are ignored.
+type nodeSpec struct {
+	name      string
+	inPorts   int
+	outPorts  int
+	summaries [][]Summary // [in][out]
+	// initialCaps[out] times at which every worker's shard initially holds
+	// one capability (seeded at registration, worker count many).
+	initialCaps []lattice.Frontier
+}
+
+type edgeSpec struct {
+	srcOp, srcPort int
+	dstOp, dstPort int
+}
+
+// tracker is the per-dataflow progress tracker shared by all workers. It
+// maintains global counts of message pointstamps (at input ports) and
+// capability pointstamps (at output ports) and computes, on demand, the
+// frontier of times that might still arrive at every input port, via an
+// antichain closure over the dataflow topology (the could-result-in
+// relation).
+type tracker struct {
+	rt *runtime
+
+	mu        sync.Mutex
+	nodes     []nodeSpec
+	outEdges  map[[2]int][][2]int // (op, outPort) -> list of (dstOp, dstPort)
+	msgs      map[portTime]int64  // input-port pointstamps
+	caps      map[portTime]int64  // output-port pointstamps
+	dirty     bool
+	frontiers map[[2]int]lattice.Frontier // (op, inPort) -> frontier
+	version   uint64
+}
+
+func newTracker(rt *runtime) *tracker {
+	return &tracker{
+		rt:        rt,
+		outEdges:  make(map[[2]int][][2]int),
+		msgs:      make(map[portTime]int64),
+		caps:      make(map[portTime]int64),
+		frontiers: make(map[[2]int]lattice.Frontier),
+	}
+}
+
+// registerNode installs the spec for operator op if not yet present, seeding
+// initial capabilities (one per worker per declared time). Identical
+// registration from other workers is a no-op.
+func (tr *tracker) registerNode(op int, spec nodeSpec) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for op >= len(tr.nodes) {
+		tr.nodes = append(tr.nodes, nodeSpec{})
+	}
+	if tr.nodes[op].summaries != nil || tr.nodes[op].name != "" {
+		return // already registered by another worker
+	}
+	tr.nodes[op] = spec
+	for out, f := range spec.initialCaps {
+		for _, t := range f.Elements() {
+			tr.caps[portTime{portKey{op, out, true}, t}] += int64(tr.rt.peers)
+		}
+	}
+	tr.dirty = true
+	tr.version++
+}
+
+func (tr *tracker) registerEdge(e edgeSpec) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	key := [2]int{e.srcOp, e.srcPort}
+	dst := [2]int{e.dstOp, e.dstPort}
+	for _, d := range tr.outEdges[key] {
+		if d == dst {
+			return
+		}
+	}
+	tr.outEdges[key] = append(tr.outEdges[key], dst)
+	tr.dirty = true
+	tr.version++
+}
+
+// delta is one pointstamp change.
+type delta struct {
+	key  portKey
+	t    lattice.Time
+	diff int64
+}
+
+// progressBatch accumulates the changes from one operator schedule call and
+// is applied atomically: increments strictly before decrements, so observed
+// frontiers never advance past work that is merely moving between forms.
+type progressBatch struct {
+	plus  []delta
+	minus []delta
+}
+
+func (pb *progressBatch) empty() bool { return len(pb.plus) == 0 && len(pb.minus) == 0 }
+
+func (pb *progressBatch) msgPlus(op, port int, t lattice.Time, n int64) {
+	pb.plus = append(pb.plus, delta{portKey{op, port, false}, t, n})
+}
+func (pb *progressBatch) msgMinus(op, port int, t lattice.Time, n int64) {
+	pb.minus = append(pb.minus, delta{portKey{op, port, false}, t, -n})
+}
+func (pb *progressBatch) capPlus(op, port int, t lattice.Time, n int64) {
+	pb.plus = append(pb.plus, delta{portKey{op, port, true}, t, n})
+}
+func (pb *progressBatch) capMinus(op, port int, t lattice.Time, n int64) {
+	pb.minus = append(pb.minus, delta{portKey{op, port, true}, t, -n})
+}
+
+// msgArrived registers message pointstamps immediately (called by senders
+// before enqueueing, so consumers can never observe an uncounted message).
+func (tr *tracker) msgArrived(op, port int, stamp []lattice.Time, n int64) {
+	if len(stamp) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	for _, t := range stamp {
+		tr.msgs[portTime{portKey{op, port, false}, t}] += n
+	}
+	tr.dirty = true
+	tr.version++
+	tr.mu.Unlock()
+}
+
+// apply commits a progress batch atomically.
+func (tr *tracker) apply(pb *progressBatch) {
+	if pb.empty() {
+		return
+	}
+	tr.mu.Lock()
+	for _, d := range pb.plus {
+		tr.bump(d)
+	}
+	for _, d := range pb.minus {
+		tr.bump(d)
+	}
+	tr.dirty = true
+	tr.version++
+	tr.mu.Unlock()
+	pb.plus = pb.plus[:0]
+	pb.minus = pb.minus[:0]
+}
+
+func (tr *tracker) bump(d delta) {
+	m := tr.msgs
+	if d.key.out {
+		m = tr.caps
+	}
+	pt := portTime{d.key, d.t}
+	m[pt] += d.diff
+	if m[pt] == 0 {
+		delete(m, pt)
+	} else if m[pt] < 0 {
+		panic(fmt.Sprintf("timely: negative pointstamp count at op %d port %d out=%v time %v",
+			d.key.op, d.key.port, d.key.out, d.t))
+	}
+}
+
+// frontierAt returns the frontier of times that may still arrive at the
+// given input port. The returned value must be treated as immutable.
+func (tr *tracker) frontierAt(op, inPort int) lattice.Frontier {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.dirty {
+		tr.recompute()
+	}
+	return tr.frontiers[[2]int{op, inPort}]
+}
+
+// quiescent reports whether no pointstamps remain: the dataflow is complete.
+func (tr *tracker) quiescent() bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.msgs) == 0 && len(tr.caps) == 0
+}
+
+func (tr *tracker) snapshotVersion() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.version
+}
+
+// recompute performs the antichain closure: starting from every message and
+// capability pointstamp, propagate times along edges (identity) and through
+// operators (per-port summaries), maintaining at every location the
+// antichain of minimal reachable times. Cycles terminate because inserting a
+// time that is greater or equal to an existing element is a no-op, and every
+// dataflow cycle passes through a feedback summary that strictly increases
+// its coordinate. Must be called with tr.mu held.
+func (tr *tracker) recompute() {
+	reach := make(map[portKey]*lattice.Frontier, len(tr.nodes)*2)
+	type item struct {
+		key portKey
+		t   lattice.Time
+	}
+	var work []item
+
+	insert := func(key portKey, t lattice.Time) {
+		f := reach[key]
+		if f == nil {
+			f = &lattice.Frontier{}
+			reach[key] = f
+		}
+		if f.Insert(t) {
+			work = append(work, item{key, t})
+		}
+	}
+
+	for pt, n := range tr.msgs {
+		if n > 0 {
+			insert(pt.key, pt.t)
+		}
+	}
+	for pt, n := range tr.caps {
+		if n > 0 {
+			insert(pt.key, pt.t)
+		}
+	}
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if it.key.out {
+			// Output port: times flow unchanged along every outgoing edge.
+			for _, dst := range tr.outEdges[[2]int{it.key.op, it.key.port}] {
+				insert(portKey{dst[0], dst[1], false}, it.t)
+			}
+		} else {
+			// Input port: times flow through the operator via its summaries.
+			spec := tr.nodes[it.key.op]
+			if spec.summaries == nil {
+				continue
+			}
+			for out := 0; out < spec.outPorts; out++ {
+				if t2, ok := spec.summaries[it.key.port][out].Apply(it.t); ok {
+					insert(portKey{it.key.op, out, true}, t2)
+				}
+			}
+		}
+	}
+
+	tr.frontiers = make(map[[2]int]lattice.Frontier, len(tr.frontiers))
+	for key, f := range reach {
+		if !key.out {
+			tr.frontiers[[2]int{key.op, key.port}] = *f
+		}
+	}
+	tr.dirty = false
+}

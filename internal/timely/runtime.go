@@ -1,0 +1,152 @@
+// Package timely implements a data-parallel dataflow runtime in the style of
+// timely dataflow (Naiad): a static set of workers, each a single goroutine,
+// cooperatively schedule shards of every operator of every live dataflow.
+// All data carry partially ordered logical timestamps and the runtime
+// provides every operator with a frontier: a lower bound on the timestamps
+// it may still receive. Dataflow graphs may contain cycles through Feedback
+// operators, whose progress summaries increment a loop coordinate.
+//
+// The runtime is single-process: workers are goroutines and the progress
+// protocol is a shared per-dataflow tracker updated with atomic batches,
+// semantically equivalent to Naiad's distributed could-result-in protocol.
+package timely
+
+import (
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// runtime is the state shared by all workers of one Execute call.
+type runtime struct {
+	peers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	activity uint64 // bumped whenever anything happens; wakes idle workers
+
+	trackers  []*tracker // per dataflow sequence number
+	mailboxes map[mailboxKey]any
+}
+
+type mailboxKey struct {
+	dataflow int
+	channel  int
+	worker   int
+}
+
+func newRuntime(peers int) *runtime {
+	rt := &runtime{peers: peers, mailboxes: make(map[mailboxKey]any)}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt
+}
+
+// trackerFor returns (creating if needed) the progress tracker for the given
+// dataflow sequence number.
+func (rt *runtime) trackerFor(seq int) *tracker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for seq >= len(rt.trackers) {
+		rt.trackers = append(rt.trackers, newTracker(rt))
+	}
+	return rt.trackers[seq]
+}
+
+// wake bumps the activity counter and wakes all parked workers.
+func (rt *runtime) wake() {
+	rt.mu.Lock()
+	rt.activity++
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// waitActivity parks the calling worker until the activity counter moves
+// past the provided generation.
+func (rt *runtime) waitActivity(gen uint64) uint64 {
+	rt.mu.Lock()
+	for rt.activity == gen {
+		rt.cond.Wait()
+	}
+	g := rt.activity
+	rt.mu.Unlock()
+	return g
+}
+
+func (rt *runtime) activityGen() uint64 {
+	rt.mu.Lock()
+	g := rt.activity
+	rt.mu.Unlock()
+	return g
+}
+
+// mailbox is one typed FIFO queue from any sender to one worker on one
+// channel. Queues are unbounded: memory is bounded by progress (operators
+// drain their inputs each schedule), not by backpressure, as in timely.
+type mailbox[D any] struct {
+	mu    sync.Mutex
+	queue []message[D]
+}
+
+// message is one timestamped bundle of data. The stamp is an antichain: the
+// minimal logical times of the contents. An empty stamp is legal and carries
+// no progress obligation (used for data-free signals such as empty batches).
+type message[D any] struct {
+	stamp []lattice.Time
+	data  []D
+}
+
+func (m *mailbox[D]) push(msg message[D]) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+}
+
+func (m *mailbox[D]) drain() []message[D] {
+	m.mu.Lock()
+	q := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	return q
+}
+
+func (m *mailbox[D]) empty() bool {
+	m.mu.Lock()
+	e := len(m.queue) == 0
+	m.mu.Unlock()
+	return e
+}
+
+// mailboxFor returns (creating if needed) the typed mailbox for a
+// (dataflow, channel, worker) triple.
+func mailboxFor[D any](rt *runtime, df, ch, worker int) *mailbox[D] {
+	key := mailboxKey{df, ch, worker}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if mb, ok := rt.mailboxes[key]; ok {
+		return mb.(*mailbox[D])
+	}
+	mb := &mailbox[D]{}
+	rt.mailboxes[key] = mb
+	return mb
+}
+
+// Execute runs program once per worker on peers workers and blocks until all
+// return. Every worker must construct the same dataflows in the same order
+// (operator identifiers are assigned by construction order). Worker indices
+// are 0..peers-1.
+func Execute(peers int, program func(w *Worker)) {
+	if peers < 1 {
+		panic("timely: need at least one worker")
+	}
+	rt := newRuntime(peers)
+	var wg sync.WaitGroup
+	wg.Add(peers)
+	for i := 0; i < peers; i++ {
+		w := &Worker{index: i, rt: rt}
+		go func() {
+			defer wg.Done()
+			program(w)
+		}()
+	}
+	wg.Wait()
+}

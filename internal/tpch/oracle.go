@@ -1,0 +1,666 @@
+package tpch
+
+// Oracle evaluates a TPC-H query naively over a generated instance,
+// mirroring the dataflow implementations exactly (same integer arithmetic,
+// same simplifications). It doubles as the "full re-evaluation" baseline in
+// the benchmarks.
+func Oracle(q int, d *Data) map[uint64]Vals {
+	switch q {
+	case 1:
+		return oracleQ1(d)
+	case 2:
+		return oracleQ2(d)
+	case 3:
+		return oracleQ3(d)
+	case 4:
+		return oracleQ4(d)
+	case 5:
+		return oracleQ5(d)
+	case 6:
+		return oracleQ6(d)
+	case 7:
+		return oracleQ7(d)
+	case 8:
+		return oracleQ8(d)
+	case 9:
+		return oracleQ9(d)
+	case 10:
+		return oracleQ10(d)
+	case 11:
+		return oracleQ11(d)
+	case 12:
+		return oracleQ12(d)
+	case 13:
+		return oracleQ13(d)
+	case 14:
+		return oracleQ14(d)
+	case 15:
+		return oracleQ15(d)
+	case 16:
+		return oracleQ16(d)
+	case 17:
+		return oracleQ17(d)
+	case 18:
+		return oracleQ18(d)
+	case 19:
+		return oracleQ19(d)
+	case 20:
+		return oracleQ20(d)
+	case 21:
+		return oracleQ21(d)
+	case 22:
+		return oracleQ22(d)
+	}
+	panic("tpch: unknown query")
+}
+
+func oDiscPrice(l LineItem) int64 { return l.ExtendedPrice * (100 - l.Discount) / 100 }
+
+func oracleQ1(d *Data) map[uint64]Vals {
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		if l.ShipDate > q1Cutoff {
+			continue
+		}
+		k := uint64(l.ReturnFlag*2 + l.LineStatus)
+		v := out[k]
+		v[0] += l.Quantity
+		v[1] += l.ExtendedPrice
+		v[2] += oDiscPrice(l)
+		v[3] += l.ExtendedPrice * (100 - l.Discount) * (100 + l.Tax) / 10000
+		v[4]++
+		out[k] = v
+	}
+	return out
+}
+
+func oracleQ2(d *Data) map[uint64]Vals {
+	partOK := map[uint64]bool{}
+	for _, p := range d.Parts {
+		if p.Size == q2Size && p.TypeCode%5 == TypeBrassC {
+			partOK[p.PartKey] = true
+		}
+	}
+	suppOK := map[uint64]bool{}
+	for _, s := range d.Suppliers {
+		if NationRegion(s.NationKey) == q2Region {
+			suppOK[s.SuppKey] = true
+		}
+	}
+	best := map[uint64][2]int64{}
+	for _, ps := range d.PartSupps {
+		if !partOK[ps.PartKey] || !suppOK[ps.SuppKey] {
+			continue
+		}
+		cand := [2]int64{ps.SupplyCost, int64(ps.SuppKey)}
+		if cur, ok := best[ps.PartKey]; !ok || lessT2(cand, cur) {
+			best[ps.PartKey] = cand
+		}
+	}
+	out := map[uint64]Vals{}
+	for pk, b := range best {
+		out[pk] = Vals{b[0], b[1], 0, 0, 0, 0}
+	}
+	return out
+}
+
+func oracleQ3(d *Data) map[uint64]Vals {
+	custOK := map[uint64]bool{}
+	for _, c := range d.Customers {
+		if c.MktSegment == q3Segment {
+			custOK[c.CustKey] = true
+		}
+	}
+	ordMeta := map[uint64][2]int64{}
+	for _, o := range d.Orders {
+		if o.OrderDate < q3Date && custOK[o.CustKey] {
+			ordMeta[o.OrderKey] = [2]int64{o.OrderDate, o.ShipPriority}
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		meta, ok := ordMeta[l.OrderKey]
+		if !ok || l.ShipDate <= q3Date {
+			continue
+		}
+		v := out[l.OrderKey]
+		v[0] += oDiscPrice(l)
+		v[1], v[2] = meta[0], meta[1]
+		out[l.OrderKey] = v
+	}
+	return out
+}
+
+func oracleQ4(d *Data) map[uint64]Vals {
+	late := map[uint64]bool{}
+	for _, l := range d.Items {
+		if l.CommitDate < l.ReceiptDate {
+			late[l.OrderKey] = true
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, o := range d.Orders {
+		if o.OrderDate >= q4Lo && o.OrderDate < q4Hi && late[o.OrderKey] {
+			v := out[uint64(o.Priority)]
+			v[0]++
+			out[uint64(o.Priority)] = v
+		}
+	}
+	return out
+}
+
+func oracleQ5(d *Data) map[uint64]Vals {
+	custNation := map[uint64]int64{}
+	for _, c := range d.Customers {
+		if NationRegion(c.NationKey) == q5Region {
+			custNation[c.CustKey] = c.NationKey
+		}
+	}
+	ordNation := map[uint64]int64{}
+	for _, o := range d.Orders {
+		if o.OrderDate >= q5Lo && o.OrderDate < q5Hi {
+			if n, ok := custNation[o.CustKey]; ok {
+				ordNation[o.OrderKey] = n
+			}
+		}
+	}
+	suppNation := map[uint64]int64{}
+	for _, s := range d.Suppliers {
+		if NationRegion(s.NationKey) == q5Region {
+			suppNation[s.SuppKey] = s.NationKey
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		cn, ok := ordNation[l.OrderKey]
+		if !ok {
+			continue
+		}
+		sn, ok := suppNation[l.SuppKey]
+		if !ok || sn != cn {
+			continue
+		}
+		v := out[uint64(sn)]
+		v[0] += oDiscPrice(l)
+		out[uint64(sn)] = v
+	}
+	return out
+}
+
+func oracleQ6(d *Data) map[uint64]Vals {
+	var rev int64
+	for _, l := range d.Items {
+		if l.ShipDate >= q6Lo && l.ShipDate < q6Hi &&
+			l.Discount >= q6DiscLo && l.Discount <= q6DiscHi && l.Quantity < q6Qty {
+			rev += l.ExtendedPrice * l.Discount / 100
+		}
+	}
+	if rev == 0 {
+		return map[uint64]Vals{}
+	}
+	return map[uint64]Vals{0: {rev, 0, 0, 0, 0, 0}}
+}
+
+func oracleQ7(d *Data) map[uint64]Vals {
+	suppN := map[uint64]int64{}
+	for _, s := range d.Suppliers {
+		if s.NationKey == q7Nation1 || s.NationKey == q7Nation2 {
+			suppN[s.SuppKey] = s.NationKey
+		}
+	}
+	custN := map[uint64]int64{}
+	for _, c := range d.Customers {
+		if c.NationKey == q7Nation1 || c.NationKey == q7Nation2 {
+			custN[c.CustKey] = c.NationKey
+		}
+	}
+	ordCust := map[uint64]uint64{}
+	for _, o := range d.Orders {
+		ordCust[o.OrderKey] = o.CustKey
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		if l.ShipDate < Year1995 || l.ShipDate >= Year1997 {
+			continue
+		}
+		sn, ok := suppN[l.SuppKey]
+		if !ok {
+			continue
+		}
+		cn, ok := custN[ordCust[l.OrderKey]]
+		if !ok {
+			continue
+		}
+		if !((sn == q7Nation1 && cn == q7Nation2) || (sn == q7Nation2 && cn == q7Nation1)) {
+			continue
+		}
+		year := int64(0)
+		if l.ShipDate >= Year1996 {
+			year = 1
+		}
+		k := uint64(sn*1000+cn*10) + uint64(year)
+		v := out[k]
+		v[0] += oDiscPrice(l)
+		out[k] = v
+	}
+	return out
+}
+
+func oracleQ8(d *Data) map[uint64]Vals {
+	partOK := map[uint64]bool{}
+	for _, p := range d.Parts {
+		if p.TypeCode == q8Type {
+			partOK[p.PartKey] = true
+		}
+	}
+	custOK := map[uint64]bool{}
+	for _, c := range d.Customers {
+		if NationRegion(c.NationKey) == q8Region {
+			custOK[c.CustKey] = true
+		}
+	}
+	ordYear := map[uint64]int64{}
+	for _, o := range d.Orders {
+		if o.OrderDate >= Year1995 && o.OrderDate < Year1997 && custOK[o.CustKey] {
+			year := int64(0)
+			if o.OrderDate >= Year1996 {
+				year = 1
+			}
+			ordYear[o.OrderKey] = year + 1 // +1 so zero means absent
+		}
+	}
+	suppN := map[uint64]int64{}
+	for _, s := range d.Suppliers {
+		suppN[s.SuppKey] = s.NationKey
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		if !partOK[l.PartKey] {
+			continue
+		}
+		y := ordYear[l.OrderKey]
+		if y == 0 {
+			continue
+		}
+		k := uint64(y - 1)
+		v := out[k]
+		rev := oDiscPrice(l)
+		if suppN[l.SuppKey] == q8Nation {
+			v[0] += rev
+		}
+		v[1] += rev
+		out[k] = v
+	}
+	return out
+}
+
+func oracleQ9(d *Data) map[uint64]Vals {
+	partOK := map[uint64]bool{}
+	for _, p := range d.Parts {
+		if p.Color == q9Color {
+			partOK[p.PartKey] = true
+		}
+	}
+	psCost := map[uint64]int64{}
+	for _, ps := range d.PartSupps {
+		psCost[packPartSupp(ps.PartKey, ps.SuppKey)] = ps.SupplyCost
+	}
+	ordYear := map[uint64]int64{}
+	for _, o := range d.Orders {
+		ordYear[o.OrderKey] = o.OrderDate / OneYearDays
+	}
+	suppN := map[uint64]int64{}
+	for _, s := range d.Suppliers {
+		suppN[s.SuppKey] = s.NationKey
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		if !partOK[l.PartKey] {
+			continue
+		}
+		cost, ok := psCost[packPartSupp(l.PartKey, l.SuppKey)]
+		if !ok {
+			continue
+		}
+		amount := oDiscPrice(l) - cost*l.Quantity/100
+		k := uint64(suppN[l.SuppKey]*10000 + ordYear[l.OrderKey])
+		v := out[k]
+		v[0] += amount
+		out[k] = v
+	}
+	return out
+}
+
+func oracleQ10(d *Data) map[uint64]Vals {
+	ordCust := map[uint64]uint64{}
+	for _, o := range d.Orders {
+		if o.OrderDate >= q10Lo && o.OrderDate < q10Hi {
+			ordCust[o.OrderKey] = o.CustKey
+		}
+	}
+	sums := map[uint64]int64{}
+	for _, l := range d.Items {
+		if l.ReturnFlag != 2 {
+			continue
+		}
+		if ck, ok := ordCust[l.OrderKey]; ok {
+			sums[ck] += oDiscPrice(l)
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, c := range d.Customers {
+		if rev, ok := sums[c.CustKey]; ok {
+			out[c.CustKey] = Vals{rev, c.NationKey, c.AcctBal, 0, 0, 0}
+		}
+	}
+	return out
+}
+
+func oracleQ11(d *Data) map[uint64]Vals {
+	suppOK := map[uint64]bool{}
+	for _, s := range d.Suppliers {
+		if s.NationKey == q11Nation {
+			suppOK[s.SuppKey] = true
+		}
+	}
+	partVal := map[uint64]int64{}
+	var total int64
+	for _, ps := range d.PartSupps {
+		if !suppOK[ps.SuppKey] {
+			continue
+		}
+		v := ps.SupplyCost * ps.AvailQty
+		partVal[ps.PartKey] += v
+		total += v
+	}
+	out := map[uint64]Vals{}
+	for pk, v := range partVal {
+		if v*q11FracInv > total {
+			out[pk] = Vals{v, 0, 0, 0, 0, 0}
+		}
+	}
+	return out
+}
+
+func oracleQ12(d *Data) map[uint64]Vals {
+	ordPri := map[uint64]int64{}
+	for _, o := range d.Orders {
+		ordPri[o.OrderKey] = o.Priority
+	}
+	out := map[uint64]Vals{}
+	for _, l := range d.Items {
+		if (l.ShipMode != q12ModeA && l.ShipMode != q12ModeB) ||
+			l.ReceiptDate < q12Lo || l.ReceiptDate >= q12Hi ||
+			l.CommitDate >= l.ReceiptDate || l.ShipDate >= l.CommitDate {
+			continue
+		}
+		v := out[uint64(l.ShipMode)]
+		if ordPri[l.OrderKey] < 2 {
+			v[0]++
+		} else {
+			v[1]++
+		}
+		out[uint64(l.ShipMode)] = v
+	}
+	return out
+}
+
+func oracleQ13(d *Data) map[uint64]Vals {
+	perCust := map[uint64]int64{}
+	for _, o := range d.Orders {
+		if !o.SpecialRequest {
+			perCust[o.CustKey]++
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, c := range d.Customers {
+		n := perCust[c.CustKey]
+		v := out[uint64(n)]
+		v[0]++
+		out[uint64(n)] = v
+	}
+	return out
+}
+
+func oracleQ14(d *Data) map[uint64]Vals {
+	partType := map[uint64]int64{}
+	for _, p := range d.Parts {
+		partType[p.PartKey] = p.TypeCode
+	}
+	var num, den int64
+	for _, l := range d.Items {
+		if l.ShipDate < q14Lo || l.ShipDate >= q14Hi {
+			continue
+		}
+		rev := oDiscPrice(l)
+		if partType[l.PartKey]/25 == TypePromoA {
+			num += rev
+		}
+		den += rev
+	}
+	if den == 0 {
+		return map[uint64]Vals{}
+	}
+	return map[uint64]Vals{0: {num, den, 0, 0, 0, 0}}
+}
+
+func oracleQ15(d *Data) map[uint64]Vals {
+	revs := map[uint64]int64{}
+	for _, l := range d.Items {
+		if l.ShipDate >= q15Lo && l.ShipDate < q15Hi {
+			revs[l.SuppKey] += oDiscPrice(l)
+		}
+	}
+	if len(revs) == 0 {
+		return map[uint64]Vals{}
+	}
+	best := [2]int64{-1 << 62, 0}
+	for sk, rev := range revs {
+		cand := [2]int64{rev, -int64(sk)}
+		if lessT2(best, cand) {
+			best = cand
+		}
+	}
+	return map[uint64]Vals{uint64(-best[1]): {best[0], 0, 0, 0, 0, 0}}
+}
+
+func oracleQ16(d *Data) map[uint64]Vals {
+	partBTS := map[uint64][3]int64{}
+	for _, p := range d.Parts {
+		if p.Brand != q16Brand && p.TypeCode/25 != q16TypeA && q16Sizes[p.Size] {
+			partBTS[p.PartKey] = [3]int64{p.Brand, p.TypeCode, p.Size}
+		}
+	}
+	complain := map[uint64]bool{}
+	for _, s := range d.Suppliers {
+		if s.Complaint {
+			complain[s.SuppKey] = true
+		}
+	}
+	pairs := map[[2]uint64]bool{}
+	for _, ps := range d.PartSupps {
+		bts, ok := partBTS[ps.PartKey]
+		if !ok || complain[ps.SuppKey] {
+			continue
+		}
+		pairs[[2]uint64{packBTS(bts[0], bts[1], bts[2]), ps.SuppKey}] = true
+	}
+	out := map[uint64]Vals{}
+	for p := range pairs {
+		v := out[p[0]]
+		v[0]++
+		out[p[0]] = v
+	}
+	return out
+}
+
+func oracleQ17(d *Data) map[uint64]Vals {
+	partOK := map[uint64]bool{}
+	for _, p := range d.Parts {
+		if p.Brand == q17Brand && p.Container == q17Contain {
+			partOK[p.PartKey] = true
+		}
+	}
+	sumQty := map[uint64]int64{}
+	cnt := map[uint64]int64{}
+	for _, l := range d.Items {
+		if partOK[l.PartKey] {
+			sumQty[l.PartKey] += l.Quantity
+			cnt[l.PartKey]++
+		}
+	}
+	var total int64
+	for _, l := range d.Items {
+		if partOK[l.PartKey] && 5*l.Quantity*cnt[l.PartKey] < sumQty[l.PartKey] {
+			total += l.ExtendedPrice
+		}
+	}
+	if total == 0 {
+		return map[uint64]Vals{}
+	}
+	return map[uint64]Vals{0: {total, 0, 0, 0, 0, 0}}
+}
+
+func oracleQ18(d *Data) map[uint64]Vals {
+	qty := map[uint64]int64{}
+	for _, l := range d.Items {
+		qty[l.OrderKey] += l.Quantity
+	}
+	out := map[uint64]Vals{}
+	for _, o := range d.Orders {
+		if q := qty[o.OrderKey]; q > q18Qty {
+			out[o.OrderKey] = Vals{int64(o.CustKey), o.OrderDate, o.TotalPrice, q, 0, 0}
+		}
+	}
+	return out
+}
+
+func oracleQ19(d *Data) map[uint64]Vals {
+	partBCS := map[uint64][3]int64{}
+	for _, p := range d.Parts {
+		partBCS[p.PartKey] = [3]int64{p.Brand, p.Container, p.Size}
+	}
+	var total int64
+	for _, l := range d.Items {
+		if l.ShipInstruct != 0 || (l.ShipMode != 2 && l.ShipMode != 5) {
+			continue
+		}
+		pv := partBCS[l.PartKey]
+		b, cont, size := pv[0], pv[1], pv[2]
+		qty := l.Quantity
+		ok := (b == q19Brand1 && cont < 10 && qty >= 1 && qty <= 11 && size >= 1 && size <= 5) ||
+			(b == q19Brand2 && cont >= 10 && cont < 20 && qty >= 10 && qty <= 20 && size >= 1 && size <= 10) ||
+			(b == q19Brand3 && cont >= 20 && cont < 30 && qty >= 20 && qty <= 30 && size >= 1 && size <= 15)
+		if ok {
+			total += oDiscPrice(l)
+		}
+	}
+	if total == 0 {
+		return map[uint64]Vals{}
+	}
+	return map[uint64]Vals{0: {total, 0, 0, 0, 0, 0}}
+}
+
+func oracleQ20(d *Data) map[uint64]Vals {
+	partOK := map[uint64]bool{}
+	for _, p := range d.Parts {
+		if p.Color == q20Color {
+			partOK[p.PartKey] = true
+		}
+	}
+	shipped := map[uint64]int64{}
+	for _, l := range d.Items {
+		if partOK[l.PartKey] && l.ShipDate >= q20Lo && l.ShipDate < q20Hi {
+			shipped[packPartSupp(l.PartKey, l.SuppKey)] += l.Quantity
+		}
+	}
+	suppOK := map[uint64]bool{}
+	for _, s := range d.Suppliers {
+		if s.NationKey == q20Nation {
+			suppOK[s.SuppKey] = true
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, ps := range d.PartSupps {
+		sh, ok := shipped[packPartSupp(ps.PartKey, ps.SuppKey)]
+		if !ok {
+			continue
+		}
+		if 2*ps.AvailQty > sh && suppOK[ps.SuppKey] {
+			out[ps.SuppKey] = Vals{1, 0, 0, 0, 0, 0}
+		}
+	}
+	return out
+}
+
+func oracleQ21(d *Data) map[uint64]Vals {
+	suppsOf := map[uint64]map[uint64]bool{}
+	lateOf := map[uint64]map[uint64]bool{}
+	for _, l := range d.Items {
+		m := suppsOf[l.OrderKey]
+		if m == nil {
+			m = map[uint64]bool{}
+			suppsOf[l.OrderKey] = m
+		}
+		m[l.SuppKey] = true
+		if l.ReceiptDate > l.CommitDate {
+			lm := lateOf[l.OrderKey]
+			if lm == nil {
+				lm = map[uint64]bool{}
+				lateOf[l.OrderKey] = lm
+			}
+			lm[l.SuppKey] = true
+		}
+	}
+	suppOK := map[uint64]bool{}
+	for _, s := range d.Suppliers {
+		if s.NationKey == q21Nation {
+			suppOK[s.SuppKey] = true
+		}
+	}
+	out := map[uint64]Vals{}
+	for _, o := range d.Orders {
+		if o.Status != 0 {
+			continue
+		}
+		late := lateOf[o.OrderKey]
+		if len(late) != 1 || len(suppsOf[o.OrderKey]) < 2 {
+			continue
+		}
+		for sk := range late {
+			if suppOK[sk] {
+				v := out[sk]
+				v[0]++
+				out[sk] = v
+			}
+		}
+	}
+	return out
+}
+
+func oracleQ22(d *Data) map[uint64]Vals {
+	var sum, cnt int64
+	for _, c := range d.Customers {
+		if q22Codes[c.Phone] && c.AcctBal > q22BalMin {
+			sum += c.AcctBal
+			cnt++
+		}
+	}
+	withOrders := map[uint64]bool{}
+	for _, o := range d.Orders {
+		withOrders[o.CustKey] = true
+	}
+	out := map[uint64]Vals{}
+	for _, c := range d.Customers {
+		if !q22Codes[c.Phone] || withOrders[c.CustKey] {
+			continue
+		}
+		if cnt > 0 && c.AcctBal*cnt > sum {
+			v := out[uint64(c.Phone)]
+			v[0]++
+			v[1] += c.AcctBal
+			out[uint64(c.Phone)] = v
+		}
+	}
+	return out
+}
