@@ -11,10 +11,13 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graphs"
 	"repro/internal/graspan"
+	"repro/internal/interactive"
 	"repro/internal/tpch"
 )
 
@@ -124,6 +127,68 @@ func BenchmarkFig5c(b *testing.B) {
 				r := experiments.InteractiveRun(workersFor(4), 10000, 32000, 200, 20, shared)
 				b.ReportMetric(r.HeapEndMB, "heap-MB")
 			}
+		})
+	}
+}
+
+// BenchmarkFig5Install: install-to-first-complete-result latency of a query
+// newly installed against a live, long-churned edges arrangement — the
+// paper's headline interactive claim (§6.2, Fig 5). "shared" attaches via a
+// compacted snapshot import of the running arrangement (cost proportional
+// to the live collection); "not-shared" rebuilds a private arrangement by
+// replaying the raw edge-update log, as a system without shared
+// arrangements must (cost proportional to the history).
+func BenchmarkFig5Install(b *testing.B) {
+	const (
+		nodes    = uint64(10000)
+		initial  = uint64(32000)
+		rounds   = 10
+		perRound = 3200
+	)
+	for _, shared := range []bool{true, false} {
+		name := "not-shared"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			live, err := interactive.StartLive(workersFor(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer live.Close()
+			var history []core.Update[uint64, uint64]
+			for _, e := range graphs.Random(nodes, initial, 5) {
+				history = append(history, core.Update[uint64, uint64]{Key: e.Src, Val: e.Dst, Diff: 1})
+			}
+			live.UpdateEdges(history)
+			live.Advance()
+			// Churn: balanced insert/remove pairs keep the live collection at
+			// its initial size while the log grows several-fold.
+			for r := 0; r < rounds; r++ {
+				upds := make([]core.Update[uint64, uint64], 0, 2*perRound)
+				for i := 0; i < perRound; i++ {
+					src, dst := uint64((r*977+i*313)%int(nodes)), uint64((r*13+i*7)%int(nodes))
+					upds = append(upds,
+						core.Update[uint64, uint64]{Key: src, Val: dst, Diff: 1},
+						core.Update[uint64, uint64]{Key: src, Val: dst, Diff: -1})
+				}
+				history = append(history, upds...)
+				live.UpdateEdges(upds)
+				live.Advance()
+			}
+			live.Sync()
+			b.ResetTimer()
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				q, err := live.InstallOneHop(fmt.Sprintf("bench-%s-%d", name, i),
+					[]uint64{uint64(i) % nodes}, shared, history)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += q.InstallLatency
+				q.Close()
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "install-ns")
 		})
 	}
 }

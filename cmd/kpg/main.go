@@ -8,6 +8,11 @@
 // fig6b fig6c fig6d fig6e fig6f table2 table3 table4 table5 table6 table7
 // table10 table11 all. Sizes are laptop-scale; shapes (who wins, scaling
 // slopes) are the reproduction target, not absolute numbers.
+//
+// kpg serve (with -nodes, -edges, -churn, -rounds) runs the live
+// query-installation server: queries arrive at a running, churning edges
+// arrangement and report install-to-first-result latencies for the shared
+// versus rebuilt configurations.
 package main
 
 import (
@@ -32,7 +37,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, all)")
+		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, serve, all)")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -44,6 +49,7 @@ func main() {
 		"table2": table2, "table3": table3, "table4": table4,
 		"table5": table5, "table6": table6, "table7": table7,
 		"table10": table10, "table11": table11,
+		"serve": serve,
 	}
 	if name == "all" {
 		for _, n := range []string{"fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/harness"
+	"repro/internal/interactive"
+)
+
+var (
+	serveNodes  = flag.Uint64("nodes", 20000, "serve: graph node count")
+	serveEdges  = flag.Uint64("edges", 64000, "serve: initial edge count")
+	serveChurn  = flag.Int("churn", 4000, "serve: edge updates per round")
+	serveRounds = flag.Int("rounds", 25, "serve: churn rounds between installs")
+)
+
+// serve demonstrates live query installation (§6.2, Fig 5): it starts a
+// server hosting a continuously churned edges arrangement, then installs
+// each interactive query class against it — first attached to the shared
+// arrangement via a compacted snapshot import, then rebuilding a private
+// arrangement by replaying the raw edge-update log (what a system without
+// shared arrangements pays) — and reports the install-to-first-complete-
+// result latency of both configurations.
+func serve() {
+	w := clampWorkers(4)
+	live, err := interactive.StartLive(w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer live.Close()
+
+	fmt.Printf("serving on %d workers: loading %d nodes / %d edges\n", w, *serveNodes, *serveEdges)
+	liveEdges := graphs.Random(*serveNodes, *serveEdges, 5)
+	var history []core.Update[uint64, uint64] // the full edge-update log
+	initial := make([]core.Update[uint64, uint64], len(liveEdges))
+	for i, e := range liveEdges {
+		initial[i] = core.Update[uint64, uint64]{Key: e.Src, Val: e.Dst, Diff: 1}
+	}
+	history = append(history, initial...)
+	start := time.Now()
+	live.UpdateEdges(initial)
+	live.Advance()
+	live.Sync()
+	fmt.Printf("arrangement ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	churn := func() {
+		for round := 0; round < *serveRounds; round++ {
+			upds := make([]core.Update[uint64, uint64], 0, *serveChurn)
+			for i := 0; i < *serveChurn/2; i++ {
+				src := uint64((round*7919 + i*104729) % int(*serveNodes))
+				dst := uint64((round*31 + i*13) % int(*serveNodes))
+				upds = append(upds, core.Update[uint64, uint64]{Key: src, Val: dst, Diff: 1})
+				liveEdges = append(liveEdges, graphs.Edge{Src: src, Dst: dst})
+				vi := (round*17 + i*29) % len(liveEdges)
+				victim := liveEdges[vi]
+				upds = append(upds, core.Update[uint64, uint64]{Key: victim.Src, Val: victim.Dst, Diff: -1})
+				liveEdges[vi] = liveEdges[len(liveEdges)-1]
+				liveEdges = liveEdges[:len(liveEdges)-1]
+			}
+			history = append(history, upds...)
+			live.UpdateEdges(upds)
+			live.Advance()
+		}
+		live.Sync()
+	}
+
+	type installer func(name string, shared bool) (time.Duration, func(), error)
+	key := []uint64{uint64(*serveNodes / 3)}
+	classes := []struct {
+		name string
+		inst installer
+	}{
+		{"look-up", func(name string, shared bool) (time.Duration, func(), error) {
+			q, err := live.InstallLookup(name, key, shared, history)
+			if err != nil {
+				return 0, nil, err
+			}
+			return q.InstallLatency, q.Close, nil
+		}},
+		{"one-hop", func(name string, shared bool) (time.Duration, func(), error) {
+			q, err := live.InstallOneHop(name, key, shared, history)
+			if err != nil {
+				return 0, nil, err
+			}
+			return q.InstallLatency, q.Close, nil
+		}},
+		{"two-hop", func(name string, shared bool) (time.Duration, func(), error) {
+			q, err := live.InstallTwoHop(name, key, shared, history)
+			if err != nil {
+				return 0, nil, err
+			}
+			return q.InstallLatency, q.Close, nil
+		}},
+		{"four-path", func(name string, shared bool) (time.Duration, func(), error) {
+			q, err := live.InstallPath(name, [][2]uint64{{key[0], key[0] + 1}}, shared, history)
+			if err != nil {
+				return 0, nil, err
+			}
+			return q.InstallLatency, q.Close, nil
+		}},
+	}
+
+	t := &harness.Table{Header: []string{"query class", "shared install", "rebuilt install"}}
+	for _, cl := range classes {
+		churn() // keep updates streaming between arrivals
+		lat := map[bool]time.Duration{}
+		for _, shared := range []bool{true, false} {
+			name := fmt.Sprintf("%s-%v", cl.name, shared)
+			d, closeQ, err := cl.inst(name, shared)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: install %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			lat[shared] = d
+			closeQ()
+		}
+		t.Add(cl.name, lat[true].Round(time.Microsecond), lat[false].Round(time.Microsecond))
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nqueries attached to the running arrangement; uninstalled cleanly; server shutting down")
+}

@@ -16,11 +16,17 @@
 //   - internal/dd — differential dataflow operators (map, filter, concat,
 //     join, reduce/count/distinct, iterate with mutually recursive
 //     Variables) built as thin shells over arrangements.
+//   - internal/server — live query installation: a registry of named,
+//     continuously maintained arrangements and install/uninstall of query
+//     dataflows against them while updates stream (the paper's §6.2
+//     interactive scenario made operational).
 //   - workload substrates (internal/tpch, graphs, datalog, graspan,
-//     interactive) and the experiment drivers (internal/experiments)
-//     regenerating every table and figure of the paper's evaluation.
+//     interactive with its live installation wiring) and the experiment
+//     drivers (internal/experiments) regenerating every table and figure of
+//     the paper's evaluation.
 //
-// See the examples/ directory for runnable programs, cmd/kpg for the
-// experiment CLI, DESIGN.md for the system inventory, and EXPERIMENTS.md for
-// measured results.
+// See the examples/ directory for runnable programs (examples/live-queries
+// demonstrates queries attaching to a running arrangement), cmd/kpg for the
+// experiment CLI and the serve subcommand, and DESIGN.md for the system
+// inventory and testing strategy.
 package kpg

@@ -86,6 +86,12 @@ type Arranged[K, V any] struct {
 	// must be interpreted with Shift trailing zero coordinates appended.
 	// Indices and batches remain shared across the scope boundary (§5.4).
 	Shift int
+	// Cancel, set on imported arrangements, tears the import down: the
+	// source drops its capabilities, detaches its subscription, and emits
+	// nothing further. It must run on the owning worker's goroutine (post it
+	// as a worker action); the teardown takes effect at the source's next
+	// schedule. Nil for arrangements that are not imports.
+	Cancel func()
 }
 
 // ShiftTime appends n zero loop coordinates to t (Enter applied n times).
@@ -309,28 +315,124 @@ func contains(f lattice.Frontier, t lattice.Time) bool {
 	return false
 }
 
+// ImportOptions tunes a cross-dataflow trace import.
+type ImportOptions struct {
+	// Snapshot replays the trace's history as a single consolidated batch
+	// advanced to the trace's compaction frontier, instead of re-emitting
+	// every raw historical batch. This is the late-subscriber fast path
+	// (§6.2, Fig 5): a query installed against a long-running arrangement
+	// receives state proportional to the live collection, not to the full
+	// update history. Snapshot imports carry no user trace handle (Trace is
+	// nil); shells such as JoinCore acquire their own handles from the agent.
+	Snapshot bool
+}
+
 // Import mirrors an existing trace into a new dataflow on the same worker
 // (§4.3): the source first emits the consolidated historical batches, then
 // every newly minted batch, with its capability tracking the trace's upper
 // frontier. The returned arrangement shares the original trace.
 func Import[K, V any](g *timely.Graph, agent *TraceAgent[K, V], name string) *Arranged[K, V] {
+	return ImportOpts(g, agent, name, ImportOptions{})
+}
+
+// SnapshotBatch consolidates the trace's visible batches into one batch
+// covering [min, upper) with every time advanced to the compaction frontier.
+// Updates that cancel below that frontier disappear entirely, so the result
+// is proportional to the live collection. Worker-local, like all trace
+// access.
+//
+// The compaction frontier is the meet of all live readers' logical
+// frontiers, joined with every visible batch's own Since: stored times are
+// only exact at or beyond the frontier they were already compacted to, so
+// the snapshot may (and, for self-consistency of its bounds, must) advance
+// at least that far — even when a freshly created reader handle still sits
+// at the minimum.
+func (a *TraceAgent[K, V]) SnapshotBatch() *Batch[K, V] {
+	if a.spine == nil {
+		panic("core: cannot snapshot a released trace")
+	}
+	visible := a.spine.visible()
+	since := a.spine.logicalFrontier()
+	if since.Empty() {
+		since = lattice.MinFrontier(a.depth)
+	}
+	for _, b := range visible {
+		since = lattice.JoinFrontiers(since, b.Since)
+	}
+	if since.Empty() {
+		since = lattice.MinFrontier(a.depth)
+	}
+	var upds []Update[K, V]
+	for _, b := range visible {
+		b.ForEach(func(k K, v V, t lattice.Time, d Diff) {
+			if rep, ok := lattice.Compact(t, since); ok {
+				upds = append(upds, Update[K, V]{Key: k, Val: v, Time: rep, Diff: d})
+			}
+		})
+	}
+	return BuildBatch(a.Fn, upds, lattice.MinFrontier(a.depth), a.upper.Clone(), since.Clone())
+}
+
+// ImportOpts is Import with explicit options. The returned arrangement's
+// Cancel tears the import down on its owning worker (run it via a posted
+// worker action): capabilities drop, the subscription detaches, and the
+// source emits nothing further — the mechanism behind live query uninstall.
+func ImportOpts[K, V any](g *timely.Graph, agent *TraceAgent[K, V], name string,
+	opt ImportOptions) *Arranged[K, V] {
+
 	if agent.spine == nil {
 		panic("core: cannot import a released trace")
 	}
 	sub := &importSub[K, V]{}
 	agent.subs = append(agent.subs, sub)
-	handle := agent.NewHandle()
+	var handle *Handle[K, V]
+	if !opt.Snapshot {
+		handle = agent.NewHandle()
+	}
 
-	// Snapshot the historical batches now: batches minted after this point
-	// arrive through the subscription.
-	history := agent.spine.visible()
+	// Snapshot the history now: batches minted after this point arrive
+	// through the subscription, so the replay-then-live sequence has no gap
+	// and no overlap. (Import runs on the worker goroutine that also
+	// schedules the arrange operator, so this cut is consistent.)
+	var history []*Batch[K, V]
+	if opt.Snapshot {
+		history = []*Batch[K, V]{agent.SnapshotBatch()}
+	} else {
+		history = agent.spine.visible()
+	}
 
 	emitted := false
+	cancelled := false
+	detached := false
 	var capSet lattice.Frontier
 	capSet.Insert(lattice.Ts(0))
 
+	detach := func(ctx *timely.Ctx) {
+		for _, t := range capSet.Elements() {
+			ctx.Drop(0, t)
+		}
+		capSet = lattice.Frontier{}
+		for i, s := range agent.subs {
+			if s == sub {
+				agent.subs = append(agent.subs[:i], agent.subs[i+1:]...)
+				break
+			}
+		}
+		sub.queue = nil
+		if handle != nil && !handle.Dropped() {
+			handle.Drop()
+		}
+		detached = true
+	}
+
 	stream := timely.Source[*Batch[K, V]](g, name, 1, lattice.Ts(0),
 		func(ctx *timely.Ctx, out *timely.Out[*Batch[K, V]]) {
+			if cancelled {
+				if !detached {
+					detach(ctx)
+				}
+				return
+			}
 			if !emitted {
 				for _, b := range history {
 					out.SendSlice(b.MinTimes(), []*Batch[K, V]{b})
@@ -357,5 +459,7 @@ func Import[K, V any](g *timely.Graph, agent *TraceAgent[K, V], name string) *Ar
 				capSet = upper.Clone()
 			}
 		})
-	return &Arranged[K, V]{Stream: stream, Agent: agent, Trace: handle}
+	out := &Arranged[K, V]{Stream: stream, Agent: agent, Trace: handle}
+	out.Cancel = func() { cancelled = true }
+	return out
 }

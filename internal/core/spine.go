@@ -329,7 +329,16 @@ func (s *Spine[K, V]) UpdateCount() int {
 
 // NewHandle creates a read handle whose logical frontier starts at the
 // minimum time (full history) and whose physical frontier is unconstrained.
+// Dropped handles are pruned here, so the reader list stays proportional to
+// live readers across install/uninstall cycles of importing dataflows.
 func (s *Spine[K, V]) NewHandle() *Handle[K, V] {
+	live := s.handles[:0]
+	for _, h := range s.handles {
+		if !h.dropped {
+			live = append(live, h)
+		}
+	}
+	s.handles = live
 	h := &Handle[K, V]{spine: s, logical: lattice.MinFrontier(s.depth)}
 	s.handles = append(s.handles, h)
 	return h

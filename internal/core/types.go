@@ -35,6 +35,18 @@ type Update[K, V any] struct {
 // simplified batch variant for data that is just keys).
 type Unit = struct{}
 
+// StampAt returns a copy of upds with every time set to t. Senders hand
+// slices to the runtime and must not retain or mutate them afterwards;
+// stamping into a copy keeps the caller's slice untouched.
+func StampAt[K, V any](upds []Update[K, V], t lattice.Time) []Update[K, V] {
+	stamped := make([]Update[K, V], len(upds))
+	for i, u := range upds {
+		u.Time = t
+		stamped[i] = u
+	}
+	return stamped
+}
+
 // Funcs bundles the ordering and hashing capabilities a key/value pair needs
 // to be arranged: Go has no Ord/Hash traits, so these are explicit. LessK
 // and LessV must be strict weak orders; HashK drives worker routing and must

@@ -207,3 +207,54 @@ func (cp *Captured[K, V]) Updates() []core.Update[K, V] {
 	defer cp.mu.Unlock()
 	return append([]core.Update[K, V](nil), cp.upds...)
 }
+
+// Record is a typed (key, value) pair, the map key of a View's snapshot.
+type Record[K comparable, V comparable] struct {
+	Key K
+	Val V
+}
+
+// View maintains the net collection of a stream: updates fold into a
+// mutex-guarded accumulator as they arrive (zero entries removed), so
+// memory stays proportional to the live result set rather than the update
+// history — unlike Captured, which logs every update. The fold ignores
+// times: a snapshot reflects everything delivered so far, which at a
+// quiescent point (after waiting on the collection's probe) is the net
+// collection. The accumulator is shared across workers.
+type View[K comparable, V comparable] struct {
+	mu  sync.Mutex
+	acc map[Record[K, V]]core.Diff
+}
+
+// Watch attaches a consolidating sink feeding the view. Call on every
+// worker with a view created outside the dataflow build.
+func Watch[K comparable, V comparable](c Collection[K, V], into *View[K, V]) {
+	timely.Sink(c.S, "Watch", nil,
+		func(ctx *timely.Ctx, in *timely.In[core.Update[K, V]]) {
+			in.ForEach(func(stamp []lattice.Time, data []core.Update[K, V]) {
+				into.mu.Lock()
+				if into.acc == nil {
+					into.acc = make(map[Record[K, V]]core.Diff)
+				}
+				for _, u := range data {
+					key := Record[K, V]{u.Key, u.Val}
+					into.acc[key] += u.Diff
+					if into.acc[key] == 0 {
+						delete(into.acc, key)
+					}
+				}
+				into.mu.Unlock()
+			})
+		})
+}
+
+// Snapshot returns a copy of the current net collection.
+func (v *View[K, V]) Snapshot() map[Record[K, V]]core.Diff {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[Record[K, V]]core.Diff, len(v.acc))
+	for k, d := range v.acc {
+		out[k] = d
+	}
+	return out
+}

@@ -5,6 +5,11 @@
 // are independent input collections that may be interactively modified, and
 // the graph arrangement is either shared across all four query dataflows or
 // rebuilt per query (Fig 5b/5c's shared vs not-shared configurations).
+//
+// Each query class is a standalone builder over an edges arrangement, so the
+// same dataflow can be constructed at startup (BuildSystem) or installed
+// live against a running server's shared arrangement (live.go), where shared
+// versus rebuilt becomes an install-time choice.
 package interactive
 
 import (
@@ -26,6 +31,89 @@ func fnPairU64() core.Funcs[[2]uint64, uint64] {
 	}
 }
 
+func fnU64I64() core.Funcs[uint64, int64] {
+	return core.Funcs[uint64, int64]{
+		LessK: func(a, b uint64) bool { return a < b },
+		LessV: func(a, b int64) bool { return a < b },
+		HashK: core.Mix64,
+	}
+}
+
+// Lookup builds the point look-up class over an edges arrangement: the
+// out-degree of each queried vertex.
+func Lookup(aE *core.Arranged[uint64, uint64],
+	qc dd.Collection[uint64, core.Unit]) dd.Collection[uint64, int64] {
+	degrees := dd.CountCore(aE)
+	return dd.SemiJoin(degrees, fnU64I64(), qc, core.U64Key())
+}
+
+// OneHop builds the 1-hop neighbourhood class: (query, neighbour) pairs.
+func OneHop(aE *core.Arranged[uint64, uint64],
+	qc dd.Collection[uint64, core.Unit]) dd.Collection[uint64, uint64] {
+	aQ := dd.DistinctCore(dd.Arrange(qc, core.U64Key(), "q1"))
+	return dd.JoinCore(aE, aQ, "1hop",
+		func(q, nbr uint64, _ core.Unit) (uint64, uint64) { return q, nbr })
+}
+
+// TwoHop builds the 2-hop neighbourhood class: (query, 2-hop neighbour)
+// pairs, reusing the same edges arrangement for both hops.
+func TwoHop(aE *core.Arranged[uint64, uint64],
+	qc dd.Collection[uint64, core.Unit]) dd.Collection[uint64, uint64] {
+	aQ := dd.DistinctCore(dd.Arrange(qc, core.U64Key(), "q2"))
+	hop1 := dd.JoinCore(aE, aQ, "2hop-a",
+		func(q, nbr uint64, _ core.Unit) (uint64, uint64) { return nbr, q })
+	aH1 := dd.Arrange(hop1, core.U64(), "2hop-mid")
+	return dd.JoinCore(aE, aH1, "2hop-b",
+		func(mid, nbr2, q uint64) (uint64, uint64) { return q, nbr2 })
+}
+
+// ShortestPath builds the 4-hop shortest-path class over (src, dst) query
+// pairs: ((src, dst), shortest length ≤ 4).
+func ShortestPath(aE *core.Arranged[uint64, uint64],
+	pc dd.Collection[uint64, uint64]) dd.Collection[[2]uint64, uint64] {
+	srcs := dd.Distinct(dd.Map(pc, func(src, dst uint64) (uint64, uint64) { return src, src }),
+		core.U64())
+	level := srcs // (node, origin), distance 0
+	aPd := dd.Arrange(dd.Map(pc, func(src, dst uint64) (uint64, uint64) { return dst, src }),
+		core.U64(), "pairs-by-dst")
+	var hits dd.Collection[[2]uint64, uint64]
+	first := true
+	for k := uint64(1); k <= 4; k++ {
+		aL := dd.DistinctCore(dd.Arrange(level, core.U64(), "level"))
+		next := dd.JoinCore(aE, aL, "expand",
+			func(n, nbr, origin uint64) (uint64, uint64) { return nbr, origin })
+		next = dd.Distinct(next, core.U64())
+		aN := dd.Arrange(next, core.U64(), "level-arranged")
+		kk := k
+		hit := dd.Filter(
+			dd.JoinCore(aPd, aN, "hit",
+				func(node, srcFromPair, origin uint64) ([2]uint64, uint64) {
+					if srcFromPair == origin {
+						return [2]uint64{origin, node}, kk
+					}
+					return [2]uint64{^uint64(0), ^uint64(0)}, kk
+				}),
+			func(key [2]uint64, _ uint64) bool { return key[0] != ^uint64(0) })
+		if first {
+			hits = hit
+			first = false
+		} else {
+			hits = dd.Concat(hits, hit)
+		}
+		level = next
+	}
+	return dd.Reduce(hits, fnPairU64(), fnPairU64(), "min-path",
+		func(k [2]uint64, in []dd.ValDiff[uint64], out *[]dd.ValDiff[uint64]) {
+			min := in[0].Val
+			for _, e := range in {
+				if e.Val < min {
+					min = e.Val
+				}
+			}
+			*out = append(*out, dd.ValDiff[uint64]{Val: min, Diff: 1})
+		})
+}
+
 // System is one worker's handles into the interactive query dataflow.
 type System struct {
 	Edges   *dd.InputCollection[uint64, uint64]
@@ -34,10 +122,10 @@ type System struct {
 	Q2Hop   *dd.InputCollection[uint64, core.Unit]
 	QPath   *dd.InputCollection[uint64, uint64] // (src, dst) pairs
 
-	Lookup dd.Collection[uint64, int64]      // (vertex, out-degree)
-	OneHop dd.Collection[uint64, uint64]     // (query, neighbour)
-	TwoHop dd.Collection[uint64, uint64]     // (query, 2-hop neighbour)
-	Path   dd.Collection[[2]uint64, uint64]  // ((src, dst), shortest length ≤ 4)
+	Lookup dd.Collection[uint64, int64]     // (vertex, out-degree)
+	OneHop dd.Collection[uint64, uint64]    // (query, neighbour)
+	TwoHop dd.Collection[uint64, uint64]    // (query, 2-hop neighbour)
+	Path   dd.Collection[[2]uint64, uint64] // ((src, dst), shortest length ≤ 4)
 
 	ProbeLookup *timely.Probe
 	Probe1      *timely.Probe
@@ -89,73 +177,16 @@ func BuildSystem(g *timely.Graph, shared bool) *System {
 			arrange("edges-2hop"), arrange("edges-path")
 	}
 
-	// Point look-up: out-degree of the queried vertex.
-	degrees := dd.CountCore(aE1)
-	s.Lookup = dd.SemiJoin(degrees,
-		core.Funcs[uint64, int64]{
-			LessK: func(a, b uint64) bool { return a < b },
-			LessV: func(a, b int64) bool { return a < b },
-			HashK: core.Mix64,
-		}, qlc, core.U64Key())
+	s.Lookup = Lookup(aE1, qlc)
 	s.ProbeLookup = dd.Probe(s.Lookup)
 
-	// 1-hop: neighbours of queried vertices.
-	aQ1 := dd.DistinctCore(dd.Arrange(q1c, core.U64Key(), "q1"))
-	s.OneHop = dd.JoinCore(aE2, aQ1, "1hop",
-		func(q, nbr uint64, _ core.Unit) (uint64, uint64) { return q, nbr })
+	s.OneHop = OneHop(aE2, q1c)
 	s.Probe1 = dd.Probe(s.OneHop)
 
-	// 2-hop: neighbours of neighbours.
-	aQ2 := dd.DistinctCore(dd.Arrange(q2c, core.U64Key(), "q2"))
-	hop1 := dd.JoinCore(aE3, aQ2, "2hop-a",
-		func(q, nbr uint64, _ core.Unit) (uint64, uint64) { return nbr, q })
-	aH1 := dd.Arrange(hop1, core.U64(), "2hop-mid")
-	s.TwoHop = dd.JoinCore(aE3, aH1, "2hop-b",
-		func(mid, nbr2, q uint64) (uint64, uint64) { return q, nbr2 })
+	s.TwoHop = TwoHop(aE3, q2c)
 	s.Probe2 = dd.Probe(s.TwoHop)
 
-	// 4-hop shortest path: minimum k ≤ 4 with dst reachable in k hops.
-	srcs := dd.Distinct(dd.Map(pc, func(src, dst uint64) (uint64, uint64) { return src, src }),
-		core.U64())
-	level := srcs // (node, origin), distance 0
-	aPd := dd.Arrange(dd.Map(pc, func(src, dst uint64) (uint64, uint64) { return dst, src }),
-		core.U64(), "pairs-by-dst")
-	var hits dd.Collection[[2]uint64, uint64]
-	first := true
-	for k := uint64(1); k <= 4; k++ {
-		aL := dd.DistinctCore(dd.Arrange(level, core.U64(), "level"))
-		next := dd.JoinCore(aE4, aL, "expand",
-			func(n, nbr, origin uint64) (uint64, uint64) { return nbr, origin })
-		next = dd.Distinct(next, core.U64())
-		aN := dd.Arrange(next, core.U64(), "level-arranged")
-		kk := k
-		hit := dd.Filter(
-			dd.JoinCore(aPd, aN, "hit",
-				func(node, srcFromPair, origin uint64) ([2]uint64, uint64) {
-					if srcFromPair == origin {
-						return [2]uint64{origin, node}, kk
-					}
-					return [2]uint64{^uint64(0), ^uint64(0)}, kk
-				}),
-			func(key [2]uint64, _ uint64) bool { return key[0] != ^uint64(0) })
-		if first {
-			hits = hit
-			first = false
-		} else {
-			hits = dd.Concat(hits, hit)
-		}
-		level = next
-	}
-	s.Path = dd.Reduce(hits, fnPairU64(), fnPairU64(), "min-path",
-		func(k [2]uint64, in []dd.ValDiff[uint64], out *[]dd.ValDiff[uint64]) {
-			min := in[0].Val
-			for _, e := range in {
-				if e.Val < min {
-					min = e.Val
-				}
-			}
-			*out = append(*out, dd.ValDiff[uint64]{Val: min, Diff: 1})
-		})
+	s.Path = ShortestPath(aE4, pc)
 	s.ProbePath = dd.Probe(s.Path)
 	return s
 }

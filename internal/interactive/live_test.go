@@ -1,0 +1,174 @@
+package interactive
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// liveWorkload is a deterministic two-phase edge history.
+func liveWorkload() (phase0, phase1 []core.Update[uint64, uint64]) {
+	for _, e := range graphs.Random(80, 400, 11) {
+		phase0 = append(phase0, core.Update[uint64, uint64]{Key: e.Src, Val: e.Dst, Diff: 1})
+	}
+	// Churn: remove a slice of phase 0, add fresh edges.
+	for i := 0; i < 60; i++ {
+		phase1 = append(phase1, core.Update[uint64, uint64]{
+			Key: phase0[i*3].Key, Val: phase0[i*3].Val, Diff: -1})
+	}
+	for _, e := range graphs.Random(80, 150, 23) {
+		phase1 = append(phase1, core.Update[uint64, uint64]{Key: e.Src, Val: e.Dst, Diff: 1})
+	}
+	return
+}
+
+var (
+	lookupKeys = []uint64{1, 7, 13, 42}
+	hopKeys    = []uint64{2, 9, 33}
+	twoHopKeys = []uint64{4, 21}
+	pathPairs  = [][2]uint64{{3, 55}, {10, 70}}
+)
+
+const farFuture = uint64(1) << 41
+
+// startupResults runs all four classes built at startup over the two-phase
+// history and returns each class's net result collection.
+func startupResults(workers int, phase0, phase1 []core.Update[uint64, uint64]) (
+	lookup, onehop, twohop map[[2]any]core.Diff, path map[[2]any]core.Diff) {
+
+	capL := &dd.Captured[uint64, int64]{}
+	cap1 := &dd.Captured[uint64, uint64]{}
+	cap2 := &dd.Captured[uint64, uint64]{}
+	capP := &dd.Captured[[2]uint64, uint64]{}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var sys *System
+		w.Dataflow(func(g *timely.Graph) {
+			sys = BuildSystem(g, true)
+			dd.Capture(sys.Lookup, capL)
+			dd.Capture(sys.OneHop, cap1)
+			dd.Capture(sys.TwoHop, cap2)
+			dd.Capture(sys.Path, capP)
+		})
+		if w.Index() == 0 {
+			sys.Edges.SendSlice(core.StampAt(phase0, lattice.Ts(0)))
+			for _, k := range lookupKeys {
+				sys.QLookup.Insert(k, core.Unit{})
+			}
+			for _, k := range hopKeys {
+				sys.Q1Hop.Insert(k, core.Unit{})
+			}
+			for _, k := range twoHopKeys {
+				sys.Q2Hop.Insert(k, core.Unit{})
+			}
+			for _, p := range pathPairs {
+				sys.QPath.Insert(p[0], p[1])
+			}
+			sys.AdvanceAll(1)
+			at0 := lattice.Ts(0)
+			w.StepUntil(func() bool { return sys.ProbePath.Done(at0) && sys.ProbeLookup.Done(at0) })
+			sys.Edges.SendSlice(core.StampAt(phase1, lattice.Ts(1)))
+		}
+		sys.CloseAll()
+		w.Drain()
+	})
+	final := lattice.Ts(farFuture)
+	return capL.At(final), cap1.At(final), cap2.At(final), capP.At(final)
+}
+
+// asAny converts a typed view snapshot to Captured.At's key shape.
+func asAny[K comparable, V comparable](m map[dd.Record[K, V]]core.Diff) map[[2]any]core.Diff {
+	out := make(map[[2]any]core.Diff, len(m))
+	for k, d := range m {
+		out[[2]any{k.Key, k.Val}] = d
+	}
+	return out
+}
+
+func requireEqual(t *testing.T, class string, got, want map[[2]any]core.Diff) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: live install has %d records, startup has %d", class, len(got), len(want))
+	}
+	for k, d := range want {
+		if got[k] != d {
+			t.Fatalf("%s: record %v = %d live, %d at startup", class, k, got[k], d)
+		}
+	}
+}
+
+// TestLiveClassesMatchStartup installs all four interactive query classes
+// against a live, pre-populated shared arrangement — plus one class in the
+// rebuilt (not-shared) configuration — streams churn, and checks every
+// result collection against the identical queries built at startup.
+func TestLiveClassesMatchStartup(t *testing.T) {
+	phase0, phase1 := liveWorkload()
+	const workers = 2
+	wantL, want1, want2, wantP := startupResults(workers, phase0, phase1)
+	if len(want1) == 0 || len(wantP) == 0 {
+		t.Fatal("bad workload: startup results empty")
+	}
+
+	live, err := StartLive(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	live.UpdateEdges(phase0)
+	live.Advance()
+	live.Sync()
+
+	qL, err := live.InstallLookup("lookup", lookupKeys, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := live.InstallOneHop("onehop", hopKeys, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := live.InstallTwoHop("twohop", twoHopKeys, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qP, err := live.InstallPath("path", pathPairs, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt configuration: a private arrangement replayed from the
+	// current edge multiset, which must then follow the same churn.
+	q1r, err := live.InstallOneHop("onehop-rebuilt", hopKeys, false, phase0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live.UpdateEdges(phase1)
+	sealed := live.Advance()
+	for _, wait := range []func(uint64) bool{qL.WaitDone, q1.WaitDone, q2.WaitDone, qP.WaitDone, q1r.WaitDone} {
+		if !wait(sealed) {
+			t.Fatal("server stopped before results were complete")
+		}
+	}
+
+	requireEqual(t, "lookup", asAny(qL.Results.Snapshot()), wantL)
+	requireEqual(t, "one-hop", asAny(q1.Results.Snapshot()), want1)
+	requireEqual(t, "two-hop", asAny(q2.Results.Snapshot()), want2)
+	requireEqual(t, "four-path", asAny(qP.Results.Snapshot()), wantP)
+	requireEqual(t, "one-hop rebuilt", asAny(q1r.Results.Snapshot()), want1)
+
+	// Orderly teardown while the arrangement stays live, then one more churn
+	// round against the survivors.
+	q2.Close()
+	q1r.Close()
+	live.InsertEdge(hopKeys[0], 77)
+	sealed = live.Advance()
+	if !q1.WaitDone(sealed) {
+		t.Fatal("server stopped after uninstalls")
+	}
+	got := asAny(q1.Results.Snapshot())
+	want1[[2]any{hopKeys[0], uint64(77)}]++
+	requireEqual(t, "one-hop after uninstalls", got, want1)
+}

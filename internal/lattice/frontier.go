@@ -133,6 +133,23 @@ func MeetAll(fs ...Frontier) Frontier {
 	return out
 }
 
+// JoinFrontiers returns the least frontier at or beyond both inputs: a time
+// is in advance of the result iff it is in advance of f and of o. It is the
+// antichain of minimal elements of the pairwise joins. An empty frontier
+// (nothing can follow) absorbs: the result is empty if either input is.
+func JoinFrontiers(f, o Frontier) Frontier {
+	if f.Empty() || o.Empty() {
+		return Frontier{}
+	}
+	var out Frontier
+	for _, x := range f.elems {
+		for _, y := range o.elems {
+			out.Insert(x.Join(y))
+		}
+	}
+	return out
+}
+
 // Sorted returns the elements in lexicographic order (for deterministic output).
 func (f Frontier) Sorted() []Time {
 	out := append([]Time(nil), f.elems...)

@@ -1,0 +1,291 @@
+// Package server hosts shared arrangements behind a live query-installation
+// API: a registry of named, continuously maintained arrangements plus
+// install/uninstall of query dataflows against them while updates stream.
+//
+// This is the paper's headline interactive scenario (§6.2, Fig 5) made
+// operational: a newly arriving query attaches to an existing in-memory
+// arrangement — receiving a snapshot compacted to the trace's compaction
+// frontier followed by the live batch stream — instead of rebuilding its own
+// index from the raw history.
+//
+// Threading model: a Server wraps a timely.Cluster. Driver goroutines (the
+// callers of this package) touch only mutex-guarded runtime state — input
+// handles, probes, posted actions. Everything worker-local (trace agents,
+// spines, handles, import subscriptions) is mutated exclusively on the
+// owning worker's goroutine, either inside install build closures or via
+// posted worker actions. All exported methods are safe for concurrent use
+// except Close, which must not race with anything else.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// Server owns a cluster of dataflow workers, the named shared arrangements
+// maintained on them, and the live query dataflows installed against them.
+type Server struct {
+	c *timely.Cluster
+
+	mu      sync.Mutex
+	sources map[string]sourceHandle
+	queries map[string]*Query
+}
+
+// sourceHandle is the type-erased view of a Source kept in the registry.
+type sourceHandle interface {
+	sourceName() string
+	close()
+}
+
+// New starts a server with the given number of dataflow workers.
+func New(workers int) *Server {
+	return &Server{
+		c:       timely.StartCluster(workers),
+		sources: make(map[string]sourceHandle),
+		queries: make(map[string]*Query),
+	}
+}
+
+// Workers returns the worker count.
+func (s *Server) Workers() int { return s.c.Peers() }
+
+// Cluster exposes the underlying cluster (for tests and advanced drivers).
+func (s *Server) Cluster() *timely.Cluster { return s.c }
+
+// Close retires every source input and stops the workers. Live queries are
+// abandoned in place; drivers must not race Close with other calls.
+func (s *Server) Close() {
+	s.mu.Lock()
+	srcs := make([]sourceHandle, 0, len(s.sources))
+	for _, src := range s.sources {
+		srcs = append(srcs, src)
+	}
+	s.mu.Unlock()
+	for _, src := range srcs {
+		src.close()
+	}
+	s.c.Shutdown()
+}
+
+// Source is a named input collection maintained as a shared arrangement on
+// every worker. Updates stream in through Update/Insert/Remove at the
+// current epoch; Advance seals the epoch on every worker and advances the
+// arrangement's compaction frontier behind it, so late-arriving queries
+// import a snapshot proportional to the live collection.
+type Source[K, V any] struct {
+	s  *Server
+	nm string
+
+	// Per-worker artifacts, written by each worker's build closure and
+	// published to the driver by Installed.Wait.
+	inputs []*dd.InputCollection[K, V]
+	arr    []*core.Arranged[K, V]
+	probes []*timely.Probe
+
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// NewSource registers a named collection on the server and begins
+// maintaining its arrangement. It blocks until every worker has built its
+// shard. The name must be unused.
+func NewSource[K, V any](s *Server, name string, fn core.Funcs[K, V]) (*Source[K, V], error) {
+	src := &Source[K, V]{
+		s:      s,
+		nm:     name,
+		inputs: make([]*dd.InputCollection[K, V], s.c.Peers()),
+		arr:    make([]*core.Arranged[K, V], s.c.Peers()),
+		probes: make([]*timely.Probe, s.c.Peers()),
+	}
+	// Reserve the name before building anything: a duplicate must never
+	// leave an orphan dataflow scheduled on the workers.
+	s.mu.Lock()
+	if _, dup := s.sources[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: source %q already registered", name)
+	}
+	s.sources[name] = src
+	s.mu.Unlock()
+
+	inst := s.c.Install(func(w *timely.Worker, g *timely.Graph) {
+		in, c := dd.NewInput[K, V](g)
+		a := dd.Arrange(c, fn, name)
+		i := w.Index()
+		src.inputs[i] = in
+		src.arr[i] = a
+		src.probes[i] = timely.NewProbe(a.Stream)
+	})
+	inst.Wait()
+	return src, nil
+}
+
+func (src *Source[K, V]) sourceName() string { return src.nm }
+
+// Name returns the registered name.
+func (src *Source[K, V]) Name() string { return src.nm }
+
+// Epoch returns the current (open) input epoch.
+func (src *Source[K, V]) Epoch() uint64 {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.epoch
+}
+
+// Update introduces a batch of updates at the current epoch. The caller's
+// slice is not retained or modified; times are stamped into a copy.
+func (src *Source[K, V]) Update(upds []core.Update[K, V]) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	src.inputs[0].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
+}
+
+// Insert adds one copy of (k, v) at the current epoch.
+func (src *Source[K, V]) Insert(k K, v V) {
+	src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: 1}})
+}
+
+// Remove deletes one copy of (k, v) at the current epoch.
+func (src *Source[K, V]) Remove(k K, v V) {
+	src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: -1}})
+}
+
+// Advance seals the current epoch on every worker's input handle and
+// returns it. Behind the new epoch it advances the arrangement's primary
+// compaction frontier (on each owning worker), permitting the spine to
+// consolidate history that no current or future reader can distinguish —
+// which is exactly what keeps late-subscriber snapshots small.
+func (src *Source[K, V]) Advance() uint64 {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	sealed := src.epoch
+	src.epoch++
+	for _, in := range src.inputs {
+		in.AdvanceTo(src.epoch)
+	}
+	f := lattice.NewFrontier(lattice.Ts(src.epoch))
+	for i := range src.arr {
+		a := src.arr[i]
+		src.s.c.Post(i, func(w *timely.Worker) {
+			if a.Trace != nil && !a.Trace.Dropped() {
+				a.Trace.SetLogical(f)
+			}
+		})
+	}
+	return sealed
+}
+
+// Sync blocks until every epoch sealed so far is fully reflected in the
+// arrangement on all workers.
+func (src *Source[K, V]) Sync() {
+	src.mu.Lock()
+	e := src.epoch
+	src.mu.Unlock()
+	if e == 0 {
+		return
+	}
+	t := lattice.Ts(e - 1)
+	src.s.c.WaitUntil(func() bool { return src.probes[0].Done(t) })
+}
+
+// ImportInto attaches the calling worker's shard of the arrangement to a new
+// dataflow under construction, replaying a compacted snapshot before live
+// batches. Call only from inside an Install build closure.
+func (src *Source[K, V]) ImportInto(g *timely.Graph) *core.Arranged[K, V] {
+	a := src.arr[g.Worker().Index()]
+	return core.ImportOpts(g, a.Agent, src.nm+"-import", core.ImportOptions{Snapshot: true})
+}
+
+// close retires the source's inputs (server shutdown path).
+func (src *Source[K, V]) close() {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	for _, in := range src.inputs {
+		if in != nil {
+			in.Close()
+		}
+	}
+}
+
+// Built is what a query build closure hands back to the server for one
+// worker: the shard's completion probe and a teardown to run on the same
+// worker at uninstall (cancel imports, drop handles, close this worker's
+// inputs). Probe is required on worker 0 and ignored elsewhere.
+type Built struct {
+	Probe    *timely.Probe
+	Teardown func()
+}
+
+// Query is one live query dataflow installed against the server's shared
+// arrangements.
+type Query struct {
+	s     *Server
+	nm    string
+	inst  *timely.Installed
+	built []Built
+	probe *timely.Probe
+}
+
+// Install constructs a named query dataflow on every worker while updates
+// stream, blocking until all workers have built their shard. The build
+// closure runs once per worker on that worker's goroutine; use
+// Source.ImportInto to attach shared arrangements. The name must be unused.
+func (s *Server) Install(name string, build func(w *timely.Worker, g *timely.Graph) Built) (*Query, error) {
+	q := &Query{s: s, nm: name, built: make([]Built, s.c.Peers())}
+	// Reserve the name before building: the loser of a duplicate-name race
+	// must not leave a built dataflow scheduled forever.
+	s.mu.Lock()
+	if _, dup := s.queries[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: query %q already installed", name)
+	}
+	s.queries[name] = q
+	s.mu.Unlock()
+
+	q.inst = s.c.Install(func(w *timely.Worker, g *timely.Graph) {
+		q.built[w.Index()] = build(w, g)
+	})
+	q.inst.Wait()
+	q.probe = q.built[0].Probe
+	return q, nil
+}
+
+// Name returns the query's registered name.
+func (q *Query) Name() string { return q.nm }
+
+// Probe returns worker 0's completion probe.
+func (q *Query) Probe() *timely.Probe { return q.probe }
+
+// WaitDone blocks until the query can no longer produce output at or before
+// t (its results through t are complete). Returns false if the server shut
+// down first.
+func (q *Query) WaitDone(t lattice.Time) bool {
+	return q.s.c.WaitUntil(func() bool { return q.probe.Done(t) })
+}
+
+// teardown runs every worker's teardown on its own goroutine.
+func (q *Query) teardown() {
+	q.s.c.PostEach(func(w *timely.Worker) {
+		if td := q.built[w.Index()].Teardown; td != nil {
+			td()
+		}
+	}).Wait()
+}
+
+// Uninstall tears the query down while the rest of the server keeps
+// serving: per-worker teardowns run (closing the query's inputs, cancelling
+// its imports, dropping its trace handles), the dataflow drains to
+// quiescence, and its operators leave every worker's schedule.
+func (q *Query) Uninstall() {
+	q.teardown()
+	q.s.c.WaitUntil(q.inst.Complete)
+	q.s.c.Uninstall(q.inst)
+	q.s.mu.Lock()
+	delete(q.s.queries, q.nm)
+	q.s.mu.Unlock()
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// TestInstallUninstallUnderChurn is the race-hardening stress test: a churn
+// goroutine streams edge updates and advances epochs while two installer
+// goroutines concurrently install, query, and uninstall dataflows against
+// the shared arrangement. Run with -race (the CI workflow does); the test
+// asserts that every installed query produced results and that the driver
+// APIs never wedge.
+func TestInstallUninstallUnderChurn(t *testing.T) {
+	const (
+		workers    = 3
+		rounds     = 60 // churn epochs
+		installers = 2
+		cycles     = 8 // install/uninstall cycles per installer
+		nodes      = 256
+	)
+
+	s := New(workers)
+	edges, err := NewSource(s, "edges", core.U64())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the graph so early installs have something to snapshot.
+	r := rand.New(rand.NewSource(42))
+	seed := make([]core.Update[uint64, uint64], 0, 2048)
+	for i := 0; i < 2048; i++ {
+		seed = append(seed, core.Update[uint64, uint64]{
+			Key: uint64(r.Intn(nodes)), Val: uint64(r.Intn(nodes)), Diff: 1,
+		})
+	}
+	edges.Update(seed)
+	edges.Advance()
+	edges.Sync()
+
+	var (
+		churnWg      sync.WaitGroup
+		installWg    sync.WaitGroup
+		churnDone    = make(chan struct{})
+		totalResults atomic.Int64
+	)
+
+	// Churn driver: stream updates and advance epochs until the installers
+	// finish.
+	churnWg.Add(1)
+	go func() {
+		defer churnWg.Done()
+		r := rand.New(rand.NewSource(7))
+		round := 0
+		for {
+			select {
+			case <-churnDone:
+				return
+			default:
+			}
+			upds := make([]core.Update[uint64, uint64], 0, 64)
+			for i := 0; i < 32; i++ {
+				upds = append(upds,
+					core.Update[uint64, uint64]{
+						Key: uint64(r.Intn(nodes)), Val: uint64(r.Intn(nodes)), Diff: 1},
+					core.Update[uint64, uint64]{
+						Key: uint64(r.Intn(nodes)), Val: uint64(r.Intn(nodes)), Diff: -1})
+			}
+			edges.Update(upds)
+			edges.Advance()
+			if round%8 == 0 {
+				edges.Sync()
+			}
+			round++
+			if round > 100*rounds {
+				t.Error("churn driver ran away; installers appear wedged")
+				return
+			}
+		}
+	}()
+
+	for inst := 0; inst < installers; inst++ {
+		installWg.Add(1)
+		go func(inst int) {
+			defer installWg.Done()
+			r := rand.New(rand.NewSource(int64(100 + inst)))
+			for cyc := 0; cyc < cycles; cyc++ {
+				name := fmt.Sprintf("q-%d-%d", inst, cyc)
+				var results atomic.Int64
+				qins := make([]*dd.InputCollection[uint64, core.Unit], s.Workers())
+				q, err := s.Install(name, func(w *timely.Worker, g *timely.Graph) Built {
+					imported := edges.ImportInto(g)
+					qi, qc := dd.NewInput[uint64, core.Unit](g)
+					qins[w.Index()] = qi
+					aQ := dd.DistinctCore(dd.Arrange(qc, core.U64Key(), "q"))
+					out := dd.JoinCore(imported, aQ, "onehop",
+						func(q, nbr uint64, _ core.Unit) (uint64, uint64) { return q, nbr })
+					dd.Inspect(out, func(k, v uint64, ts lattice.Time, d core.Diff) {
+						results.Add(d)
+					})
+					probe := dd.Probe(out)
+					return Built{Probe: probe, Teardown: func() {
+						qi.Close()
+						imported.Cancel()
+					}}
+				})
+				if err != nil {
+					t.Errorf("installer %d cycle %d: %v", inst, cyc, err)
+					return
+				}
+				for i := 0; i < 4; i++ {
+					qins[0].Insert(uint64(r.Intn(nodes)), core.Unit{})
+				}
+				for _, qi := range qins {
+					qi.AdvanceTo(1 << 20)
+				}
+				// Wait for results through the last epoch sealed before the
+				// install; churn keeps sealing epochs, so this always lands.
+				sealed := edges.Epoch()
+				if sealed > 0 {
+					sealed--
+				}
+				if !q.WaitDone(lattice.Ts(sealed)) {
+					t.Errorf("installer %d cycle %d: server stopped early", inst, cyc)
+					return
+				}
+				totalResults.Add(results.Load())
+				q.Uninstall()
+			}
+		}(inst)
+	}
+
+	installWg.Wait()
+	close(churnDone)
+	churnWg.Wait()
+
+	edges.Sync()
+	s.Close()
+
+	if totalResults.Load() == 0 {
+		t.Fatal("no query ever produced a result")
+	}
+}

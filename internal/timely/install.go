@@ -1,0 +1,230 @@
+package timely
+
+// Live query installation (§6.2 of the paper): a Cluster runs the static set
+// of workers as long-lived servant goroutines, and dataflows are constructed
+// *after* execution begins by posting build closures to every worker. A
+// newly arriving query therefore attaches to the running system — and, via
+// core.Import, to its in-memory arrangements — without restarting anything.
+//
+// Correctness hinges on two invariants:
+//
+//   - Construction order: operator and channel identifiers are assigned by
+//     construction order, so every worker must build the same dataflows in
+//     the same sequence. Install appends the build action to every worker's
+//     queue under one lock acquisition, giving all queues the same global
+//     install order.
+//
+//   - Worker locality: spines, trace agents, and operator state are strictly
+//     worker-local. All mutation of that state (building dataflows, dropping
+//     trace handles, cancelling imports) runs on the owning worker's
+//     goroutine via posted actions; drivers touch only the mutex-guarded
+//     runtime (mailboxes, trackers, input handles, probes).
+
+import "sync"
+
+// Cluster is a running set of dataflow workers accepting live dataflow
+// installation. Unlike Execute, which runs one SPMD program to completion,
+// a Cluster's workers are servants: they step installed dataflows, drain
+// posted actions, and park when idle, until Shutdown.
+type Cluster struct {
+	rt *runtime
+	wg sync.WaitGroup
+}
+
+// StartCluster launches peers worker goroutines and returns immediately.
+func StartCluster(peers int) *Cluster {
+	if peers < 1 {
+		panic("timely: need at least one worker")
+	}
+	c := &Cluster{rt: newRuntime(peers)}
+	c.wg.Add(peers)
+	for i := 0; i < peers; i++ {
+		w := &Worker{index: i, rt: c.rt}
+		go func() {
+			defer c.wg.Done()
+			w.serve()
+		}()
+	}
+	return c
+}
+
+// Peers returns the number of workers.
+func (c *Cluster) Peers() int { return c.rt.peers }
+
+// serve is the servant loop: drain posted actions, step every installed
+// dataflow, and park when neither produced activity. Exits when the cluster
+// has been stopped and the worker is idle.
+func (w *Worker) serve() {
+	for {
+		gen := w.rt.activityGen()
+		acted := w.runActions()
+		stepped := w.Step()
+		if acted || stepped {
+			continue
+		}
+		w.rt.mu.Lock()
+		stopped := w.rt.stopped
+		w.rt.mu.Unlock()
+		if stopped {
+			return
+		}
+		w.rt.waitActivity(gen)
+	}
+}
+
+// runActions pops and runs every action queued for this worker, reporting
+// whether there were any.
+func (w *Worker) runActions() bool {
+	rt := w.rt
+	rt.mu.Lock()
+	acts := rt.actions[w.index]
+	rt.actions[w.index] = nil
+	rt.mu.Unlock()
+	for _, f := range acts {
+		f(w)
+	}
+	return len(acts) > 0
+}
+
+// Remove unschedules a dataflow from this worker: its operators are no
+// longer stepped. The dataflow must be quiescent (use Graph.Complete); any
+// undrained messages would otherwise be counted but never consumed.
+func (w *Worker) Remove(g *Graph) {
+	for i, h := range w.graphs {
+		if h == g {
+			w.graphs = append(w.graphs[:i], w.graphs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Installed tracks one live installation across all workers.
+type Installed struct {
+	peers  int
+	wg     sync.WaitGroup
+	graphs []*Graph // per worker; valid after Wait
+	seq    int      // dataflow sequence number; valid after Wait
+}
+
+// Wait blocks until every worker has built its shard of the dataflow.
+func (in *Installed) Wait() { in.wg.Wait() }
+
+// Graph returns the given worker's shard. Call only after Wait.
+func (in *Installed) Graph(worker int) *Graph { return in.graphs[worker] }
+
+// Complete reports whether the installed dataflow has finished everywhere.
+// Call only after Wait.
+func (in *Installed) Complete() bool { return in.graphs[0].Complete() }
+
+// Install constructs a new dataflow on every worker of a running cluster.
+// build runs once per worker, on that worker's goroutine, exactly as a
+// Dataflow closure under Execute; it must construct the same operators in
+// the same order on every worker. Install may be called from any goroutine;
+// concurrent Install calls are serialized and every worker observes them in
+// the same order, keeping operator identifiers aligned.
+func (c *Cluster) Install(build func(w *Worker, g *Graph)) *Installed {
+	in := &Installed{peers: c.rt.peers, graphs: make([]*Graph, c.rt.peers)}
+	in.wg.Add(c.rt.peers)
+	c.rt.mu.Lock()
+	for i := 0; i < c.rt.peers; i++ {
+		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
+			g := w.Dataflow(func(g *Graph) { build(w, g) })
+			in.graphs[w.index] = g
+			if w.index == 0 {
+				in.seq = g.seq
+			}
+			in.wg.Done()
+		})
+	}
+	c.rt.mu.Unlock()
+	c.rt.wake()
+	return in
+}
+
+// Pending tracks posted actions; Wait blocks until they have all run.
+type Pending struct{ wg sync.WaitGroup }
+
+// Wait blocks until every action of the post has run.
+func (p *Pending) Wait() { p.wg.Wait() }
+
+// Post schedules f to run on the given worker's goroutine. Use it for any
+// mutation of worker-local state (trace handles, import cancellation) from a
+// driver goroutine.
+func (c *Cluster) Post(worker int, f func(w *Worker)) *Pending {
+	p := &Pending{}
+	p.wg.Add(1)
+	c.rt.mu.Lock()
+	c.rt.actions[worker] = append(c.rt.actions[worker], func(w *Worker) {
+		f(w)
+		p.wg.Done()
+	})
+	c.rt.mu.Unlock()
+	c.rt.wake()
+	return p
+}
+
+// PostEach schedules f to run once on every worker's goroutine.
+func (c *Cluster) PostEach(f func(w *Worker)) *Pending {
+	p := &Pending{}
+	p.wg.Add(c.rt.peers)
+	c.rt.mu.Lock()
+	for i := 0; i < c.rt.peers; i++ {
+		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
+			f(w)
+			p.wg.Done()
+		})
+	}
+	c.rt.mu.Unlock()
+	c.rt.wake()
+	return p
+}
+
+// WaitUntil parks the calling (driver) goroutine until cond reports true,
+// waking on worker activity. It returns false if the cluster shut down while
+// waiting (cond may still be false then).
+func (c *Cluster) WaitUntil(cond func() bool) bool {
+	for {
+		gen := c.rt.activityGen()
+		if cond() {
+			return true
+		}
+		c.rt.mu.Lock()
+		stopped := c.rt.stopped
+		c.rt.mu.Unlock()
+		if stopped {
+			return cond()
+		}
+		c.rt.waitActivity(gen)
+	}
+}
+
+// Uninstall removes a quiescent installed dataflow from every worker's
+// schedule and releases its mailboxes and progress tracker. The caller must
+// first tear the dataflow down (close inputs, cancel imports) and wait for
+// Complete.
+func (c *Cluster) Uninstall(in *Installed) {
+	c.PostEach(func(w *Worker) { w.Remove(in.Graph(w.Index())) }).Wait()
+	c.rt.mu.Lock()
+	for k := range c.rt.mailboxes {
+		if k.dataflow == in.seq {
+			delete(c.rt.mailboxes, k)
+		}
+	}
+	// Dataflow sequence numbers are never reused, so the slot just goes
+	// dark; the slice itself grows one pointer per install ever made.
+	if in.seq < len(c.rt.trackers) {
+		c.rt.trackers[in.seq] = nil
+	}
+	c.rt.mu.Unlock()
+}
+
+// Shutdown stops the workers and blocks until they exit. Dataflows that are
+// not yet complete are abandoned in place. No Install, Post, or WaitUntil
+// may race with or follow Shutdown.
+func (c *Cluster) Shutdown() {
+	c.rt.mu.Lock()
+	c.rt.stopped = true
+	c.rt.mu.Unlock()
+	c.rt.wake()
+	c.wg.Wait()
+}

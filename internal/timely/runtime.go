@@ -17,7 +17,8 @@ import (
 	"repro/internal/lattice"
 )
 
-// runtime is the state shared by all workers of one Execute call.
+// runtime is the state shared by all workers of one Execute call or one
+// Cluster.
 type runtime struct {
 	peers int
 
@@ -27,6 +28,12 @@ type runtime struct {
 
 	trackers  []*tracker // per dataflow sequence number
 	mailboxes map[mailboxKey]any
+
+	// actions holds, per worker, closures posted from other goroutines to be
+	// run on that worker's goroutine (live dataflow installation, trace
+	// handle maintenance, teardown). Only Cluster workers drain them.
+	actions [][]func(w *Worker)
+	stopped bool // set by Cluster.Shutdown; serving workers exit when idle
 }
 
 type mailboxKey struct {
@@ -36,18 +43,27 @@ type mailboxKey struct {
 }
 
 func newRuntime(peers int) *runtime {
-	rt := &runtime{peers: peers, mailboxes: make(map[mailboxKey]any)}
+	rt := &runtime{
+		peers:     peers,
+		mailboxes: make(map[mailboxKey]any),
+		actions:   make([][]func(w *Worker), peers),
+	}
 	rt.cond = sync.NewCond(&rt.mu)
 	return rt
 }
 
 // trackerFor returns (creating if needed) the progress tracker for the given
-// dataflow sequence number.
+// dataflow sequence number. Slots of uninstalled dataflows are nil; sequence
+// numbers are never reused, so a nil slot is only ever re-filled here if a
+// caller races an uninstall it initiated itself, which the Cluster forbids.
 func (rt *runtime) trackerFor(seq int) *tracker {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for seq >= len(rt.trackers) {
 		rt.trackers = append(rt.trackers, newTracker(rt))
+	}
+	if rt.trackers[seq] == nil {
+		rt.trackers[seq] = newTracker(rt)
 	}
 	return rt.trackers[seq]
 }
