@@ -1,0 +1,225 @@
+package main
+
+// kpg bench: the tier-1 benchmark regression harness. It runs a small fixed
+// set of data-plane benchmarks (TPC-H streaming at one and four workers,
+// arrange peak throughput, live-install latency), reporting each as a named
+// metric.
+//
+//	kpg bench -json > BENCH_baseline.json    record a baseline
+//	kpg bench -baseline BENCH_baseline.json  compare; exit 1 on >tol regression
+//
+// Metric direction is encoded in the name: *_ns metrics are latencies (lower
+// is better), everything else is throughput (higher is better). Baselines
+// are machine-specific: record and compare on the same hardware
+// (scripts/bench_check.sh wraps the comparison).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graphs"
+	"repro/internal/interactive"
+	"repro/internal/tpch"
+)
+
+// BenchReport is the JSON shape of a bench run / committed baseline.
+type BenchReport struct {
+	Created string             `json:"created"`
+	Go      string             `json:"go"`
+	NumCPU  int                `json:"num_cpu"`
+	Scale   float64            `json:"tpch_scale"`
+	Reps    int                `json:"reps"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchCase is one named metric: run returns the measured value.
+type benchCase struct {
+	name string
+	run  func(d *tpch.Data) float64
+}
+
+func benchCases() []benchCase {
+	return []benchCase{
+		{"fig4a_q01_w1_ball_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 1, 1, 1<<30, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig4a_q01_w4_ball_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 1, 4, 1<<30, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig4a_q01_w4_stream_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 1, 4, 200, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig4a_q03_w4_stream_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 3, 4, 200, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig4a_q06_w4_stream_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 6, 4, 200, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig4a_q15_w4_stream_tuples_per_sec", func(d *tpch.Data) float64 {
+			return experiments.TPCHStream(d, 15, 4, 200, len(d.Orders)).TuplesPerSec()
+		}},
+		{"fig6d_arrange_w1_rec_per_sec", func(d *tpch.Data) float64 {
+			for _, r := range experiments.ArrangeThroughput(1, 10, 10000) {
+				if r.Component == "trace maintenance" {
+					return r.RecordsPerSec
+				}
+			}
+			return 0
+		}},
+		{"fig5_install_shared_ns", func(d *tpch.Data) float64 {
+			return installLatency(true)
+		}},
+	}
+}
+
+// installLatency measures install-to-first-result of a one-hop query against
+// a live churned arrangement (the Fig 5 install path, shared configuration).
+func installLatency(shared bool) float64 {
+	live, err := interactive.StartLive(4)
+	if err != nil {
+		// A zero latency would sail through the lower-is-better gate; fail
+		// loudly instead.
+		fmt.Fprintf(os.Stderr, "bench: StartLive: %v\n", err)
+		os.Exit(1)
+	}
+	defer live.Close()
+	var history []core.Update[uint64, uint64]
+	for _, e := range graphs.Random(5000, 16000, 5) {
+		history = append(history, core.Update[uint64, uint64]{Key: e.Src, Val: e.Dst, Diff: 1})
+	}
+	live.UpdateEdges(history)
+	live.Advance()
+	for r := 0; r < 8; r++ {
+		upds := make([]core.Update[uint64, uint64], 0, 3200)
+		for i := 0; i < 1600; i++ {
+			src, dst := uint64((r*977+i*313)%5000), uint64((r*13+i*7)%5000)
+			upds = append(upds,
+				core.Update[uint64, uint64]{Key: src, Val: dst, Diff: 1},
+				core.Update[uint64, uint64]{Key: src, Val: dst, Diff: -1})
+		}
+		history = append(history, upds...)
+		live.UpdateEdges(upds)
+		live.Advance()
+	}
+	live.Sync()
+	var total time.Duration
+	const n = 5
+	for i := 0; i < n; i++ {
+		q, err := live.InstallOneHop(fmt.Sprintf("bench-%d", i), []uint64{uint64(i)}, shared, history)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: InstallOneHop: %v\n", err)
+			os.Exit(1)
+		}
+		total += q.InstallLatency
+		q.Close()
+	}
+	return float64(total.Nanoseconds()) / n
+}
+
+// lowerIsBetter reports the metric's direction from its name.
+func lowerIsBetter(name string) bool { return strings.HasSuffix(name, "_ns") }
+
+func bench() {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON (for recording a baseline)")
+	baseline := fs.String("baseline", "", "baseline JSON to compare against; exit 1 on regression")
+	tol := fs.Float64("tol", 0.20, "allowed fractional regression vs the baseline")
+	reps := fs.Int("reps", 3, "repetitions per metric (best value wins)")
+	benchScale := fs.Float64("scale", 0.005, "TPC-H scale factor for the bench set")
+	fs.Parse(flag.Args()[1:])
+
+	d := tpch.Generate(*benchScale, 42)
+	rep := BenchReport{
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		NumCPU:  runtime.NumCPU(),
+		Scale:   *benchScale,
+		Reps:    *reps,
+		Metrics: map[string]float64{},
+	}
+	for _, bc := range benchCases() {
+		best := 0.0
+		for i := 0; i < *reps; i++ {
+			v := bc.run(d)
+			if i == 0 || (lowerIsBetter(bc.name) && v < best) || (!lowerIsBetter(bc.name) && v > best) {
+				best = v
+			}
+		}
+		rep.Metrics[bc.name] = best
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "%-40s %14.0f\n", bc.name, best)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: parsing baseline: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.Metrics[name]
+		got, ok := rep.Metrics[name]
+		if !ok {
+			// A baseline metric the current build no longer measures is a
+			// gate hole, not a pass: re-record the baseline deliberately.
+			fmt.Fprintf(os.Stderr, "%-40s base %14.0f  MISSING from current run\n", name, want)
+			failed = true
+			continue
+		}
+		if want == 0 {
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if lowerIsBetter(name) {
+			// Latency metrics are informational: the gate is on throughput
+			// (latencies at smoke scale swing far more than 20% run to run
+			// on a loaded box).
+			if got > want*(1+*tol) {
+				status = "slower (info)"
+			}
+		} else if got < want*(1-*tol) {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-40s base %14.0f  now %14.0f  (%.2fx) %s\n",
+			name, want, got, ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "bench: throughput regressed more than %.0f%% vs %s\n",
+			*tol*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bench: within tolerance of baseline")
+}

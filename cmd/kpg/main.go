@@ -37,7 +37,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, serve, all)")
+		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, serve, bench, all)")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -49,7 +49,7 @@ func main() {
 		"table2": table2, "table3": table3, "table4": table4,
 		"table5": table5, "table6": table6, "table7": table7,
 		"table10": table10, "table11": table11,
-		"serve": serve,
+		"serve": serve, "bench": bench,
 	}
 	if name == "all" {
 		for _, n := range []string{"fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",

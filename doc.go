@@ -8,14 +8,21 @@
 //   - internal/lattice — partially ordered timestamps, frontiers, and the
 //     compaction function rep_F(t) with the paper's Appendix A theorems.
 //   - internal/timely — a timely-dataflow runtime: workers, typed streams,
-//     hash exchange, capability-based progress tracking, cyclic graphs.
+//     capability-based progress tracking, cyclic graphs. Hash exchange is
+//     batched and pooled: senders radix-partition records into
+//     per-destination buffers flushed as single mailbox messages per
+//     schedule, recycled through sync.Pool arenas so steady-state routing
+//     allocates (almost) nothing.
 //   - internal/core — shared arrangements: the arrange operator, immutable
-//     indexed batches, LSM-style traces with fueled amortized merging,
+//     indexed batches with galloping (exponential) key search, LSM-style
+//     traces maintained by fueled k-way merges of geometric batch runs
+//     (idle-aware budgets keep compaction off the latency-critical path),
 //     trace handles with logical/physical compaction frontiers, and
 //     cross-dataflow Import.
 //   - internal/dd — differential dataflow operators (map, filter, concat,
 //     join, reduce/count/distinct, iterate with mutually recursive
-//     Variables) built as thin shells over arrangements.
+//     Variables) built as thin shells over arrangements; join and reduce
+//     gallop over sorted batch and trace runs rather than scanning.
 //   - internal/server — live query installation: a registry of named,
 //     continuously maintained arrangements and install/uninstall of query
 //     dataflows against them while updates stream (the paper's §6.2
@@ -25,8 +32,14 @@
 //     drivers (internal/experiments) regenerating every table and figure of
 //     the paper's evaluation.
 //
+// internal/harness carries the measurement machinery plus the
+// operator-oracle property harness: randomized multi-epoch insert/delete
+// histories driven through every dd operator and cross-checked per epoch
+// against naive recompute oracles (also exposed as go test -fuzz targets).
+//
 // See the examples/ directory for runnable programs (examples/live-queries
 // demonstrates queries attaching to a running arrangement), cmd/kpg for the
-// experiment CLI and the serve subcommand, and DESIGN.md for the system
-// inventory and testing strategy.
+// experiment CLI and the serve and bench subcommands (bench records and
+// gates the tier-1 throughput baseline in BENCH_baseline.json), and
+// DESIGN.md for the system inventory and testing strategy.
 package kpg

@@ -119,11 +119,25 @@ func ProjectFrontier(f lattice.Frontier, n int) lattice.Frontier {
 	return out
 }
 
+// DefaultMaintenanceFuel is the per-schedule trace maintenance budget
+// applied on busy schedules (ones that ingested or sealed data). Idle
+// schedules apply IdleFuelFactor times as much, so compaction drains off the
+// critical path of live data and query installs.
+const (
+	DefaultMaintenanceFuel = 256
+	IdleFuelFactor         = 8
+)
+
 // ArrangeOptions tunes an arrangement.
 type ArrangeOptions struct {
 	// MergeCoef is the merge effort coefficient (MergeLazy, MergeDefault,
 	// MergeEager); zero means MergeDefault.
 	MergeCoef int
+	// MaintenanceFuel is the Work budget applied per busy schedule (zero
+	// means DefaultMaintenanceFuel). Idle schedules — no ingest, no seal —
+	// apply IdleFuelFactor times as much, keeping compaction off the
+	// latency-critical path while still draining when the operator quiesces.
+	MaintenanceFuel int
 	// NoExchange skips the hash exchange (input already partitioned).
 	NoExchange bool
 	// StreamOnly builds no trace at all: the operator mints and emits
@@ -157,7 +171,11 @@ func Arrange[K, V any](s *timely.Stream[Update[K, V]], fn Funcs[K, V],
 		exch = func(u Update[K, V]) uint64 { return fn.HashK(u.Key) }
 	}
 
-	st := &arrangeState[K, V]{fn: fn, agent: agent}
+	fuel := opt.MaintenanceFuel
+	if fuel <= 0 {
+		fuel = DefaultMaintenanceFuel
+	}
+	st := &arrangeState[K, V]{fn: fn, agent: agent, fuel: fuel}
 	stream := timely.Unary[Update[K, V], *Batch[K, V]](s, name, exch, timely.SumID, nil,
 		func(ctx *timely.Ctx, in *timely.In[Update[K, V]], out *timely.Out[*Batch[K, V]]) {
 			st.schedule(ctx, in, out)
@@ -180,13 +198,18 @@ type arrangeState[K, V any] struct {
 	// capSet mirrors the retained capabilities: the antichain of minimal
 	// pending update times.
 	capSet lattice.Frontier
+	// fuel is the per-schedule maintenance budget on busy schedules; idle
+	// schedules apply IdleFuelFactor times as much.
+	fuel int
 }
 
 func (st *arrangeState[K, V]) schedule(ctx *timely.Ctx,
 	in *timely.In[Update[K, V]], out *timely.Out[*Batch[K, V]]) {
 
 	// Ingest new updates, extending capability coverage to their times.
+	busy := false
 	in.ForEach(func(stamp []lattice.Time, data []Update[K, V]) {
+		busy = true
 		run := make([]Update[K, V], len(data))
 		copy(run, data)
 		st.pushRun(SortUpdates(st.fn, run))
@@ -199,11 +222,18 @@ func (st *arrangeState[K, V]) schedule(ctx *timely.Ctx,
 	frontier := in.Frontier()
 	if !frontier.Equal(st.agent.upper) && frontierAdvanced(st.agent.upper, frontier) {
 		st.seal(ctx, out, frontier)
+		busy = true
 	}
 
-	// Fueled trace maintenance continues across schedules.
+	// Fueled trace maintenance continues across schedules: a small budget
+	// while data (or an install replay) is in flight, a large one once the
+	// operator goes quiet, so compaction stays off the critical path.
 	if sp := st.agent.spine; sp != nil {
-		if sp.Work(256) {
+		fuel := st.fuel
+		if !busy {
+			fuel *= IdleFuelFactor
+		}
+		if sp.Work(fuel) {
 			ctx.Activate()
 		}
 	}
@@ -223,6 +253,8 @@ func frontierAdvanced(old, new lattice.Frontier) bool {
 }
 
 // pushRun adds a sorted run, merging geometrically comparable neighbours.
+// Both neighbours are sorted and coalesced, so the merge is a linear pass
+// rather than a re-sort of the concatenation.
 func (st *arrangeState[K, V]) pushRun(run []Update[K, V]) {
 	if len(run) == 0 {
 		return
@@ -233,8 +265,7 @@ func (st *arrangeState[K, V]) pushRun(run []Update[K, V]) {
 		if len(st.runs[n-2]) > 2*len(st.runs[n-1]) {
 			break
 		}
-		merged := append(st.runs[n-2], st.runs[n-1]...)
-		merged = SortUpdates(st.fn, merged)
+		merged := MergeSortedUpdates(st.fn, st.runs[n-2], st.runs[n-1])
 		st.runs = st.runs[:n-2]
 		if len(merged) > 0 {
 			st.runs = append(st.runs, merged)
@@ -263,19 +294,33 @@ func (st *arrangeState[K, V]) extendCap(ctx *timely.Ctx, t lattice.Time) {
 func (st *arrangeState[K, V]) seal(ctx *timely.Ctx,
 	out *timely.Out[*Batch[K, V]], frontier lattice.Frontier) {
 
-	var sealed, rest []Update[K, V]
+	// Split every run in order: both halves inherit the run's sort order, so
+	// the sealed updates fold together with linear merges (BuildBatch's sort
+	// then sees already-sorted input) and the remainders re-enter the run
+	// stack without re-sorting.
+	var sealed []Update[K, V]
+	var rests [][]Update[K, V]
 	for _, run := range st.runs {
+		var s, r []Update[K, V]
 		for _, u := range run {
 			if frontier.LessEqual(u.Time) {
-				rest = append(rest, u)
+				r = append(r, u)
 			} else {
-				sealed = append(sealed, u)
+				s = append(s, u)
 			}
+		}
+		if sealed == nil {
+			sealed = s
+		} else if len(s) > 0 {
+			sealed = MergeSortedUpdates(st.fn, sealed, s)
+		}
+		if len(r) > 0 {
+			rests = append(rests, r)
 		}
 	}
 	st.runs = st.runs[:0]
-	if len(rest) > 0 {
-		st.pushRun(SortUpdates(st.fn, rest))
+	for _, r := range rests {
+		st.pushRun(r)
 	}
 
 	since := lattice.MinFrontier(st.agent.depth)
@@ -287,8 +332,10 @@ func (st *arrangeState[K, V]) seal(ctx *timely.Ctx,
 	// New capability coverage: minimal times of remaining updates. Retain
 	// before dropping old caps so every retention is justified.
 	var newCaps lattice.Frontier
-	for _, u := range rest {
-		newCaps.Insert(u.Time)
+	for _, r := range rests {
+		for _, u := range r {
+			newCaps.Insert(u.Time)
+		}
 	}
 	for _, t := range newCaps.Elements() {
 		if !contains(st.capSet, t) {

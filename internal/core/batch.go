@@ -47,10 +47,35 @@ func (b *Batch[K, V]) UpdRange(vi int) (int, int) {
 }
 
 // SeekKey returns the index of the first key ≥ k at or after index from.
+// The search gallops: it probes exponentially growing steps from the current
+// position before binary-searching the final window, so a forward-only
+// cursor pays O(log distance) per seek rather than O(log remaining) — the
+// access pattern of merge joins over sorted immutable runs.
 func (b *Batch[K, V]) SeekKey(fn Funcs[K, V], k K, from int) int {
-	return from + sort.Search(len(b.Keys)-from, func(i int) bool {
-		return !fn.LessK(b.Keys[from+i], k)
-	})
+	n := len(b.Keys)
+	if from >= n || !fn.LessK(b.Keys[from], k) {
+		return from
+	}
+	// Invariant: Keys[from+bound/2] < k. Grow bound until the probe lands at
+	// or beyond k (or past the end).
+	bound := 1
+	for from+bound < n && fn.LessK(b.Keys[from+bound], k) {
+		bound <<= 1
+	}
+	lo := from + bound/2 + 1
+	hi := from + bound + 1
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fn.LessK(b.Keys[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // ForKey invokes f for every (val, time, diff) of key k, if present.
@@ -94,25 +119,59 @@ func (b *Batch[K, V]) MinTimes() []lattice.Time {
 
 // SortUpdates sorts updates by (key, val, time-total-order) and coalesces
 // entries with equal (key, val, time), dropping zero diffs. It returns the
-// consolidated prefix.
+// consolidated prefix. sort.Slice beats the generic slices.SortFunc here:
+// its reflection swapper moves the wide Update elements in place instead of
+// copying them through temporaries.
 func SortUpdates[K, V any](fn Funcs[K, V], upds []Update[K, V]) []Update[K, V] {
 	sort.Slice(upds, func(i, j int) bool {
-		a, b := &upds[i], &upds[j]
-		if fn.LessK(a.Key, b.Key) {
-			return true
-		}
-		if fn.LessK(b.Key, a.Key) {
-			return false
-		}
-		if fn.LessV(a.Val, b.Val) {
-			return true
-		}
-		if fn.LessV(b.Val, a.Val) {
-			return false
-		}
-		return a.Time.TotalLess(b.Time)
+		return updLess(fn, &upds[i], &upds[j])
 	})
 	return coalesceSorted(fn, upds)
+}
+
+// updLess orders updates by (key, val, time-total-order).
+func updLess[K, V any](fn Funcs[K, V], a, b *Update[K, V]) bool {
+	if fn.LessK(a.Key, b.Key) {
+		return true
+	}
+	if fn.LessK(b.Key, a.Key) {
+		return false
+	}
+	if fn.LessV(a.Val, b.Val) {
+		return true
+	}
+	if fn.LessV(b.Val, a.Val) {
+		return false
+	}
+	return a.Time.TotalLess(b.Time)
+}
+
+// MergeSortedUpdates linearly merges two sorted, coalesced runs into a fresh
+// sorted slice, coalescing equal (key, val, time) entries and dropping
+// zeros: O(n) against the O(n log n) of re-sorting the concatenation.
+func MergeSortedUpdates[K, V any](fn Funcs[K, V], a, b []Update[K, V]) []Update[K, V] {
+	out := make([]Update[K, V], 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if updLess(fn, &a[i], &b[j]) {
+			out = append(out, a[i])
+			i++
+		} else if updLess(fn, &b[j], &a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			u := a[i]
+			u.Diff += b[j].Diff
+			if u.Diff != 0 {
+				out = append(out, u)
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // coalesceSorted merges equal (key, val, time) runs of a sorted slice,

@@ -37,21 +37,27 @@ type Spine[K, V any] struct {
 }
 
 type spineEntry[K, V any] struct {
-	batch *Batch[K, V]       // non-nil when completed
-	merge *mergeState[K, V]  // non-nil while merging two batches
+	batch *Batch[K, V]      // non-nil when completed
+	merge *mergeState[K, V] // non-nil while merging a run of batches
 }
 
-// mergeState is one in-progress, fueled merge of two time-adjacent batches.
+// mergeState is one in-progress, fueled k-way merge of a run of time-adjacent
+// batches. Merging a whole geometric run at once (instead of cascading 2-way
+// merges) writes each update once per maintenance round rather than once per
+// level it bubbles through.
 type mergeState[K, V any] struct {
-	a, b  *Batch[K, V]
-	ca    tupleCursor[K, V]
-	cb    tupleCursor[K, V]
-	out   []Update[K, V]
-	since lattice.Frontier // compaction frontier captured at merge start
+	batches []*Batch[K, V] // oldest first
+	cs      []tupleCursor[K, V]
+	out     []Update[K, V]
+	since   lattice.Frontier // compaction frontier captured at merge start
 }
 
 func (m *mergeState[K, V]) remaining() int {
-	return (m.a.Len() - m.ca.ui) + (m.b.Len() - m.cb.ui)
+	n := 0
+	for i := range m.cs {
+		n += m.batches[i].Len() - m.cs[i].ui
+	}
+	return n
 }
 
 // NewSpine creates an empty spine with the given merge effort coefficient.
@@ -115,62 +121,67 @@ func (s *Spine[K, V]) Work(fuel int) bool {
 }
 
 // advanceMerge applies fuel to the merge at entry idx, installing the result
-// when it completes; returns leftover fuel.
+// when it completes; returns leftover fuel. Each step extracts the minimum
+// tuple across the run's cursors (k is small — a geometric run — so a linear
+// scan beats heap bookkeeping).
 func (s *Spine[K, V]) advanceMerge(idx, fuel int) int {
 	m := s.entries[idx].merge
-	for fuel > 0 && (m.ca.valid() || m.cb.valid()) {
-		var u Update[K, V]
-		switch {
-		case !m.cb.valid():
-			u = m.ca.get()
-			m.ca.next()
-		case !m.ca.valid():
-			u = m.cb.get()
-			m.cb.next()
-		default:
-			ua, ub := m.ca.get(), m.cb.get()
-			if s.tupleLess(&ua, &ub) {
-				u = ua
-				m.ca.next()
-			} else {
-				u = ub
-				m.cb.next()
+	for fuel > 0 {
+		min := -1
+		for i := range m.cs {
+			if !m.cs[i].valid() {
+				continue
+			}
+			if min < 0 || s.cursorLess(&m.cs[i], &m.cs[min]) {
+				min = i
 			}
 		}
-		if rep, ok := lattice.Compact(u.Time, m.since); ok {
-			u.Time = rep
-			m.out = append(m.out, u)
+		if min < 0 {
+			break
+		}
+		best := m.cs[min].get()
+		m.cs[min].next()
+		if rep, ok := lattice.Compact(best.Time, m.since); ok {
+			best.Time = rep
+			m.out = append(m.out, best)
 		}
 		fuel--
 		s.UpdatesMerged++
 	}
-	if !m.ca.valid() && !m.cb.valid() {
-		merged := BuildBatch(s.fn, m.out, m.a.Lower, m.b.Upper, m.since.Clone())
+	if m.remaining() == 0 {
+		first, last := m.batches[0], m.batches[len(m.batches)-1]
+		merged := BuildBatch(s.fn, m.out, first.Lower, last.Upper, m.since.Clone())
 		s.entries[idx] = spineEntry[K, V]{batch: merged}
 		s.MergesCompleted++
 	}
 	return fuel
 }
 
-func (s *Spine[K, V]) tupleLess(a, b *Update[K, V]) bool {
-	if s.fn.LessK(a.Key, b.Key) {
+// cursorLess orders two tuple cursors by their current (key, val, time)
+// without materializing Update copies (the merge inner loop runs once per
+// tuple per round; copying the wide tuples just to compare them dominated).
+func (s *Spine[K, V]) cursorLess(a, b *tupleCursor[K, V]) bool {
+	ka, kb := a.b.Keys[a.ki], b.b.Keys[b.ki]
+	if s.fn.LessK(ka, kb) {
 		return true
 	}
-	if s.fn.LessK(b.Key, a.Key) {
+	if s.fn.LessK(kb, ka) {
 		return false
 	}
-	if s.fn.LessV(a.Val, b.Val) {
+	va, vb := a.b.Vals[a.vi], b.b.Vals[b.vi]
+	if s.fn.LessV(va, vb) {
 		return true
 	}
-	if s.fn.LessV(b.Val, a.Val) {
+	if s.fn.LessV(vb, va) {
 		return false
 	}
-	return a.Time.TotalLess(b.Time)
+	return a.b.Upds[a.ui].Time.TotalLess(b.b.Upds[b.ui].Time)
 }
 
-// considerMerges initiates merges of adjacent completed batches whose sizes
-// are within a factor of two (or either is empty), provided the newer batch
-// lies behind every reader's physical frontier.
+// considerMerges initiates merges of runs of adjacent completed batches
+// whose sizes are pairwise within a factor of two (or empty), provided the
+// newest batch of the run lies behind every reader's physical frontier. A
+// whole geometric run merges in one k-way pass.
 func (s *Spine[K, V]) considerMerges() {
 	phys, constrained := s.physicalFrontier()
 	for i := 0; i+1 < len(s.entries); i++ {
@@ -200,24 +211,41 @@ func (s *Spine[K, V]) considerMerges() {
 		if n1 > 2*n2 {
 			continue
 		}
-		s.startMergeAt(i)
+		// Extend the run while the geometric chain holds and readers stay
+		// behind the newest absorbed batch (interior cut boundaries vanish,
+		// which is legal exactly when no reader may cut there).
+		j := i + 1
+		for j+1 < len(s.entries) && s.entries[j+1].batch != nil &&
+			s.entries[j].batch.Len() <= 2*s.entries[j+1].batch.Len() &&
+			(!constrained || frontierCovered(s.entries[j+1].batch.Upper, phys)) {
+			j++
+		}
+		s.startMergeRange(i, j)
 		i-- // the merged slot may combine further once complete
 	}
 }
 
 // startMergeAt begins merging entries i and i+1 (both must be completed).
-func (s *Spine[K, V]) startMergeAt(i int) {
-	e1, e2 := &s.entries[i], &s.entries[i+1]
+func (s *Spine[K, V]) startMergeAt(i int) { s.startMergeRange(i, i+1) }
+
+// startMergeRange begins a k-way merge of completed entries i..j inclusive.
+func (s *Spine[K, V]) startMergeRange(i, j int) {
 	m := &mergeState[K, V]{
-		a: e1.batch, b: e2.batch,
-		ca:    newTupleCursor(e1.batch),
-		cb:    newTupleCursor(e2.batch),
-		since: s.logicalFrontier(),
-		out:   make([]Update[K, V], 0, e1.batch.Len()+e2.batch.Len()),
+		batches: make([]*Batch[K, V], 0, j-i+1),
+		cs:      make([]tupleCursor[K, V], 0, j-i+1),
+		since:   s.logicalFrontier(),
 	}
+	total := 0
+	for x := i; x <= j; x++ {
+		b := s.entries[x].batch
+		m.batches = append(m.batches, b)
+		m.cs = append(m.cs, newTupleCursor(b))
+		total += b.Len()
+	}
+	m.out = make([]Update[K, V], 0, total)
 	s.MergesStarted++
 	s.entries[i] = spineEntry[K, V]{merge: m}
-	s.entries = append(s.entries[:i+1], s.entries[i+2:]...)
+	s.entries = append(s.entries[:i+1], s.entries[j+1:]...)
 }
 
 // Recompact forces all possible maintenance to completion: it finishes every
@@ -307,7 +335,7 @@ func (s *Spine[K, V]) visible() []*Batch[K, V] {
 	out := make([]*Batch[K, V], 0, len(s.entries)+2)
 	for i := range s.entries {
 		if m := s.entries[i].merge; m != nil {
-			out = append(out, m.a, m.b)
+			out = append(out, m.batches...)
 		} else {
 			out = append(out, s.entries[i].batch)
 		}
@@ -420,7 +448,14 @@ func (h *Handle[K, V]) CursorThrough(f lattice.Frontier) *TraceCursor[K, V] {
 type TraceCursor[K, V any] struct {
 	fn      Funcs[K, V]
 	batches []*Batch[K, V]
-	pos     []int // per batch: current key index
+	pos     []int        // per batch: current key index
+	rngs    []valueRange // scratch for ForUpdatesOrdered
+}
+
+// valueRange is one batch's value range for the key under an ordered merge.
+type valueRange struct {
+	batch  int
+	vi, hi int
 }
 
 func newTraceCursor[K, V any](fn Funcs[K, V], batches []*Batch[K, V]) *TraceCursor[K, V] {
@@ -476,6 +511,61 @@ func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff))
 				f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
 			}
 		}
+	}
+}
+
+// ForUpdatesOrdered invokes f with every (val, time, diff) of key k like
+// ForUpdates, but in ascending value order: the per-batch value runs are
+// already sorted, so a k-way merge yields globally ordered values (equal
+// values from different batches adjacent) without collecting and re-sorting
+// — the galloping-merge analogue for a key's value histories. Consumers can
+// therefore accumulate with a running (value, sum) pair instead of sorting.
+func (c *TraceCursor[K, V]) ForUpdatesOrdered(k K, f func(v V, t lattice.Time, d Diff)) {
+	c.rngs = c.rngs[:0]
+	for i, b := range c.batches {
+		ki := c.pos[i]
+		if ki >= len(b.Keys) || !c.fn.EqK(b.Keys[ki], k) {
+			continue
+		}
+		lo, hi := b.ValRange(ki)
+		if lo < hi {
+			c.rngs = append(c.rngs, valueRange{batch: i, vi: lo, hi: hi})
+		}
+	}
+	if len(c.rngs) == 1 {
+		// Single batch: its run is already ordered; emit directly.
+		r := c.rngs[0]
+		b := c.batches[r.batch]
+		for vi := r.vi; vi < r.hi; vi++ {
+			ul, uh := b.UpdRange(vi)
+			for ui := ul; ui < uh; ui++ {
+				f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+			}
+		}
+		return
+	}
+	for {
+		min := -1
+		for i := range c.rngs {
+			if c.rngs[i].vi >= c.rngs[i].hi {
+				continue
+			}
+			if min < 0 || c.fn.LessV(
+				c.batches[c.rngs[i].batch].Vals[c.rngs[i].vi],
+				c.batches[c.rngs[min].batch].Vals[c.rngs[min].vi]) {
+				min = i
+			}
+		}
+		if min < 0 {
+			return
+		}
+		r := &c.rngs[min]
+		b := c.batches[r.batch]
+		ul, uh := b.UpdRange(r.vi)
+		for ui := ul; ui < uh; ui++ {
+			f(b.Vals[r.vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+		}
+		r.vi++
 	}
 }
 

@@ -212,9 +212,12 @@ func shiftFrontier(f lattice.Frontier, n int) lattice.Frontier {
 }
 
 // matchBatch joins one batch (side X) against the opposite trace through the
-// task's snapshot, with alternating seeks: batch keys are visited in order
-// and the trace cursor gallops forward to each. Emits via pair. Returns the
-// remaining fuel; the task's ki records the resume position.
+// task's snapshot, with alternating galloping seeks on BOTH sides (§5.3.1):
+// the trace cursor gallops forward to the batch's current key, and when the
+// trace has no such key the batch gallops forward to the trace's next key —
+// a merge join over two sorted runs, so disjoint key ranges cost
+// O(log distance) rather than one probe per batch key. Emits via pair.
+// Returns the remaining fuel; the task's ki records the resume position.
 func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 	task *joinTask[K, VX], hY *core.Handle[K, VY], shiftX, shiftY, fuel int,
 	pair func(k K, vx VX, tx lattice.Time, dx core.Diff, vy VY, ty lattice.Time, dy core.Diff)) int {
@@ -240,9 +243,20 @@ func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 					})
 				}
 			}
+			fuel-- // charge for the key visit
+			task.ki++
+			continue
 		}
-		fuel-- // charge for the key visit even without matches
-		task.ki++
+		fuel--
+		// Trace misses k: its cursors now sit at keys strictly beyond k, so
+		// gallop the batch forward to the smallest trace key instead of
+		// probing every batch key in between.
+		nk, ok := cur.PeekKey()
+		if !ok {
+			task.ki = bt.NumKeys() // trace exhausted; nothing left to match
+			break
+		}
+		task.ki = bt.SeekKey(fnX, nk, task.ki+1)
 	}
 	return fuel
 }

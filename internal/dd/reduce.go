@@ -1,7 +1,7 @@
 package dd
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/lattice"
@@ -70,6 +70,18 @@ type reduceState[K comparable, V, V2 any] struct {
 	// emittedIdx indexes the current round's output buffer by key, so
 	// re-forming a key's output stays linear in that key's corrections.
 	emittedIdx map[K][]int32
+
+	// Trace cursors are forward-only, so consecutive evaluations at one time
+	// with ascending keys (the worklist order) can share a cursor pair and
+	// gallop forward instead of re-walking the trace from the start per key.
+	// The cache invalidates when the time changes, the key regresses (a later
+	// wave revisiting the same time), or a new schedule begins (the traces
+	// may have grown).
+	curValid bool
+	curT     lattice.Time
+	curIn    *core.TraceCursor[K, V]
+	curOut   *core.TraceCursor[K, V2]
+	curLastK K
 }
 
 func (st *reduceState[K, V, V2]) pend(ctx *timely.Ctx, k K, t lattice.Time) {
@@ -102,7 +114,9 @@ func (st *reduceState[K, V, V2]) schedule(ctx *timely.Ctx,
 	in *timely.In[*core.Batch[K, V]], out *timely.Out[*core.Batch[K, V2]]) {
 
 	// Ingest: every (key, time) in a new batch is future work.
+	busy := false
 	in.ForEach(func(stamp []lattice.Time, data []*core.Batch[K, V]) {
+		busy = true
 		for _, b := range data {
 			b.ForEach(func(k K, v V, t lattice.Time, d core.Diff) {
 				st.pend(ctx, k, t)
@@ -122,15 +136,32 @@ func (st *reduceState[K, V, V2]) schedule(ctx *timely.Ctx,
 		}
 	}
 	var emitted []core.Update[K, V2]
-	st.emittedIdx = make(map[K][]int32)
+	if st.emittedIdx == nil {
+		st.emittedIdx = make(map[K][]int32)
+	} else {
+		clear(st.emittedIdx)
+	}
+	// Invalidate AND release the cached cursors: they pin the previous
+	// schedule's batch snapshot, which compaction may since have superseded.
+	st.curValid = false
+	st.curIn, st.curOut = nil, nil
 	// Process in a time-respecting order; lubs discovered along the way that
 	// are also ready join the worklist.
 	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool {
-			if ready[i].t != ready[j].t {
-				return ready[i].t.TotalLess(ready[j].t)
+		slices.SortFunc(ready, func(a, b keyTime[K]) int {
+			if a.t != b.t {
+				if a.t.TotalLess(b.t) {
+					return -1
+				}
+				return 1
 			}
-			return st.fnIn.LessK(ready[i].k, ready[j].k)
+			if st.fnIn.LessK(a.k, b.k) {
+				return -1
+			}
+			if st.fnIn.LessK(b.k, a.k) {
+				return 1
+			}
+			return 0
 		})
 		work := ready
 		ready = nil
@@ -147,8 +178,12 @@ func (st *reduceState[K, V, V2]) schedule(ctx *timely.Ctx,
 		}
 	}
 
-	// Seal an output batch when the frontier advanced.
+	// Seal an output batch when the frontier advanced. Sealing counts as
+	// busy: the progress batch that propagates the epoch downstream applies
+	// only after this schedule returns, so it must not wait on a boosted
+	// maintenance budget.
 	if !frontier.Equal(st.outAgent.Upper()) && frontierDominates(st.outAgent.Upper(), frontier) {
+		busy = true
 		b := core.BuildBatch(st.fnOut, emitted, st.outAgent.Upper().Clone(), frontier.Clone(),
 			st.hOut.Logical().Clone())
 		// Rebuild capability coverage for remaining pending work.
@@ -197,8 +232,15 @@ func (st *reduceState[K, V, V2]) schedule(ctx *timely.Ctx,
 			st.hOut.SetLogical(logical)
 		}
 	}
+	// Idle-aware output trace maintenance: schedules that ingested or
+	// emitted spend the small budget; quiet schedules drain compaction
+	// faster (same busy classification as arrange).
 	if sp := st.outAgent.Spine(); sp != nil {
-		if sp.Work(256) {
+		fuel := core.DefaultMaintenanceFuel
+		if !busy && len(emitted) == 0 {
+			fuel *= core.IdleFuelFactor
+		}
+		if sp.Work(fuel) {
 			ctx.Activate()
 		}
 	}
@@ -211,41 +253,57 @@ func (st *reduceState[K, V, V2]) evaluate(ctx *timely.Ctx, k K, t lattice.Time,
 	frontier lattice.Frontier, emitted *[]core.Update[K, V2]) []keyTime[K] {
 
 	var newReady []keyTime[K]
-	inCur := st.hIn.Cursor()
+	// The shared cursors seek two traces ordered by fnIn and fnOut
+	// respectively, so reuse requires the key to be non-regressing under
+	// BOTH orders (they normally agree; checking both keeps a divergent
+	// fnOut correct at the cost of a fresh cursor pair per key).
+	if !st.curValid || st.curT != t ||
+		st.fnIn.LessK(k, st.curLastK) || st.fnOut.LessK(k, st.curLastK) {
+		st.curIn = st.hIn.Cursor()
+		st.curOut = st.hOut.Cursor()
+		st.curT = t
+		st.curValid = true
+	}
+	st.curLastK = k
+	inCur := st.curIn
 	st.inVals = st.inVals[:0]
 	if inCur.SeekKey(k) {
-		// Accumulate input at t; discover lub-induced future work.
-		inCur.ForUpdates(k, func(v V, ut lattice.Time, d core.Diff) {
+		// Accumulate input at t via the cursor's ordered k-way value merge:
+		// equal values arrive adjacent, so a running (value, sum) pair
+		// replaces collect-and-sort. Along the way, discover lub-induced
+		// future work. The join ut ∨ t equals t when ut ≤ t and ut when
+		// t ≤ ut, so only genuinely incomparable times (never at depth 1)
+		// pay for the Join.
+		var curVal V
+		var curAcc core.Diff
+		curHas := false
+		flush := func() {
+			if curHas && curAcc != 0 {
+				st.inVals = append(st.inVals, ValDiff[V]{curVal, curAcc})
+			}
+		}
+		inCur.ForUpdatesOrdered(k, func(v V, ut lattice.Time, d core.Diff) {
+			if ut.LessEqual(t) {
+				if !curHas || st.fnIn.LessV(curVal, v) {
+					flush()
+					curVal, curAcc, curHas = v, 0, true
+				}
+				curAcc += d
+				return
+			}
+			if t.LessEqual(ut) {
+				return
+			}
 			lub := ut.Join(t)
-			if lub != t && lub != ut && !pendingHas(st.pending, k, lub) {
+			if !pendingHas(st.pending, k, lub) {
 				st.pend(ctx, k, lub)
 				if !frontier.LessEqual(lub) {
 					newReady = append(newReady, keyTime[K]{k, lub})
 				}
 			}
-			if !ut.LessEqual(t) {
-				return
-			}
-			st.inVals = append(st.inVals, ValDiff[V]{v, d})
 		})
+		flush()
 	}
-	// Sort-and-merge accumulation: O(n log n) rather than the quadratic
-	// linear-scan dedup, which dominates keys with many distinct values.
-	sort.Slice(st.inVals, func(i, j int) bool { return st.fnIn.LessV(st.inVals[i].Val, st.inVals[j].Val) })
-	merged := st.inVals[:0]
-	for i := 0; i < len(st.inVals); {
-		j := i + 1
-		acc := st.inVals[i].Diff
-		for j < len(st.inVals) && st.fnIn.EqV(st.inVals[i].Val, st.inVals[j].Val) {
-			acc += st.inVals[j].Diff
-			j++
-		}
-		if acc != 0 {
-			merged = append(merged, ValDiff[V]{st.inVals[i].Val, acc})
-		}
-		i = j
-	}
-	st.inVals = merged
 
 	st.outVals = st.outVals[:0]
 	if len(st.inVals) > 0 {
@@ -255,7 +313,7 @@ func (st *reduceState[K, V, V2]) evaluate(ctx *timely.Ctx, k K, t lattice.Time,
 	// Re-form the current output at t: sealed output trace plus updates
 	// emitted earlier in this round.
 	st.outScratch = st.outScratch[:0]
-	outCur := st.hOut.Cursor()
+	outCur := st.curOut
 	if outCur.SeekKey(k) {
 		outCur.ForUpdates(k, func(v V2, ut lattice.Time, d core.Diff) {
 			if ut.LessEqual(t) {

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"testing"
+)
+
+// Fuzz targets decoding arbitrary byte strings into small multi-epoch
+// histories and cross-checking join and reduce (count + distinct) against
+// the recompute oracles. Run with go test -fuzz; CI runs a short smoke
+// (-fuzztime) on every PR.
+
+func FuzzJoinOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 3, 2, 2, 2, 4}, []byte{1, 3, 1, 2, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 2}, []byte{0, 0, 0})
+	f.Add([]byte{5, 5, 6, 5, 5, 7}, []byte{5, 1, 0, 5, 1, 3})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ha := DecodeHistory(a, 4, 5, 6)
+		hb := DecodeHistory(b, 4, 5, 6)
+		checkJoinOracle(t, 2, ha, hb)
+	})
+}
+
+func FuzzReduceOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 2, 1, 3, 4, 2})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0})
+	f.Add([]byte{7, 7, 7, 7, 7, 6, 7, 7, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := DecodeHistory(data, 4, 5, 8)
+		checkCountDistinctOracle(t, 2, h)
+	})
+}

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/timely"
+)
+
+// The operator-oracle property suite: every dd operator runs randomized
+// multi-epoch insert/delete histories at several worker counts, and each
+// epoch's consolidated output is compared against a naive recompute.
+
+var oracleWorkers = []int{1, 3}
+
+func diffMaps(t *testing.T, tag string, e int, got, want map[[2]any]core.Diff) {
+	t.Helper()
+	for k, d := range want {
+		if got[k] != d {
+			t.Fatalf("%s epoch %d: record %v got %d want %d", tag, e, k, got[k], d)
+		}
+	}
+	for k, d := range got {
+		if want[k] == 0 {
+			t.Fatalf("%s epoch %d: unexpected record %v (diff %d)", tag, e, k, d)
+		}
+	}
+}
+
+func TestOracleMap(t *testing.T) {
+	h := RandomHistory(rand.New(rand.NewSource(11)), 8, 24, 6, 12, 0.3)
+	for _, workers := range oracleWorkers {
+		got := CollectEpochs(workers, h,
+			func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+				return dd.Map(c, func(k, v uint64) (uint64, uint64) { return v % 5, k + v })
+			})
+		for e := 0; e < h.Epochs; e++ {
+			want := map[[2]any]core.Diff{}
+			for kv, d := range NetAt(h, uint64(e)) {
+				want[[2]any{kv[1] % 5, kv[0] + kv[1]}] += d
+			}
+			for k, d := range want {
+				if d == 0 {
+					delete(want, k)
+				}
+			}
+			diffMaps(t, fmt.Sprintf("map/w%d", workers), e, got[e], want)
+		}
+	}
+}
+
+func TestOracleFilter(t *testing.T) {
+	h := RandomHistory(rand.New(rand.NewSource(12)), 8, 24, 6, 12, 0.3)
+	pred := func(k, v uint64) bool { return (k+v)%3 != 0 }
+	for _, workers := range oracleWorkers {
+		got := CollectEpochs(workers, h,
+			func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+				return dd.Filter(c, pred)
+			})
+		for e := 0; e < h.Epochs; e++ {
+			want := map[[2]any]core.Diff{}
+			for kv, d := range NetAt(h, uint64(e)) {
+				if pred(kv[0], kv[1]) {
+					want[[2]any{kv[0], kv[1]}] = d
+				}
+			}
+			diffMaps(t, fmt.Sprintf("filter/w%d", workers), e, got[e], want)
+		}
+	}
+}
+
+func TestOracleConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ha := RandomHistory(r, 6, 16, 5, 9, 0.25)
+	hb := RandomHistory(r, 6, 16, 5, 9, 0.25)
+	for _, workers := range oracleWorkers {
+		got := CollectEpochs2(workers, ha, hb,
+			func(g *timely.Graph, a, b dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+				return dd.Concat(a, b)
+			})
+		for e := 0; e < ha.Epochs; e++ {
+			want := map[[2]any]core.Diff{}
+			for kv, d := range NetAt(ha, uint64(e)) {
+				want[[2]any{kv[0], kv[1]}] += d
+			}
+			for kv, d := range NetAt(hb, uint64(e)) {
+				want[[2]any{kv[0], kv[1]}] += d
+				if want[[2]any{kv[0], kv[1]}] == 0 {
+					delete(want, [2]any{kv[0], kv[1]})
+				}
+			}
+			diffMaps(t, fmt.Sprintf("concat/w%d", workers), e, got[e], want)
+		}
+	}
+}
+
+// checkJoinOracle is shared with FuzzJoinOracle: join two histories on key,
+// encoding the value pair, and compare per-epoch with the product oracle.
+func checkJoinOracle(t *testing.T, workers int, ha, hb History) {
+	t.Helper()
+	const enc = 1 << 20
+	got := CollectEpochs2(workers, ha, hb,
+		func(g *timely.Graph, a, b dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+			return dd.Join(a, core.U64(), b, core.U64(), "join",
+				func(k, v1, v2 uint64) (uint64, uint64) { return k, v1*enc + v2 })
+		})
+	for e := 0; e < ha.Epochs; e++ {
+		na, nb := NetAt(ha, uint64(e)), NetAt(hb, uint64(e))
+		want := map[[2]any]core.Diff{}
+		for ka, da := range na {
+			for kb, db := range nb {
+				if ka[0] != kb[0] {
+					continue
+				}
+				key := [2]any{ka[0], ka[1]*enc + kb[1]}
+				want[key] += da * db
+				if want[key] == 0 {
+					delete(want, key)
+				}
+			}
+		}
+		diffMaps(t, fmt.Sprintf("join/w%d", workers), e, got[e], want)
+	}
+}
+
+func TestOracleJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	ha := RandomHistory(r, 6, 20, 5, 6, 0.3)
+	hb := RandomHistory(r, 6, 20, 5, 6, 0.3)
+	for _, workers := range oracleWorkers {
+		checkJoinOracle(t, workers, ha, hb)
+	}
+}
+
+// checkCountDistinctOracle is shared with FuzzReduceOracle: Count and
+// Distinct over one history, per-epoch, against recompute oracles.
+func checkCountDistinctOracle(t *testing.T, workers int, h History) {
+	t.Helper()
+	gotCount := CollectEpochs(workers, h,
+		func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, int64] {
+			return dd.Count(c, core.U64())
+		})
+	gotDistinct := CollectEpochs(workers, h,
+		func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+			return dd.Distinct(c, core.U64())
+		})
+	for e := 0; e < h.Epochs; e++ {
+		net := NetAt(h, uint64(e))
+		wantCount := map[[2]any]core.Diff{}
+		totals := map[uint64]core.Diff{}
+		hasVals := map[uint64]bool{}
+		wantDistinct := map[[2]any]core.Diff{}
+		for kv, d := range net {
+			totals[kv[0]] += d
+			hasVals[kv[0]] = true
+			if d > 0 {
+				wantDistinct[[2]any{kv[0], kv[1]}] = 1
+			}
+		}
+		for k := range hasVals {
+			wantCount[[2]any{k, totals[k]}] = 1
+		}
+		diffMaps(t, fmt.Sprintf("count/w%d", workers), e, gotCount[e], wantCount)
+		diffMaps(t, fmt.Sprintf("distinct/w%d", workers), e, gotDistinct[e], wantDistinct)
+	}
+}
+
+func TestOracleCountDistinct(t *testing.T) {
+	h := RandomHistory(rand.New(rand.NewSource(15)), 8, 24, 5, 10, 0.35)
+	for _, workers := range oracleWorkers {
+		checkCountDistinctOracle(t, workers, h)
+	}
+}
+
+func TestOracleReduceCustom(t *testing.T) {
+	// A custom reducer: emit the maximum present value of each key.
+	h := RandomHistory(rand.New(rand.NewSource(16)), 8, 24, 5, 12, 0.35)
+	for _, workers := range oracleWorkers {
+		got := CollectEpochs(workers, h,
+			func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+				return dd.Reduce(c, core.U64(), core.U64(), "MaxVal",
+					func(k uint64, in []dd.ValDiff[uint64], out *[]dd.ValDiff[uint64]) {
+						best, ok := uint64(0), false
+						for _, e := range in {
+							if e.Diff > 0 && (!ok || e.Val > best) {
+								best, ok = e.Val, true
+							}
+						}
+						if ok {
+							*out = append(*out, dd.ValDiff[uint64]{Val: best, Diff: 1})
+						}
+					})
+			})
+		for e := 0; e < h.Epochs; e++ {
+			want := map[[2]any]core.Diff{}
+			best := map[uint64]uint64{}
+			has := map[uint64]bool{}
+			for kv, d := range NetAt(h, uint64(e)) {
+				if d > 0 && (!has[kv[0]] || kv[1] > best[kv[0]]) {
+					best[kv[0]], has[kv[0]] = kv[1], true
+				}
+			}
+			for k, v := range best {
+				want[[2]any{k, v}] = 1
+			}
+			diffMaps(t, fmt.Sprintf("reduce-max/w%d", workers), e, got[e], want)
+		}
+	}
+}
+
+func TestOracleIterate(t *testing.T) {
+	// Fixed point of v -> v/2 closure: every present (k, v) derives the chain
+	// v, v/2, ..., 0, each with multiplicity one (the body distinct-s).
+	h := RandomHistory(rand.New(rand.NewSource(17)), 6, 16, 4, 16, 0.3)
+	for _, workers := range oracleWorkers {
+		got := CollectEpochs(workers, h,
+			func(g *timely.Graph, c dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+				return dd.Iterate(c, func(x dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64] {
+					halved := dd.Map(x, func(k, v uint64) (uint64, uint64) { return k, v / 2 })
+					return dd.Distinct(dd.Concat(x, halved), core.U64())
+				})
+			})
+		for e := 0; e < h.Epochs; e++ {
+			want := map[[2]any]core.Diff{}
+			for kv, d := range NetAt(h, uint64(e)) {
+				if d <= 0 {
+					continue
+				}
+				v := kv[1]
+				for {
+					want[[2]any{kv[0], v}] = 1
+					if v == 0 {
+						break
+					}
+					v /= 2
+				}
+			}
+			diffMaps(t, fmt.Sprintf("iterate/w%d", workers), e, got[e], want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package timely
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// Exchange data plane: hash-exchanged channels do not push one mailbox
+// message per send call. Instead every sender radix-partitions records into
+// per-destination staging buffers, and the staged buffers are flushed as
+// single mailbox messages when the sending operator's schedule call ends
+// (the moment its capability changes are about to be published) — or
+// immediately for sends outside any schedule, such as Input handles.
+//
+// Staging buffers are recycled through a sync.Pool-backed arena: the flush
+// hands each buffer to exactly one receiving mailbox, and In.ForEach returns
+// it to the originating pool after the delivery callback. Steady-state
+// exchange therefore allocates (almost) nothing: buffers, mailbox queue
+// segments, and partition headers all cycle through pools.
+//
+// Ownership contract: data slices delivered on an exchanged channel are
+// pool-owned and are RECLAIMED when the ForEach callback returns. Callbacks
+// must copy anything they retain or forward (pipeline channels are unchanged:
+// their slices are shared and must merely be treated as immutable).
+
+// slicePool is a sync.Pool-backed arena of exchange buffers of one element
+// type. Buffers return through the message that carried them, so a pool may
+// be filled from any worker goroutine.
+type slicePool[D any] struct {
+	p         sync.Pool
+	mustClear bool // element type contains pointers
+}
+
+func newSlicePool[D any]() *slicePool[D] {
+	return &slicePool[D]{mustClear: typeHasPointers(reflect.TypeFor[D]())}
+}
+
+// typeHasPointers reports whether values of t can reference heap memory
+// (conservatively true for anything but scalars and aggregates of scalars).
+func typeHasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32,
+		reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return typeHasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// get returns an empty buffer, reusing a recycled one's capacity when
+// available. A nil return is fine: the first append allocates.
+func (sp *slicePool[D]) get() []D {
+	if v := sp.p.Get(); v != nil {
+		return (*v.(*[]D))[:0]
+	}
+	return nil
+}
+
+// put recycles a buffer. Pointer-bearing elements are cleared so pooled
+// memory does not retain references the collector would otherwise free;
+// scalar payloads skip the memclr.
+func (sp *slicePool[D]) put(s []D) {
+	if cap(s) == 0 {
+		return
+	}
+	if sp.mustClear {
+		clear(s[:cap(s)])
+	}
+	s = s[:0]
+	sp.p.Put(&s)
+}
+
+// stage appends data to the channel's per-destination staging buffers,
+// partitioning by the exchange hash, and accumulates the stamp into the
+// staged antichain. o is the scheduling operator (nil when the send
+// originates outside a schedule, e.g. an Input handle); staged channels
+// register themselves with the operator to be flushed when its schedule
+// ends, keeping the message count per destination at one per schedule no
+// matter how many SendSlice calls the operator makes.
+func (c *channelDesc[D]) stage(o *opState, stamp []lattice.Time, data []D) {
+	if len(data) == 0 {
+		return
+	}
+	if c.exchange == nil {
+		// Pipeline channels stay zero-copy: the slice is shared with the
+		// consumer (and possibly other channels) as before.
+		c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, 1)
+		c.boxes[0].push(message[D]{stamp: stamp, data: data})
+		c.rt.wake()
+		return
+	}
+	if c.staged == nil {
+		c.staged = make([][]D, len(c.boxes))
+	}
+	peers := uint64(len(c.boxes))
+	for _, d := range data {
+		i := c.exchange(d) % peers
+		if c.staged[i] == nil {
+			c.staged[i] = c.pool.get()
+			if c.staged[i] == nil {
+				c.staged[i] = make([]D, 0, len(data))
+			}
+		}
+		c.staged[i] = append(c.staged[i], d)
+	}
+	for _, t := range stamp {
+		c.stagedStamp.Insert(t)
+	}
+	if !c.dirty {
+		c.dirty = true
+		if o != nil {
+			o.flushers = append(o.flushers, c.flush)
+		} else {
+			c.flush()
+		}
+	}
+}
+
+// flush publishes the staged buffers: message pointstamps are registered
+// with the tracker first (consumers must never observe an uncounted
+// message), then each non-empty destination buffer is pushed as one pooled
+// mailbox message carrying the staged stamp antichain.
+func (c *channelDesc[D]) flush() {
+	if !c.dirty {
+		return
+	}
+	c.dirty = false
+	stamp := c.stagedStamp.Elements()
+	c.stagedStamp = lattice.Frontier{}
+	var parts int64
+	for _, part := range c.staged {
+		if len(part) > 0 {
+			parts++
+		}
+	}
+	if parts == 0 {
+		return
+	}
+	c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, parts)
+	for i, part := range c.staged {
+		if len(part) == 0 {
+			c.staged[i] = nil
+			continue
+		}
+		c.boxes[i].push(message[D]{stamp: stamp, data: part, pool: c.pool})
+		c.staged[i] = nil
+	}
+	c.rt.wake()
+}

@@ -131,7 +131,9 @@ type outReg[D any] struct {
 }
 
 // channelDesc is one edge from an operator output to a consumer input, with
-// its per-target-worker mailboxes.
+// its per-target-worker mailboxes. Exchanged channels stage records into
+// pooled per-destination buffers (see exchange.go); pipeline channels push
+// the shared slice directly.
 type channelDesc[D any] struct {
 	dstOp    int
 	dstPort  int
@@ -140,32 +142,11 @@ type channelDesc[D any] struct {
 	tracker  *tracker
 	rt       *runtime
 	sender   int // worker index of this (per-worker) descriptor
-}
 
-func (c *channelDesc[D]) send(stamp []lattice.Time, data []D) {
-	if len(data) == 0 {
-		return
-	}
-	if c.exchange == nil {
-		c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, 1)
-		c.boxes[0].push(message[D]{stamp: stamp, data: data})
-		c.rt.wake()
-		return
-	}
-	peers := uint64(c.rt.peers)
-	parts := make([][]D, peers)
-	for _, d := range data {
-		i := c.exchange(d) % peers
-		parts[i] = append(parts[i], d)
-	}
-	for i, p := range parts {
-		if len(p) == 0 {
-			continue
-		}
-		c.tracker.msgArrived(c.dstOp, c.dstPort, stamp, 1)
-		c.boxes[i].push(message[D]{stamp: stamp, data: p})
-	}
-	c.rt.wake()
+	pool        *slicePool[D]    // buffer arena (exchanged channels only)
+	staged      [][]D            // per destination, pool-backed; lazily sized
+	stagedStamp lattice.Frontier // antichain of stamps staged since last flush
+	dirty       bool             // staged data awaiting flush
 }
 
 // attachIn connects a stream to input port dstPort of operator dstOp,
@@ -182,6 +163,9 @@ func attachIn[A any](s *Stream[A], st *opState, dstPort int, exch func(A) uint64
 		tracker:  g.tracker,
 		rt:       rt,
 		sender:   g.w.index,
+	}
+	if exch != nil {
+		desc.pool = newSlicePool[A]()
 	}
 	if exch == nil {
 		desc.boxes = []*mailbox[A]{mailboxFor[A](rt, g.seq, ch, g.w.index)}
@@ -211,6 +195,7 @@ type opState struct {
 	caps      []map[lattice.Time]int64 // persistent capabilities, per out port
 	justif    []lattice.Frontier       // per out port: times we may send at, this schedule
 	batch     progressBatch
+	flushers  []func() // staged exchange channels to flush after run
 	activity  bool
 	reactive  bool // request re-scheduling even without new input
 	run       func(ctx *Ctx)
@@ -229,6 +214,13 @@ func (o *opState) schedule() bool {
 	if o.run != nil {
 		o.run(&Ctx{o})
 	}
+	// Flush staged exchange buffers before publishing the progress batch:
+	// messages must be counted before the capabilities (or input messages)
+	// justifying their stamps are released.
+	for _, f := range o.flushers {
+		f()
+	}
+	o.flushers = o.flushers[:0]
 	if !o.batch.empty() {
 		o.g.tracker.apply(&o.batch)
 		o.g.w.rt.wake()
@@ -311,8 +303,10 @@ type In[A any] struct {
 }
 
 // ForEach drains and delivers all pending messages. The callback must treat
-// both the stamp and the data as immutable (data may be shared with other
-// consumers of the same stream).
+// both the stamp and the data as immutable. On pipeline channels the data
+// slice may be shared with other consumers of the same stream; on exchanged
+// channels it is pool-owned and is RECYCLED when the callback returns, so
+// callbacks must copy anything they retain or forward downstream.
 func (in *In[A]) ForEach(f func(stamp []lattice.Time, data []A)) {
 	msgs := in.mb.drain()
 	for _, m := range msgs {
@@ -326,7 +320,11 @@ func (in *In[A]) ForEach(f func(stamp []lattice.Time, data []A)) {
 			}
 		}
 		f(m.stamp, m.data)
+		if m.pool != nil {
+			m.pool.put(m.data)
+		}
 	}
+	in.mb.recycle(msgs)
 }
 
 // Frontier returns the lower bound of timestamps that may still arrive at
@@ -346,7 +344,9 @@ type Out[B any] struct {
 // times. Ownership of both slices passes to the runtime; the data slice may
 // be shared with multiple consumers and must not be mutated afterwards.
 // Every stamp element must be justified by a held capability or by an input
-// message consumed in the current schedule call.
+// message consumed in the current schedule call. Exchanged channels copy the
+// records into staged per-destination buffers delivered when the schedule
+// call ends; pipeline channels enqueue the slice itself immediately.
 func (o *Out[B]) SendSlice(stamp []lattice.Time, data []B) {
 	if len(data) == 0 {
 		return
@@ -360,7 +360,7 @@ func (o *Out[B]) SendSlice(stamp []lattice.Time, data []B) {
 	}
 	st.activity = true
 	for _, ch := range o.reg.channels {
-		ch.send(stamp, data)
+		ch.stage(st, stamp, data)
 	}
 }
 

@@ -56,7 +56,9 @@ func (h *Input[D]) SendAtEpoch(epoch uint64, data []D) {
 	}
 	stamp := []lattice.Time{lattice.Ts(epoch)}
 	for _, ch := range h.reg.channels {
-		ch.send(stamp, data)
+		// Input sends run outside any operator schedule, so staged exchange
+		// buffers flush immediately (nil opState).
+		ch.stage(nil, stamp, data)
 	}
 }
 
@@ -167,6 +169,7 @@ func (f *Feedback[D]) Connect(s *Stream[D], exch func(D) uint64) {
 	in := attachIn(s, f.st, 0, exch)
 	out := &Out[D]{o: f.st, port: 0, reg: f.out.reg}
 	adjust := f.adjust
+	exchanged := exch != nil
 	f.st.run = func(ctx *Ctx) {
 		in.ForEach(func(stamp []lattice.Time, data []D) {
 			stepped := make([]lattice.Time, len(stamp))
@@ -179,6 +182,10 @@ func (f *Feedback[D]) Connect(s *Stream[D], exch func(D) uint64) {
 					mapped[i] = adjust(d)
 				}
 				data = mapped
+			} else if exchanged {
+				// Exchanged input slices are recycled after this callback;
+				// copy before forwarding them around the loop.
+				data = append([]D(nil), data...)
 			}
 			out.SendSlice(stepped, data)
 		})

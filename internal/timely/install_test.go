@@ -10,7 +10,7 @@ import (
 // installCounting installs an input -> exchange -> probe dataflow on a
 // running cluster and returns the per-worker inputs plus a shared received
 // counter and the worker-0 probe.
-func installCounting(t *testing.T, c *Cluster) ([]*Input[int], *atomic.Int64, *Probe) {
+func installCounting(t *testing.T, c *Cluster) ([]*Input[int], *atomic.Int64, *Probe, *Installed) {
 	t.Helper()
 	var received atomic.Int64
 	inputs := make([]*Input[int], c.Peers())
@@ -22,13 +22,14 @@ func installCounting(t *testing.T, c *Cluster) ([]*Input[int], *atomic.Int64, *P
 			func(ctx *Ctx, in *In[int], out *Out[int]) {
 				in.ForEach(func(stamp []lattice.Time, data []int) {
 					received.Add(int64(len(data)))
-					out.SendSlice(stamp, data)
+					// Exchanged slices are pooled: copy before forwarding.
+					out.SendSlice(stamp, append([]int(nil), data...))
 				})
 			})
 		probes[w.Index()] = NewProbe(exchanged)
 	})
 	in.Wait()
-	return inputs, &received, probes[0]
+	return inputs, &received, probes[0], in
 }
 
 // TestClusterLiveInstall drives two dataflows installed at different times
@@ -38,7 +39,7 @@ func TestClusterLiveInstall(t *testing.T) {
 	c := StartCluster(3)
 	defer c.Shutdown()
 
-	in1, rec1, probe1 := installCounting(t, c)
+	in1, rec1, probe1, _ := installCounting(t, c)
 	for e := uint64(0); e < 5; e++ {
 		in1[0].Send(1, 2, 3, 4, 5)
 		for _, h := range in1 {
@@ -53,7 +54,7 @@ func TestClusterLiveInstall(t *testing.T) {
 	}
 
 	// Install a second dataflow while the first is still live.
-	in2, rec2, probe2 := installCounting(t, c)
+	in2, rec2, probe2, _ := installCounting(t, c)
 	in2[0].Send(7, 8, 9)
 	for _, h := range in2 {
 		h.AdvanceTo(1)
@@ -106,7 +107,7 @@ func TestClusterUninstall(t *testing.T) {
 	c.Uninstall(inst)
 
 	// Post-uninstall, a new install still works end to end.
-	in2, rec2, probe2 := installCounting(t, c)
+	in2, rec2, probe2, _ := installCounting(t, c)
 	in2[0].Send(4, 5)
 	for _, h := range in2 {
 		h.Close()

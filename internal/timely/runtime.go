@@ -98,21 +98,30 @@ func (rt *runtime) activityGen() uint64 {
 // mailbox is one typed FIFO queue from any sender to one worker on one
 // channel. Queues are unbounded: memory is bounded by progress (operators
 // drain their inputs each schedule), not by backpressure, as in timely.
+// Drained queue segments are recycled (see recycle), so steady-state
+// delivery reuses one backing array per mailbox.
 type mailbox[D any] struct {
 	mu    sync.Mutex
 	queue []message[D]
+	free  []message[D] // recycled backing for the next queue
 }
 
 // message is one timestamped bundle of data. The stamp is an antichain: the
 // minimal logical times of the contents. An empty stamp is legal and carries
 // no progress obligation (used for data-free signals such as empty batches).
+// pool, when non-nil, owns the data slice: the receiver returns it after
+// delivery (exchanged channels only).
 type message[D any] struct {
 	stamp []lattice.Time
 	data  []D
+	pool  *slicePool[D]
 }
 
 func (m *mailbox[D]) push(msg message[D]) {
 	m.mu.Lock()
+	if m.queue == nil && m.free != nil {
+		m.queue, m.free = m.free, nil
+	}
 	m.queue = append(m.queue, msg)
 	m.mu.Unlock()
 }
@@ -123,6 +132,20 @@ func (m *mailbox[D]) drain() []message[D] {
 	m.queue = nil
 	m.mu.Unlock()
 	return q
+}
+
+// recycle returns a fully processed drain result for reuse as queue backing.
+// Entries are cleared so the recycled array retains no slices.
+func (m *mailbox[D]) recycle(q []message[D]) {
+	if cap(q) == 0 {
+		return
+	}
+	clear(q[:cap(q)])
+	m.mu.Lock()
+	if m.free == nil {
+		m.free = q[:0]
+	}
+	m.mu.Unlock()
 }
 
 func (m *mailbox[D]) empty() bool {

@@ -2,6 +2,7 @@ package timely
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -25,7 +26,8 @@ func TestManyEpochsManyWorkers(t *testing.T) {
 				func(ctx *Ctx, in *In[int], out *Out[int]) {
 					in.ForEach(func(stamp []lattice.Time, data []int) {
 						received.Add(int64(len(data)))
-						out.SendSlice(stamp, data)
+						// Exchanged slices are pooled: copy before forwarding.
+						out.SendSlice(stamp, append([]int(nil), data...))
 					})
 				})
 			probe = NewProbe(exchanged)
@@ -171,4 +173,121 @@ func TestInputMisusePanics(t *testing.T) {
 		in.AdvanceTo(5)
 		in.SendAtEpoch(2, []int{1})
 	})
+}
+
+// TestExchangePooledChurnRace is the exchange-batching race test: 4 workers
+// run a long-lived double-exchange dataflow whose pooled buffers are
+// constantly in flight, while installer goroutines concurrently install and
+// uninstall further exchanged dataflows on the same cluster. Every epoch
+// asserts exact conservation — no lost and no duplicated updates — by count
+// and by checksum. Run with -race (CI does).
+func TestExchangePooledChurnRace(t *testing.T) {
+	const (
+		peers  = 4
+		rounds = 40
+		perEp  = 64
+		encEp  = 1 << 12 // value encodes (epoch, index): epoch*encEp + i
+	)
+	c := StartCluster(peers)
+	defer c.Shutdown()
+
+	var mu sync.Mutex
+	gotCount := map[uint64]int{}
+	gotSum := map[uint64]int{}
+
+	inputs := make([]*Input[int], peers)
+	probes := make([]*Probe, peers)
+	inst := c.Install(func(w *Worker, g *Graph) {
+		h, s := NewInput[int](g)
+		inputs[w.Index()] = h
+		// First exchange routes by value, second re-routes by a different
+		// hash, so pooled buffers cross worker boundaries twice per record.
+		ex1 := Unary[int, int](s, "ex1", func(d int) uint64 { return uint64(d) }, SumID, nil,
+			func(ctx *Ctx, in *In[int], out *Out[int]) {
+				in.ForEach(func(stamp []lattice.Time, data []int) {
+					// Pooled slices must be copied before forwarding.
+					out.SendSlice(stamp, append([]int(nil), data...))
+				})
+			})
+		ex2 := Unary[int, int](ex1, "ex2", func(d int) uint64 { return uint64(d) * 2654435761 }, SumID, nil,
+			func(ctx *Ctx, in *In[int], out *Out[int]) {
+				in.ForEach(func(stamp []lattice.Time, data []int) {
+					out.SendSlice(stamp, append([]int(nil), data...))
+				})
+			})
+		Sink(ex2, "tally", nil, func(ctx *Ctx, in *In[int]) {
+			in.ForEach(func(stamp []lattice.Time, data []int) {
+				mu.Lock()
+				for _, v := range data {
+					gotCount[uint64(v)/encEp]++
+					gotSum[uint64(v)/encEp] += v % encEp
+				}
+				mu.Unlock()
+			})
+		})
+		probes[w.Index()] = NewProbe(ex2)
+	})
+	inst.Wait()
+
+	// Installer goroutines: install, feed, drain, uninstall in a loop while
+	// the churn epochs stream.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for worker := 0; worker < 2; worker++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for cyc := 0; ; cyc++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ins, rec, probe, handle := installCounting(t, c)
+				ins[0].Send(seed, seed+1, seed+2)
+				for _, h := range ins {
+					h.Close()
+				}
+				c.WaitUntil(func() bool { return probe.Frontier().Empty() })
+				if got := rec.Load(); got != 3 {
+					t.Errorf("installer %d cycle %d: received %d records, want 3", seed, cyc, got)
+					return
+				}
+				// Tear the dataflow down while churn messages (and their
+				// pooled buffers) are in flight on the shared cluster.
+				if !c.WaitUntil(handle.Complete) {
+					return
+				}
+				c.Uninstall(handle)
+			}
+		}(100 * (worker + 1))
+	}
+
+	for e := uint64(0); e < rounds; e++ {
+		vals := make([]int, perEp)
+		wantSum := 0
+		for i := range vals {
+			vals[i] = int(e)*encEp + i
+			wantSum += i
+		}
+		inputs[0].SendSlice(vals)
+		for _, h := range inputs {
+			h.AdvanceTo(e + 1)
+		}
+		if !c.WaitUntil(func() bool { return probes[0].Done(lattice.Ts(e)) }) {
+			t.Fatal("cluster stopped during churn")
+		}
+		mu.Lock()
+		count, sum := gotCount[e], gotSum[e]
+		mu.Unlock()
+		if count != perEp || sum != wantSum {
+			t.Fatalf("epoch %d: received %d records (sum %d), want %d (sum %d) — lost or duplicated updates",
+				e, count, sum, perEp, wantSum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, h := range inputs {
+		h.Close()
+	}
 }

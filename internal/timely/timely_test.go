@@ -131,7 +131,8 @@ func TestMultiWorkerExchange(t *testing.T) {
 						}
 						perWorker[ctx.Worker()] = append(perWorker[ctx.Worker()], data...)
 						total.Add(int64(len(data)))
-						out.SendSlice(stamp, data)
+						// Exchanged slices are pooled: copy before forwarding.
+						out.SendSlice(stamp, append([]int(nil), data...))
 					})
 				})
 			probe = NewProbe(routed)
@@ -359,7 +360,8 @@ func TestFrontierWithStragglerWorker(t *testing.T) {
 							for _, v := range d {
 								sum.Add(int64(v))
 							}
-							out.SendSlice(st, d)
+							// Exchanged slices are pooled: copy before forwarding.
+							out.SendSlice(st, append([]int(nil), d...))
 						})
 					})
 				probe = NewProbe(summed)

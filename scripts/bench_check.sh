@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 benchmark regression gate: re-runs the kpg bench set and fails when
+# any recorded metric regresses more than 20% (tolerance overridable, e.g.
+# scripts/bench_check.sh -tol 0.3). Baselines are machine-specific — record
+# one on your hardware with:  go run ./cmd/kpg bench -json > BENCH_baseline.json
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/kpg bench -baseline BENCH_baseline.json "$@"
