@@ -13,6 +13,15 @@
 // query-installation server: queries arrive at a running, churning edges
 // arrangement and report install-to-first-result latencies for the shared
 // versus rebuilt configurations.
+//
+// kpg serve -data-dir <dir> runs the durable serve path instead: the edges
+// arrangement logs every sealed batch to a write-ahead log under <dir>,
+// checkpointing every -checkpoint-every epochs. Restarted with -recover,
+// the server rebuilds the arrangement from the logged batches (no source
+// replay), resumes the deterministic churn from the recovered epoch, and
+// prints a RESULT line identical to an uninterrupted run's — even after
+// SIGKILL mid-stream (scripts/crash_recovery_check.sh asserts exactly
+// that).
 package main
 
 import (

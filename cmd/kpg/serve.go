@@ -7,16 +7,24 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dd"
 	"repro/internal/graphs"
 	"repro/internal/harness"
 	"repro/internal/interactive"
+	"repro/internal/lattice"
+	"repro/internal/server"
+	"repro/internal/timely"
+	"repro/internal/wal"
 )
 
 var (
-	serveNodes  = flag.Uint64("nodes", 20000, "serve: graph node count")
-	serveEdges  = flag.Uint64("edges", 64000, "serve: initial edge count")
-	serveChurn  = flag.Int("churn", 4000, "serve: edge updates per round")
-	serveRounds = flag.Int("rounds", 25, "serve: churn rounds between installs")
+	serveNodes   = flag.Uint64("nodes", 20000, "serve: graph node count")
+	serveEdges   = flag.Uint64("edges", 64000, "serve: initial edge count")
+	serveChurn   = flag.Int("churn", 4000, "serve: edge updates per round")
+	serveRounds  = flag.Int("rounds", 25, "serve: churn rounds between installs")
+	serveDataDir = flag.String("data-dir", "", "serve: durable WAL directory (enables the durable serve path)")
+	serveRecover = flag.Bool("recover", false, "serve: restore arrangements from the -data-dir logs before streaming")
+	serveCkpt    = flag.Int("checkpoint-every", 10, "serve: checkpoint interval in epochs on the durable path (0 disables)")
 )
 
 // serve demonstrates live query installation (§6.2, Fig 5): it starts a
@@ -27,6 +35,10 @@ var (
 // shared arrangements pays) — and reports the install-to-first-complete-
 // result latency of both configurations.
 func serve() {
+	if *serveDataDir != "" {
+		serveDurable()
+		return
+	}
 	w := clampWorkers(4)
 	live, err := interactive.StartLive(w)
 	if err != nil {
@@ -124,4 +136,118 @@ func serve() {
 	}
 	t.Write(os.Stdout)
 	fmt.Println("\nqueries attached to the running arrangement; uninstalled cleanly; server shutting down")
+}
+
+// serveDurable is the durable serve path (kpg serve -data-dir [-recover]):
+// a server hosting a WAL-backed edges arrangement streams a deterministic
+// churn workload, checkpointing periodically. Killed at any point — even
+// SIGKILL mid-epoch — and restarted with -recover, it rebuilds the
+// arrangement from the logged batches (no source replay), resumes the churn
+// from the recovered epoch, and serves exactly the results an uninterrupted
+// run serves; the final RESULT line is the comparison artifact the CI
+// crash-recovery smoke asserts on.
+func serveDurable() {
+	w := clampWorkers(4)
+	s := server.NewOpts(w, server.Options{DataDir: *serveDataDir, Recover: *serveRecover})
+	defer s.Close()
+	fmt.Printf("durable serve: %d workers, data-dir %s\n", w, *serveDataDir)
+
+	edges, err := server.NewSourceOpts(s, "edges", core.U64(), server.SourceOptions[uint64, uint64]{
+		Durable:  true,
+		KeyCodec: wal.U64Codec(),
+		ValCodec: wal.U64Codec(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	start := uint64(0)
+	if *serveRecover {
+		rec, err := s.Restore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: restore: %v\n", err)
+			os.Exit(1)
+		}
+		start = rec["edges"]
+		fmt.Printf("recovered \"edges\" through epoch %d from the batch log (no source replay)\n", start)
+	}
+
+	rounds := uint64(*serveRounds)
+	for round := start; round < rounds; round++ {
+		edges.Update(durableRound(round, *serveNodes, *serveChurn))
+		edges.Advance()
+		edges.Sync()
+		fmt.Printf("sealed epoch %d\n", round)
+		if *serveCkpt > 0 && (round+1)%uint64(*serveCkpt) == 0 {
+			if err := s.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: checkpoint: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("checkpointed through epoch %d\n", round)
+		}
+	}
+
+	count, sum := durableResult(s, edges, rounds)
+	fmt.Printf("RESULT count=%d checksum=%016x\n", count, sum)
+}
+
+// durableRound derives round r's updates from r alone — no accumulated
+// state — so a recovered process re-issues exactly the rounds the crash
+// lost. Each round inserts churn edges and retracts the edges round r-5
+// inserted, keeping the live collection bounded.
+func durableRound(round, nodes uint64, churn int) []core.Update[uint64, uint64] {
+	edge := func(r uint64, i int) (uint64, uint64) {
+		return (r*104729 + uint64(i)*7919 + 11) % nodes, (r*31 + uint64(i)*13 + 7) % nodes
+	}
+	upds := make([]core.Update[uint64, uint64], 0, 2*churn)
+	for i := 0; i < churn; i++ {
+		src, dst := edge(round, i)
+		upds = append(upds, core.Update[uint64, uint64]{Key: src, Val: dst, Diff: 1})
+	}
+	if round >= 5 {
+		for i := 0; i < churn; i++ {
+			src, dst := edge(round-5, i)
+			upds = append(upds, core.Update[uint64, uint64]{Key: src, Val: dst, Diff: -1})
+		}
+	}
+	return upds
+}
+
+// durableResult installs a query against the served arrangement (snapshot
+// import plus live batches, like any late subscriber), waits for it to
+// complete through the last sealed epoch, and reduces the collection to an
+// order-independent count and checksum.
+func durableResult(s *server.Server, edges *server.Source[uint64, uint64], epochs uint64) (int64, uint64) {
+	captured := &dd.Captured[uint64, uint64]{}
+	q, err := s.Install("dump", func(w *timely.Worker, g *timely.Graph) server.Built {
+		imported := edges.ImportInto(g)
+		col := dd.Flatten(imported)
+		dd.Capture(col, captured)
+		return server.Built{Probe: dd.Probe(col), Teardown: func() { imported.Cancel() }}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: install dump: %v\n", err)
+		os.Exit(1)
+	}
+	if epochs > 0 && !q.WaitDone(lattice.Ts(epochs-1)) {
+		fmt.Fprintf(os.Stderr, "serve: server stopped before dump completed\n")
+		os.Exit(1)
+	}
+	net := make(map[[2]uint64]core.Diff)
+	for _, u := range captured.Updates() {
+		k := [2]uint64{u.Key, u.Val}
+		net[k] += u.Diff
+		if net[k] == 0 {
+			delete(net, k)
+		}
+	}
+	var count int64
+	var sum uint64
+	for k, d := range net {
+		count += d
+		sum += uint64(d) * core.Mix64(core.Mix64(k[0])^k[1])
+	}
+	q.Uninstall()
+	return count, sum
 }

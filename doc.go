@@ -23,10 +23,18 @@
 //     join, reduce/count/distinct, iterate with mutually recursive
 //     Variables) built as thin shells over arrangements; join and reduce
 //     gallop over sorted batch and trace runs rather than scanning.
+//   - internal/wal — durability: per-worker append-only logs of sealed
+//     batches (length-prefixed, CRC-checksummed records with
+//     lower/upper/since framing) plus compaction-frontier advances;
+//     checkpoints rotate a log to one compacted snapshot batch, and crash
+//     recovery replays the longest consistent prefix, clamped across
+//     shards to the meet of their sealed frontiers.
 //   - internal/server — live query installation: a registry of named,
 //     continuously maintained arrangements and install/uninstall of query
 //     dataflows against them while updates stream (the paper's §6.2
-//     interactive scenario made operational).
+//     interactive scenario made operational). Durable sources log through
+//     internal/wal; Checkpoint/Restore rebuild every trace from logged
+//     batches on restart — no source replay.
 //   - workload substrates (internal/tpch, graphs, datalog, graspan,
 //     interactive with its live installation wiring) and the experiment
 //     drivers (internal/experiments) regenerating every table and figure of

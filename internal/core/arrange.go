@@ -1,9 +1,22 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/lattice"
 	"repro/internal/timely"
 )
+
+// BatchSink receives an arrangement's durability events: every sealed batch
+// as it enters the spine, and every compaction-frontier advance. Implemented
+// by wal.ShardLog; core stays free of any storage dependency. Sink methods
+// run on the owning worker's goroutine. A sink error is a durability failure
+// and is fatal (the arrange operator panics): continuing would silently
+// break the recovery contract.
+type BatchSink[K, V any] interface {
+	AppendBatch(b *Batch[K, V]) error
+	AdvanceSince(f lattice.Frontier) error
+}
 
 // TraceAgent is the worker-local owner of one arrangement: the spine (while
 // readers exist), the frontier through which batches have been sealed, and
@@ -17,6 +30,7 @@ type TraceAgent[K, V any] struct {
 	upper lattice.Frontier
 	depth int
 	subs  []*importSub[K, V]
+	sink  BatchSink[K, V] // non-nil for durable arrangements
 }
 
 type importSub[K, V any] struct {
@@ -67,6 +81,11 @@ func (a *TraceAgent[K, V]) maintain(b *Batch[K, V]) {
 	if a.spine != nil {
 		a.spine.Append(b)
 	}
+	if a.sink != nil {
+		if err := a.sink.AppendBatch(b); err != nil {
+			panic(fmt.Sprintf("core: durable sink append: %v", err))
+		}
+	}
 	for _, sub := range a.subs {
 		sub.queue = append(sub.queue, b)
 	}
@@ -92,6 +111,48 @@ type Arranged[K, V any] struct {
 	// as a worker action); the teardown takes effect at the source's next
 	// schedule. Nil for arrangements that are not imports.
 	Cancel func()
+}
+
+// AdvanceSince advances the arrangement's primary compaction frontier: the
+// user-held trace handle's logical frontier moves to f, and for durable
+// arrangements the advance is logged so recovery resumes compaction where
+// the live system had promised it. Must run on the owning worker's
+// goroutine, like all trace mutation.
+func (a *Arranged[K, V]) AdvanceSince(f lattice.Frontier) {
+	if a.Trace != nil && !a.Trace.Dropped() {
+		a.Trace.SetLogical(f)
+	}
+	if a.Agent.sink != nil {
+		if err := a.Agent.sink.AdvanceSince(f); err != nil {
+			panic(fmt.Sprintf("core: durable sink advance: %v", err))
+		}
+	}
+}
+
+// Restore pre-loads a recovered batch chain into a freshly built
+// arrangement's trace, bypassing both the output stream and the durable sink
+// (the batches are already on disk; re-emitting them would double-log, and
+// late subscribers receive them through snapshot imports instead). The trace
+// upper advances to the last batch's upper, so the arrange operator seals
+// nothing until the input frontier passes the recovered point, and the
+// primary handle's logical frontier moves to since. Must run on the owning
+// worker's goroutine before any updates are ingested and before any reader
+// imports the trace.
+func (a *Arranged[K, V]) Restore(batches []*Batch[K, V], since lattice.Frontier) {
+	agent := a.Agent
+	if agent.spine == nil {
+		panic("core: cannot restore a stream-only or released arrangement")
+	}
+	if len(agent.spine.entries) != 0 {
+		panic("core: cannot restore into a non-empty trace")
+	}
+	if a.Trace != nil && !a.Trace.Dropped() {
+		a.Trace.SetLogical(since)
+	}
+	for _, b := range batches {
+		agent.spine.Append(b)
+		agent.upper = b.Upper.Clone()
+	}
 }
 
 // ShiftTime appends n zero loop coordinates to t (Enter applied n times).
@@ -143,6 +204,13 @@ type ArrangeOptions struct {
 	// StreamOnly builds no trace at all: the operator mints and emits
 	// batches but maintains no index (used by Consolidate).
 	StreamOnly bool
+	// Durable, when non-nil, must be a BatchSink[K, V] for the arrangement's
+	// key/value types (ArrangeOptions is not generic, so the field is typed
+	// any and asserted at Arrange time; a mismatched sink panics). Every
+	// sealed batch is appended to the sink as it enters the spine, and
+	// compaction-frontier advances are logged through Arranged.AdvanceSince,
+	// so a restarted process can rebuild the trace from the log alone.
+	Durable any
 }
 
 // Arrange builds the paper's arrange operator: it exchanges update triples
@@ -164,6 +232,13 @@ func Arrange[K, V any](s *timely.Stream[Update[K, V]], fn Funcs[K, V],
 	if !opt.StreamOnly {
 		agent.spine = NewSpine[K, V](fn, opt.MergeCoef)
 		agent.spine.SetUpperDepth(depth)
+	}
+	if opt.Durable != nil {
+		sink, ok := opt.Durable.(BatchSink[K, V])
+		if !ok {
+			panic(fmt.Sprintf("core: ArrangeOptions.Durable is %T, not a BatchSink for this arrangement's types", opt.Durable))
+		}
+		agent.sink = sink
 	}
 
 	var exch func(Update[K, V]) uint64

@@ -14,9 +14,9 @@ import (
 func TestQuickBatchAccumulation(t *testing.T) {
 	fn := U64()
 	f := func(raw []struct {
-		K, V  uint8
-		T     uint8
-		D     int8
+		K, V uint8
+		T    uint8
+		D    int8
 	}) bool {
 		upds := make([]Update[uint64, uint64], 0, len(raw))
 		for _, r := range raw {

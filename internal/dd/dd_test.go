@@ -365,9 +365,9 @@ func TestIterateReachability(t *testing.T) {
 	const src = 0
 	ops := []edgeOp{
 		{0, 1, 1, 0}, {1, 2, 1, 0}, {2, 3, 1, 0}, {5, 6, 1, 0},
-		{3, 4, 1, 1}, // extend the chain
+		{3, 4, 1, 1},  // extend the chain
 		{1, 2, -1, 2}, // cut the chain: 2,3,4 unreachable
-		{0, 5, 1, 3}, // connect the 5-6 component
+		{0, 5, 1, 3},  // connect the 5-6 component
 	}
 	const epochs = 4
 	for _, workers := range []int{1, 2} {

@@ -76,8 +76,8 @@ func ArrangeLoad(workers int, keys uint64, rate, batches int, coef int) ArrangeL
 
 // ThroughputResult is one component's peak throughput (Fig 6d).
 type ThroughputResult struct {
-	Component string
-	Workers   int
+	Component     string
+	Workers       int
 	RecordsPerSec float64
 }
 

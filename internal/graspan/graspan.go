@@ -125,8 +125,8 @@ func PointsTo(assign, deref dd.Collection[uint64, uint64], opt PointsToOptions) 
 	}
 
 	// vf keyed two ways; shared once or arranged per use.
-	vfBySrc := vf                                                                  // (z -> x)
-	vfByDst := dd.Map(vf, func(z, x uint64) (uint64, uint64) { return x, z })      // (x -> z)
+	vfBySrc := vf                                                             // (z -> x)
+	vfByDst := dd.Map(vf, func(z, x uint64) (uint64, uint64) { return x, z }) // (x -> z)
 	arrangeSrc := func(name string) *core.Arranged[uint64, uint64] {
 		return dd.Arrange(vfBySrc, core.U64(), name)
 	}

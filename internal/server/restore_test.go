@@ -1,0 +1,306 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+	"repro/internal/wal"
+)
+
+func durableOpts() SourceOptions[uint64, uint64] {
+	return SourceOptions[uint64, uint64]{
+		Durable:  true,
+		KeyCodec: wal.U64Codec(),
+		ValCodec: wal.U64Codec(),
+	}
+}
+
+// shardDump is the canonical observable state of one worker's shard of an
+// arrangement: the accumulated snapshot contents (compacted to the
+// compaction frontier, so physically divergent but logically equal spines
+// canonicalize identically), the sealed-through frontier, and the
+// compaction frontier itself.
+type shardDump struct {
+	Upds  map[string]core.Diff
+	Upper string
+	Since string
+}
+
+// dumpShards snapshots every worker's shard of the source on its own
+// goroutine.
+func dumpShards(src *Source[uint64, uint64]) []shardDump {
+	out := make([]shardDump, len(src.arr))
+	src.s.c.PostEach(func(w *timely.Worker) {
+		i := w.Index()
+		a := src.arr[i]
+		m := make(map[string]core.Diff)
+		snap := a.Agent.SnapshotBatch()
+		snap.ForEach(func(k, v uint64, t lattice.Time, d core.Diff) {
+			key := fmt.Sprintf("%d/%d@%v", k, v, t)
+			m[key] += d
+			if m[key] == 0 {
+				delete(m, key)
+			}
+		})
+		out[i] = shardDump{Upds: m, Upper: a.Agent.Upper().String(), Since: a.Trace.Logical().String()}
+	}).Wait()
+	return out
+}
+
+// randomHistory derives a deterministic multi-epoch update history from a
+// seed: epoch e's updates are a pure function of (seed, e), so a recovered
+// run can re-issue exactly the epochs a crash lost.
+func randomHistory(seed int64, epochs int) [][]core.Update[uint64, uint64] {
+	out := make([][]core.Update[uint64, uint64], epochs)
+	for e := range out {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(e)))
+		n := 5 + rng.Intn(40)
+		upds := make([]core.Update[uint64, uint64], 0, n)
+		for i := 0; i < n; i++ {
+			d := core.Diff(1)
+			if rng.Intn(3) == 0 {
+				d = -1
+			}
+			upds = append(upds, core.Update[uint64, uint64]{
+				Key: uint64(rng.Intn(20)), Val: uint64(rng.Intn(10)), Diff: d,
+			})
+		}
+		out[e] = upds
+	}
+	return out
+}
+
+func historyOracle(hist [][]core.Update[uint64, uint64]) map[[2]uint64]core.Diff {
+	net := make(map[[2]uint64]core.Diff)
+	for _, upds := range hist {
+		for _, u := range upds {
+			k := [2]uint64{u.Key, u.Val}
+			net[k] += u.Diff
+			if net[k] == 0 {
+				delete(net, k)
+			}
+		}
+	}
+	return net
+}
+
+// runDurable streams hist[from:] into the source, checkpointing after epoch
+// ckptAfter (1-based; 0 disables).
+func runDurable(t *testing.T, src *Source[uint64, uint64],
+	hist [][]core.Update[uint64, uint64], from uint64, ckptAfter int) {
+	t.Helper()
+	for e := from; e < uint64(len(hist)); e++ {
+		src.Update(hist[e])
+		src.Advance()
+		if int(e+1) == ckptAfter {
+			src.Sync()
+			if err := src.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after epoch %d: %v", e, err)
+			}
+		}
+	}
+	src.Sync()
+}
+
+// TestRestartVsOracle is the restart-vs-oracle property test: a random
+// multi-epoch history is streamed into a durable arrangement (optionally
+// checkpointed mid-stream), the server shuts down, and a fresh server
+// restores from the logs alone. The restored trace must canonicalize to
+// exactly the live spine's contents, sealed frontier, and compaction
+// frontier, per worker shard — and keep serving: further epochs against the
+// restored server must land on the full-history oracle.
+func TestRestartVsOracle(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("w%d_seed%d", workers, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				epochs := 3 + rng.Intn(6)
+				ckptAfter := 0
+				if rng.Intn(2) == 0 {
+					ckptAfter = 1 + rng.Intn(epochs)
+				}
+				hist := randomHistory(seed, epochs)
+				dir := t.TempDir()
+
+				live := NewOpts(workers, Options{DataDir: dir})
+				src, err := NewSourceOpts(live, "edges", core.U64(), durableOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				runDurable(t, src, hist, 0, ckptAfter)
+				want := dumpShards(src)
+				live.Close()
+
+				restored := NewOpts(workers, Options{DataDir: dir, Recover: true})
+				defer restored.Close()
+				if names, err := restored.Manifest(); err != nil ||
+					!reflect.DeepEqual(names, []string{"edges"}) {
+					t.Fatalf("manifest = %v, %v", names, err)
+				}
+				src2, err := NewSourceOpts(restored, "edges", core.U64(), durableOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := restored.Restore()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec["edges"] != uint64(epochs) {
+					t.Fatalf("restored epoch %d, want %d", rec["edges"], epochs)
+				}
+				got := dumpShards(src2)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("restored shards differ from live spine:\n got %+v\nwant %+v", got, want)
+				}
+
+				// The restored arrangement must keep serving: stream two more
+				// epochs and compare a fresh snapshot against the oracle.
+				extra := randomHistory(seed+100, 2)
+				full := append(append([][]core.Update[uint64, uint64]{}, hist...), extra...)
+				runDurable(t, src2, full, uint64(epochs), 0)
+				merged := make(map[[2]uint64]core.Diff)
+				for _, d := range dumpShards(src2) {
+					for ks, diff := range d.Upds {
+						var k, v uint64
+						var ts string
+						if _, err := fmt.Sscanf(ks, "%d/%d@%s", &k, &v, &ts); err != nil {
+							t.Fatalf("bad dump key %q", ks)
+						}
+						kk := [2]uint64{k, v}
+						merged[kk] += diff
+						if merged[kk] == 0 {
+							delete(merged, kk)
+						}
+					}
+				}
+				if want := historyOracle(full); !reflect.DeepEqual(merged, want) {
+					t.Fatalf("post-restore stream diverged from oracle:\n got %v\nwant %v", merged, want)
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreTornLogReappliesTail simulates the crash path without signals:
+// the last shard log loses its tail mid-record, recovery clamps every shard
+// to the consistent prefix, and re-issuing the lost epochs converges on the
+// oracle — the in-process twin of the CI SIGKILL smoke.
+func TestRestoreTornLogReappliesTail(t *testing.T) {
+	const workers, epochs = 2, 6
+	hist := randomHistory(7, epochs)
+	dir := t.TempDir()
+
+	live := NewOpts(workers, Options{DataDir: dir})
+	src, err := NewSourceOpts(live, "edges", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDurable(t, src, hist, 0, 0)
+	live.Close()
+
+	// Tear the tail off worker 1's shard log.
+	shard := wal.ShardDir(dir, "edges", 1)
+	ents, err := os.ReadDir(shard)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("shard dir: %v %d", err, len(ents))
+	}
+	path := filepath.Join(shard, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewOpts(workers, Options{DataDir: dir, Recover: true})
+	defer restored.Close()
+	src2, err := NewSourceOpts(restored, "edges", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, err := src2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from >= epochs {
+		t.Fatalf("torn log recovered through %d, want a strict prefix of %d", from, epochs)
+	}
+	runDurable(t, src2, hist, from, 0)
+
+	merged := make(map[[2]uint64]core.Diff)
+	for _, d := range dumpShards(src2) {
+		for ks, diff := range d.Upds {
+			var k, v uint64
+			var ts string
+			if _, err := fmt.Sscanf(ks, "%d/%d@%s", &k, &v, &ts); err != nil {
+				t.Fatalf("bad dump key %q", ks)
+			}
+			kk := [2]uint64{k, v}
+			merged[kk] += diff
+			if merged[kk] == 0 {
+				delete(merged, kk)
+			}
+		}
+	}
+	if want := historyOracle(hist); !reflect.DeepEqual(merged, want) {
+		t.Fatalf("recovered run diverged from oracle:\n got %v\nwant %v", merged, want)
+	}
+}
+
+// TestDurableGuards pins the misuse errors: durable sources need a DataDir
+// and codecs, recovery refuses mismatched worker counts, and a recovering
+// source refuses updates until restored.
+func TestDurableGuards(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	if _, err := NewSourceOpts(s, "e", core.U64(), durableOpts()); err == nil {
+		t.Fatal("durable source without DataDir accepted")
+	}
+
+	dir := t.TempDir()
+	d := NewOpts(2, Options{DataDir: dir})
+	src, err := NewSourceOpts(d, "e", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Update([]core.Update[uint64, uint64]{{Key: 1, Val: 2, Diff: 1}})
+	src.Advance()
+	src.Sync()
+	d.Close()
+
+	// Worker-count mismatch is refused outright.
+	bad := NewOpts(3, Options{DataDir: dir, Recover: true})
+	if _, err := NewSourceOpts(bad, "e", core.U64(), durableOpts()); err == nil {
+		t.Fatal("shard/worker mismatch accepted")
+	}
+	bad.Close()
+
+	rec := NewOpts(2, Options{DataDir: dir, Recover: true})
+	defer rec.Close()
+	src2, err := NewSourceOpts(rec, "e", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("update before Restore did not panic")
+			}
+		}()
+		src2.Update([]core.Update[uint64, uint64]{{Key: 9, Val: 9, Diff: 1}})
+	}()
+	if _, err := src2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src2.Restore(); err == nil {
+		t.Fatal("double Restore accepted")
+	}
+}

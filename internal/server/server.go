@@ -8,6 +8,14 @@
 // frontier followed by the live batch stream — instead of rebuilding its own
 // index from the raw history.
 //
+// Durability: a server started with Options.DataDir logs each durable
+// source's sealed batches and compaction-frontier advances to per-worker
+// shard logs (internal/wal). Checkpoint compacts a log to the same snapshot
+// batch a late subscriber imports; a restarted server (Options.Recover plus
+// Source.Restore or Server.Restore) rebuilds every trace directly from the
+// logged batches — no source replay — and resumes epoch advancement from
+// the logged frontier.
+//
 // Threading model: a Server wraps a timely.Cluster. Driver goroutines (the
 // callers of this package) touch only mutex-guarded runtime state — input
 // handles, probes, posted actions. Everything worker-local (trace agents,
@@ -18,35 +26,63 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dd"
 	"repro/internal/lattice"
 	"repro/internal/timely"
+	"repro/internal/wal"
 )
 
 // Server owns a cluster of dataflow workers, the named shared arrangements
 // maintained on them, and the live query dataflows installed against them.
 type Server struct {
-	c *timely.Cluster
+	c    *timely.Cluster
+	opts Options
 
 	mu      sync.Mutex
 	sources map[string]sourceHandle
 	queries map[string]*Query
 }
 
+// Options tunes a server.
+type Options struct {
+	// DataDir, when non-empty, enables durability: sources created with
+	// SourceOptions.Durable log every sealed batch and compaction-frontier
+	// advance to per-worker shard logs under this directory.
+	DataDir string
+	// Recover makes durable sources replay their logs at registration: each
+	// starts pending until Restore rebuilds its trace from the logged
+	// batches. Without Recover, pre-existing logs are discarded (restarting
+	// without -recover means starting over).
+	Recover bool
+	// Fsync syncs the log after every record; see wal.Options.Fsync.
+	Fsync bool
+}
+
 // sourceHandle is the type-erased view of a Source kept in the registry.
 type sourceHandle interface {
 	sourceName() string
 	close()
+	closeDurable()
+	checkpoint() error
+	restore() (uint64, bool, error)
 }
 
 // New starts a server with the given number of dataflow workers.
 func New(workers int) *Server {
+	return NewOpts(workers, Options{})
+}
+
+// NewOpts starts a server with explicit options.
+func NewOpts(workers int, opts Options) *Server {
 	return &Server{
 		c:       timely.StartCluster(workers),
+		opts:    opts,
 		sources: make(map[string]sourceHandle),
 		queries: make(map[string]*Query),
 	}
@@ -59,7 +95,10 @@ func (s *Server) Workers() int { return s.c.Peers() }
 func (s *Server) Cluster() *timely.Cluster { return s.c }
 
 // Close retires every source input and stops the workers. Live queries are
-// abandoned in place; drivers must not race Close with other calls.
+// abandoned in place; drivers must not race Close with other calls. Durable
+// sources are abandoned open (their inputs are not closed: the terminal
+// empty frontier would mark the log complete and unresumable); their logs
+// are released once the workers have stopped.
 func (s *Server) Close() {
 	s.mu.Lock()
 	srcs := make([]sourceHandle, 0, len(s.sources))
@@ -71,6 +110,65 @@ func (s *Server) Close() {
 		src.close()
 	}
 	s.c.Shutdown()
+	for _, src := range srcs {
+		src.closeDurable()
+	}
+}
+
+// Checkpoint compacts every durable source's log to a snapshot of its trace
+// (the same artifact a late-subscribing query imports), discarding the
+// superseded batch runs. Safe to call while updates stream.
+func (s *Server) Checkpoint() error {
+	var errs []error
+	for _, src := range s.sourcesByName() {
+		if err := src.checkpoint(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Restore rebuilds every durable source registered so far from its logged
+// batches — no source replay — returning each source's resumed epoch by
+// name. Call once, after re-registering the schema on a server started with
+// Options.Recover and before sending any updates.
+func (s *Server) Restore() (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	for _, src := range s.sourcesByName() {
+		epoch, durable, err := src.restore()
+		if err != nil {
+			return out, err
+		}
+		if durable {
+			out[src.sourceName()] = epoch
+		}
+	}
+	return out, nil
+}
+
+// Manifest lists the arrangements with logs under the server's data
+// directory — what a recovering driver is expected to re-register.
+func (s *Server) Manifest() ([]string, error) {
+	if s.opts.DataDir == "" {
+		return nil, nil
+	}
+	return wal.ListArrangements(s.opts.DataDir)
+}
+
+// sourcesByName snapshots the registry in deterministic order.
+func (s *Server) sourcesByName() []sourceHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.sources))
+	for n := range s.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]sourceHandle, len(names))
+	for i, n := range names {
+		out[i] = s.sources[n]
+	}
+	return out
 }
 
 // Source is a named input collection maintained as a shared arrangement on
@@ -81,6 +179,7 @@ func (s *Server) Close() {
 type Source[K, V any] struct {
 	s  *Server
 	nm string
+	fn core.Funcs[K, V]
 
 	// Per-worker artifacts, written by each worker's build closure and
 	// published to the driver by Installed.Wait.
@@ -88,21 +187,73 @@ type Source[K, V any] struct {
 	arr    []*core.Arranged[K, V]
 	probes []*timely.Probe
 
-	mu    sync.Mutex
-	epoch uint64
+	// Durability: per-worker shard logs and their replayed states. Logs are
+	// worker-local (touched only on the owning worker's goroutine); states
+	// are read-only after NewSourceOpts returns.
+	durable bool
+	logs    []*wal.ShardLog[K, V]
+	states  []*wal.ShardState[K, V]
+
+	mu      sync.Mutex
+	epoch   uint64
+	pending bool // recovery pending: updates refused until Restore runs
+	broken  bool // log rewrite failed after restore: permanently refused
+}
+
+// SourceOptions tunes a source.
+type SourceOptions[K, V any] struct {
+	// Durable logs every sealed batch and compaction-frontier advance to
+	// per-worker shard logs under the server's DataDir. Requires codecs.
+	Durable bool
+	// KeyCodec and ValCodec serialize the source's keys and values.
+	KeyCodec wal.Codec[K]
+	ValCodec wal.Codec[V]
 }
 
 // NewSource registers a named collection on the server and begins
 // maintaining its arrangement. It blocks until every worker has built its
 // shard. The name must be unused.
 func NewSource[K, V any](s *Server, name string, fn core.Funcs[K, V]) (*Source[K, V], error) {
+	return NewSourceOpts(s, name, fn, SourceOptions[K, V]{})
+}
+
+// NewSourceOpts is NewSource with explicit options. A durable source on a
+// recovering server (Options.Recover) replays its shard logs here but leaves
+// the trace empty and the source pending: call Restore (or Server.Restore)
+// to rebuild the trace before sending updates.
+func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
+	opt SourceOptions[K, V]) (*Source[K, V], error) {
+
+	peers := s.c.Peers()
 	src := &Source[K, V]{
 		s:      s,
 		nm:     name,
-		inputs: make([]*dd.InputCollection[K, V], s.c.Peers()),
-		arr:    make([]*core.Arranged[K, V], s.c.Peers()),
-		probes: make([]*timely.Probe, s.c.Peers()),
+		fn:     fn,
+		inputs: make([]*dd.InputCollection[K, V], peers),
+		arr:    make([]*core.Arranged[K, V], peers),
+		probes: make([]*timely.Probe, peers),
 	}
+	if opt.Durable {
+		if s.opts.DataDir == "" {
+			return nil, fmt.Errorf("server: durable source %q requires a server DataDir", name)
+		}
+		if opt.KeyCodec == nil || opt.ValCodec == nil {
+			return nil, fmt.Errorf("server: durable source %q requires key and value codecs", name)
+		}
+		if s.opts.Recover {
+			if n, err := wal.CountShards(s.opts.DataDir, name); err != nil {
+				return nil, err
+			} else if n != 0 && n != peers {
+				return nil, fmt.Errorf("server: source %q logged %d shards, server has %d workers",
+					name, n, peers)
+			}
+		}
+		src.durable = true
+		src.pending = s.opts.Recover
+		src.logs = make([]*wal.ShardLog[K, V], peers)
+		src.states = make([]*wal.ShardState[K, V], peers)
+	}
+
 	// Reserve the name before building anything: a duplicate must never
 	// leave an orphan dataflow scheduled on the workers.
 	s.mu.Lock()
@@ -113,15 +264,39 @@ func NewSource[K, V any](s *Server, name string, fn core.Funcs[K, V]) (*Source[K
 	s.sources[name] = src
 	s.mu.Unlock()
 
+	openErrs := make([]error, peers)
 	inst := s.c.Install(func(w *timely.Worker, g *timely.Graph) {
-		in, c := dd.NewInput[K, V](g)
-		a := dd.Arrange(c, fn, name)
 		i := w.Index()
+		var aopt core.ArrangeOptions
+		if src.durable {
+			lg, st, err := wal.OpenShard(wal.ShardDir(s.opts.DataDir, name, i),
+				opt.KeyCodec, opt.ValCodec,
+				wal.Options{Fsync: s.opts.Fsync, Fresh: !s.opts.Recover})
+			if err != nil {
+				openErrs[i] = err
+			} else {
+				src.logs[i], src.states[i] = lg, st
+				aopt.Durable = lg
+			}
+		}
+		in, c := dd.NewInput[K, V](g)
+		a := dd.ArrangeOpts(c, fn, name, aopt)
 		src.inputs[i] = in
 		src.arr[i] = a
 		src.probes[i] = timely.NewProbe(a.Stream)
 	})
 	inst.Wait()
+	if err := errors.Join(openErrs...); err != nil {
+		// The dataflow stays installed (idle) and the name stays reserved:
+		// retrying under the same name on mismatched shards must not
+		// misalign operator identifiers. Neutralize the durability hooks so
+		// Server.Checkpoint/Restore skip the broken source (shards that did
+		// open are closed by Server.Close).
+		src.mu.Lock()
+		src.durable, src.pending = false, false
+		src.mu.Unlock()
+		return nil, fmt.Errorf("server: opening logs for %q: %w", name, err)
+	}
 	return src, nil
 }
 
@@ -142,7 +317,21 @@ func (src *Source[K, V]) Epoch() uint64 {
 func (src *Source[K, V]) Update(upds []core.Update[K, V]) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	src.checkRestored()
 	src.inputs[0].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
+}
+
+// checkRestored panics on use of a recovering source before Restore (the
+// trace and epoch clock are not yet rebuilt, so accepting updates would
+// corrupt the log) and on use of a source whose post-restore log rewrite
+// failed (appends would extend a stale chain). Caller holds src.mu.
+func (src *Source[K, V]) checkRestored() {
+	if src.pending {
+		panic(fmt.Sprintf("server: source %q is recovering; call Restore before sending updates", src.nm))
+	}
+	if src.broken {
+		panic(fmt.Sprintf("server: source %q is out of service (restore log rewrite failed)", src.nm))
+	}
 }
 
 // Insert adds one copy of (k, v) at the current epoch.
@@ -163,6 +352,7 @@ func (src *Source[K, V]) Remove(k K, v V) {
 func (src *Source[K, V]) Advance() uint64 {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	src.checkRestored()
 	sealed := src.epoch
 	src.epoch++
 	for _, in := range src.inputs {
@@ -172,9 +362,7 @@ func (src *Source[K, V]) Advance() uint64 {
 	for i := range src.arr {
 		a := src.arr[i]
 		src.s.c.Post(i, func(w *timely.Worker) {
-			if a.Trace != nil && !a.Trace.Dropped() {
-				a.Trace.SetLogical(f)
-			}
+			a.AdvanceSince(f)
 		})
 	}
 	return sealed
@@ -184,6 +372,7 @@ func (src *Source[K, V]) Advance() uint64 {
 // arrangement on all workers.
 func (src *Source[K, V]) Sync() {
 	src.mu.Lock()
+	src.checkRestored()
 	e := src.epoch
 	src.mu.Unlock()
 	if e == 0 {
@@ -201,15 +390,154 @@ func (src *Source[K, V]) ImportInto(g *timely.Graph) *core.Arranged[K, V] {
 	return core.ImportOpts(g, a.Agent, src.nm+"-import", core.ImportOptions{Snapshot: true})
 }
 
-// close retires the source's inputs (server shutdown path).
+// close retires the source's inputs (server shutdown path). Durable sources
+// are left open: closing would seal a terminal batch with an empty upper
+// frontier, marking the log complete and unresumable.
 func (src *Source[K, V]) close() {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	if src.durable {
+		return
+	}
 	for _, in := range src.inputs {
 		if in != nil {
 			in.Close()
 		}
 	}
+}
+
+// closeDurable releases the shard logs. Only safe once the workers have
+// stopped (Server.Close calls it after Shutdown).
+func (src *Source[K, V]) closeDurable() {
+	for _, lg := range src.logs {
+		if lg != nil {
+			lg.Close()
+		}
+	}
+}
+
+// Restore rebuilds the arrangement's trace from its logged batches — no
+// source replay — and resumes the epoch clock from the logged frontier. The
+// shards sealed independently, so their logs may extend unevenly; the trace
+// is clamped to the meet of the shard uppers (the globally consistent
+// prefix), the logs are rewritten to that prefix, and the resumed epoch is
+// returned: the driver re-issues rounds from there as ordinary new input.
+func (src *Source[K, V]) Restore() (uint64, error) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if !src.durable {
+		return 0, fmt.Errorf("server: source %q is not durable", src.nm)
+	}
+	if !src.pending {
+		return 0, fmt.Errorf("server: source %q has nothing pending to restore", src.nm)
+	}
+
+	// The globally consistent prefix: the meet of the shards' log uppers
+	// (an empty upper means a closed log — beyond everything — and
+	// contributes nothing to the meet).
+	fs := make([]lattice.Frontier, 0, len(src.states)+1)
+	for _, st := range src.states {
+		fs = append(fs, st.Upper)
+	}
+	cut := lattice.MeetAll(fs...)
+	if cut.Empty() {
+		return 0, fmt.Errorf("server: source %q log is closed; nothing can be resumed", src.nm)
+	}
+	if cut.Len() != 1 || cut.Elements()[0].Depth() != 1 {
+		return 0, fmt.Errorf("server: source %q recovered non-epoch frontier %v", src.nm, cut)
+	}
+	// Resume compaction at the weakest promise any shard logged, capped at
+	// the cut (a since beyond the resume point is meaningless).
+	sf := make([]lattice.Frontier, 0, len(src.states)+1)
+	for _, st := range src.states {
+		sf = append(sf, st.Since)
+	}
+	sf = append(sf, cut)
+	since := lattice.MeetAll(sf...)
+
+	perr := make([]error, len(src.logs))
+	src.s.c.PostEach(func(w *timely.Worker) {
+		i := w.Index()
+		clamped := wal.ClampBatches(src.fn, src.states[i].Batches, cut)
+		src.arr[i].Restore(clamped, since)
+		// Rewrite the log to the restored prefix: batches beyond the cut
+		// are discarded on disk too, so the chain stays contiguous when
+		// live appends resume from the cut.
+		perr[i] = src.logs[i].Rotate(since, clamped)
+	}).Wait()
+	// The traces are loaded: past the point of no return regardless of the
+	// log rewrite's outcome, so a retry must not re-load them (it would
+	// panic on the non-empty spines). A rewrite error leaves the on-disk
+	// chain stale while the operators still hold live sinks, so the source
+	// cannot safely accept new appends either: it stays out of service.
+	src.pending = false
+	if err := errors.Join(perr...); err != nil {
+		src.broken = true
+		return 0, fmt.Errorf("server: source %q restored in memory but log rewrite failed; "+
+			"source out of service: %w", src.nm, err)
+	}
+
+	epoch := cut.Elements()[0].Epoch()
+	src.epoch = epoch
+	if epoch > 0 {
+		for _, in := range src.inputs {
+			in.AdvanceTo(epoch)
+		}
+	}
+	src.pending = false
+	return epoch, nil
+}
+
+// restore is the type-erased hook behind Server.Restore.
+func (src *Source[K, V]) restore() (uint64, bool, error) {
+	src.mu.Lock()
+	durable, pending := src.durable, src.pending
+	src.mu.Unlock()
+	if !durable || !pending {
+		return 0, false, nil
+	}
+	epoch, err := src.Restore()
+	return epoch, true, err
+}
+
+// Checkpoint compacts the source's shard logs to a snapshot of the live
+// trace, exactly the batch a late-subscribing query would import (snapshot
+// imports double as checkpoint emission): updates cancelled below the
+// compaction frontier vanish, so the new log is proportional to the live
+// collection. Safe while updates stream: each shard snapshots and rotates
+// atomically on its own worker, and batches sealed after that shard's
+// snapshot simply land in the new generation behind it.
+func (src *Source[K, V]) Checkpoint() error {
+	src.mu.Lock()
+	if !src.durable {
+		src.mu.Unlock()
+		return fmt.Errorf("server: source %q is not durable", src.nm)
+	}
+	if src.pending || src.broken {
+		src.mu.Unlock()
+		return fmt.Errorf("server: source %q is not serving (recovering or failed); cannot checkpoint", src.nm)
+	}
+	src.mu.Unlock()
+	src.Sync()
+
+	perr := make([]error, len(src.logs))
+	src.s.c.PostEach(func(w *timely.Worker) {
+		i := w.Index()
+		snap := src.arr[i].Agent.SnapshotBatch()
+		perr[i] = src.logs[i].Rotate(snap.Since.Clone(), []*core.Batch[K, V]{snap})
+	}).Wait()
+	return errors.Join(perr...)
+}
+
+// checkpoint is the type-erased hook behind Server.Checkpoint.
+func (src *Source[K, V]) checkpoint() error {
+	src.mu.Lock()
+	durable := src.durable
+	src.mu.Unlock()
+	if !durable {
+		return nil
+	}
+	return src.Checkpoint()
 }
 
 // Built is what a query build closure hands back to the server for one

@@ -204,18 +204,18 @@ func Generate(sf float64, seed int64) *Data {
 		for l := 0; l < nItems; l++ {
 			ship := odate + int64(r.Intn(121)+1)
 			li := LineItem{
-				OrderKey:      ok,
-				PartKey:       uint64(r.Intn(nPart) + 1),
-				SuppKey:       uint64(r.Intn(nSupp) + 1),
-				LineNumber:    int64(l + 1),
-				Quantity:      int64(r.Intn(50) + 1),
-				Discount:      int64(r.Intn(11)),
-				Tax:           int64(r.Intn(9)),
-				ShipDate:      ship,
-				CommitDate:    odate + int64(r.Intn(121)+30),
-				ReceiptDate:   ship + int64(r.Intn(30)+1),
-				ShipInstruct:  int64(r.Intn(NumInstructs)),
-				ShipMode:      int64(r.Intn(NumShipModes)),
+				OrderKey:     ok,
+				PartKey:      uint64(r.Intn(nPart) + 1),
+				SuppKey:      uint64(r.Intn(nSupp) + 1),
+				LineNumber:   int64(l + 1),
+				Quantity:     int64(r.Intn(50) + 1),
+				Discount:     int64(r.Intn(11)),
+				Tax:          int64(r.Intn(9)),
+				ShipDate:     ship,
+				CommitDate:   odate + int64(r.Intn(121)+30),
+				ReceiptDate:  ship + int64(r.Intn(30)+1),
+				ShipInstruct: int64(r.Intn(NumInstructs)),
+				ShipMode:     int64(r.Intn(NumShipModes)),
 			}
 			li.ExtendedPrice = li.Quantity * (90000 + int64(li.PartKey%200)*100) / 100
 			if ship > Year1995+167 { // roughly past mid-1995: still open

@@ -8,53 +8,53 @@ import (
 // Query parameters (integer-coded analogues of the spec's substitution
 // parameters, shared by the dataflow and oracle implementations).
 const (
-	q1Cutoff    = DateMax - 90
-	q2Size      = 15
-	q2Region    = 3
-	q3Segment   = 0
-	q3Date      = Year1995 + 74
-	q4Lo        = Year1993 + 181
-	q4Hi        = q4Lo + 92
-	q5Region    = 2
-	q5Lo        = Year1994
-	q5Hi        = Year1995
-	q6Lo        = Year1994
-	q6Hi        = Year1995
-	q6DiscLo    = 5
-	q6DiscHi    = 7
-	q6Qty       = 24
-	q7Nation1   = 4
-	q7Nation2   = 7
-	q8Region    = 1
-	q8Nation    = 2
-	q8Type      = 77
-	q9Color     = 37
-	q10Lo       = Year1993 + 273
-	q10Hi       = q10Lo + 92
-	q11Nation   = 7
-	q11FracInv  = 10000 // value > total / q11FracInv
-	q12ModeA    = 0
-	q12ModeB    = 1
-	q12Lo       = Year1994
-	q12Hi       = Year1995
-	q14Lo       = Year1995 + 243
-	q14Hi       = q14Lo + 30
-	q15Lo       = Year1996
-	q15Hi       = q15Lo + 92
-	q16Brand    = 15
-	q16TypeA    = 2 // excluded type prefix (code/25)
-	q17Brand    = 23
-	q17Contain  = 13
-	q18Qty      = 240
-	q19Brand1   = 12
-	q19Brand2   = 14
-	q19Brand3   = 21
-	q20Color    = 5
-	q20Nation   = 3
-	q20Lo       = Year1994
-	q20Hi       = Year1995
-	q21Nation   = 20
-	q22BalMin   = 0
+	q1Cutoff   = DateMax - 90
+	q2Size     = 15
+	q2Region   = 3
+	q3Segment  = 0
+	q3Date     = Year1995 + 74
+	q4Lo       = Year1993 + 181
+	q4Hi       = q4Lo + 92
+	q5Region   = 2
+	q5Lo       = Year1994
+	q5Hi       = Year1995
+	q6Lo       = Year1994
+	q6Hi       = Year1995
+	q6DiscLo   = 5
+	q6DiscHi   = 7
+	q6Qty      = 24
+	q7Nation1  = 4
+	q7Nation2  = 7
+	q8Region   = 1
+	q8Nation   = 2
+	q8Type     = 77
+	q9Color    = 37
+	q10Lo      = Year1993 + 273
+	q10Hi      = q10Lo + 92
+	q11Nation  = 7
+	q11FracInv = 10000 // value > total / q11FracInv
+	q12ModeA   = 0
+	q12ModeB   = 1
+	q12Lo      = Year1994
+	q12Hi      = Year1995
+	q14Lo      = Year1995 + 243
+	q14Hi      = q14Lo + 30
+	q15Lo      = Year1996
+	q15Hi      = q15Lo + 92
+	q16Brand   = 15
+	q16TypeA   = 2 // excluded type prefix (code/25)
+	q17Brand   = 23
+	q17Contain = 13
+	q18Qty     = 240
+	q19Brand1  = 12
+	q19Brand2  = 14
+	q19Brand3  = 21
+	q20Color   = 5
+	q20Nation  = 3
+	q20Lo      = Year1994
+	q20Hi      = Year1995
+	q21Nation  = 20
+	q22BalMin  = 0
 )
 
 var q16Sizes = map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}

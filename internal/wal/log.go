@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// Options tunes a shard log.
+type Options struct {
+	// Fsync syncs the file after every appended record. Off by default: an
+	// OS-buffered write survives process death (SIGKILL), which is the crash
+	// model the server recovers from; Fsync extends that to machine crashes
+	// at a large per-seal cost.
+	Fsync bool
+	// Fresh discards any existing log contents instead of replaying them
+	// (restarting without -recover means starting over).
+	Fresh bool
+}
+
+// ShardState is the recovered contents of one worker's shard log: the
+// contiguous chain of logged batches, the last logged compaction frontier,
+// and the frontier through which the shard had sealed.
+type ShardState[K, V any] struct {
+	Batches []*core.Batch[K, V] // contiguous lower/upper chain, oldest first
+	Since   lattice.Frontier    // last logged compaction-frontier advance
+	Upper   lattice.Frontier    // upper of the last logged batch
+	Torn    bool                // a torn/corrupt tail was discarded on replay
+}
+
+// ShardLog is the append-only log of one worker's shard of one arrangement.
+// It implements core.BatchSink: the arrange operator appends every sealed
+// batch as it enters the spine, and compaction-frontier advances arrive via
+// AdvanceSince. All methods after OpenShard must be called from the owning
+// worker's goroutine (the log is worker-local state, like the spine).
+type ShardLog[K, V any] struct {
+	dir   string
+	kc    Codec[K]
+	vc    Codec[V]
+	fsync bool
+	gen   uint64
+	f     *os.File
+	pbuf  []byte // payload staging
+	rbuf  []byte // framed-record staging
+}
+
+func genName(gen uint64) string { return fmt.Sprintf("gen-%08d.wal", gen) }
+
+func parseGen(name string) (uint64, bool) {
+	var g uint64
+	if _, err := fmt.Sscanf(name, "gen-%08d.wal", &g); err != nil || genName(g) != name {
+		return 0, false
+	}
+	return g, true
+}
+
+// OpenShard opens (creating if absent) the shard log in dir and replays its
+// highest generation. A torn tail is truncated away so subsequent appends
+// extend the valid prefix; incomplete checkpoint temporaries (*.tmp) and
+// superseded generations are removed. The returned state is empty for a
+// fresh log.
+func OpenShard[K, V any](dir string, kc Codec[K], vc Codec[V],
+	opt Options) (*ShardLog[K, V], *ShardState[K, V], error) {
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name())) // incomplete checkpoint
+			continue
+		}
+		if g, ok := parseGen(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	if opt.Fresh {
+		for _, g := range gens {
+			if err := os.Remove(filepath.Join(dir, genName(g))); err != nil {
+				return nil, nil, fmt.Errorf("wal: %w", err)
+			}
+		}
+		gens = nil
+	}
+
+	l := &ShardLog[K, V]{dir: dir, kc: kc, vc: vc, fsync: opt.Fsync}
+	if len(gens) == 0 {
+		l.gen = 1
+		if l.f, err = os.OpenFile(filepath.Join(dir, genName(1)),
+			os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644); err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		return l, emptyState[K, V](), nil
+	}
+
+	l.gen = gens[len(gens)-1]
+	path := filepath.Join(dir, genName(l.gen))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	st, good, rerr := replayBytes[K, V](kc, vc, data)
+	if rerr != nil {
+		var ce *CorruptError
+		if errors.As(rerr, &ce) {
+			ce.Path = path
+		}
+		return nil, nil, rerr
+	}
+	if l.f, err = os.OpenFile(path, os.O_WRONLY, 0); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if good < len(data) {
+		if err := l.f.Truncate(int64(good)); err != nil {
+			l.f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(int64(good), 0); err != nil {
+		l.f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	// Older generations are superseded; a completed checkpoint deletes them,
+	// but a crash between rename and delete can leave one behind.
+	for _, g := range gens[:len(gens)-1] {
+		os.Remove(filepath.Join(dir, genName(g)))
+	}
+	return l, st, nil
+}
+
+func emptyState[K, V any]() *ShardState[K, V] {
+	return &ShardState[K, V]{Since: lattice.MinFrontier(1), Upper: lattice.MinFrontier(1)}
+}
+
+// replayBytes decodes a shard log image into its recovered state, returning
+// the length of the valid prefix. Frame-level damage (torn tail) truncates;
+// semantic damage returns a *CorruptError.
+func replayBytes[K, V any](kc Codec[K], vc Codec[V],
+	data []byte) (*ShardState[K, V], int, error) {
+
+	st := emptyState[K, V]()
+	good, torn, err := scanRecords(data, func(off int64, payload []byte) error {
+		if len(payload) == 0 {
+			return &CorruptError{Offset: off, Reason: "empty payload"}
+		}
+		c := &cursor{buf: payload, off: 1}
+		switch payload[0] {
+		case recBatch:
+			b, derr := decodeBatch[K, V](c, kc, vc)
+			if derr != nil {
+				return &CorruptError{Offset: off, Reason: derr.Error()}
+			}
+			if len(st.Batches) > 0 && !b.Lower.Equal(st.Upper) {
+				return &CorruptError{Offset: off, Reason: fmt.Sprintf(
+					"batch lower %v breaks chain at %v", b.Lower, st.Upper)}
+			}
+			st.Batches = append(st.Batches, b)
+			st.Upper = b.Upper.Clone()
+		case recSince:
+			f, derr := c.frontier()
+			if derr != nil {
+				return &CorruptError{Offset: off, Reason: derr.Error()}
+			}
+			if f.Empty() {
+				return &CorruptError{Offset: off, Reason: "empty since frontier"}
+			}
+			st.Since = f
+		default:
+			return &CorruptError{Offset: off, Reason: fmt.Sprintf("unknown record kind %d", payload[0])}
+		}
+		if c.off != len(payload) {
+			return &CorruptError{Offset: off, Reason: fmt.Sprintf(
+				"%d trailing bytes after record body", len(payload)-c.off)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, good, err
+	}
+	st.Torn = torn
+	return st, good, nil
+}
+
+// append frames payload and writes it as one record.
+func (l *ShardLog[K, V]) append(payload []byte) error {
+	l.rbuf = appendRecord(l.rbuf[:0], payload)
+	if _, err := l.f.Write(l.rbuf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendBatch logs one sealed batch (core.BatchSink). The terminal empty
+// seal of a closing input — empty batch, empty upper — is skipped: it
+// carries no data and its empty upper would wedge the recovered resume
+// frontier at "nothing can follow".
+func (l *ShardLog[K, V]) AppendBatch(b *core.Batch[K, V]) error {
+	if b.Empty() && b.Upper.Empty() {
+		return nil
+	}
+	l.pbuf = append(l.pbuf[:0], recBatch)
+	l.pbuf = appendBatch(l.pbuf, l.kc, l.vc, b)
+	return l.append(l.pbuf)
+}
+
+// AdvanceSince logs a compaction-frontier advance (core.BatchSink), letting
+// recovery resume compaction where the live system had promised it.
+func (l *ShardLog[K, V]) AdvanceSince(f lattice.Frontier) error {
+	l.pbuf = append(l.pbuf[:0], recSince)
+	l.pbuf = appendFrontier(l.pbuf, f)
+	return l.append(l.pbuf)
+}
+
+// Rotate checkpoints the log: it writes a fresh generation holding the given
+// compaction frontier and batch chain (typically one compacted snapshot of
+// the trace — the same artifact a late-subscribing query imports), atomically
+// renames it into place, and deletes the superseded generation. Subsequent
+// appends extend the new generation, so the log stays proportional to the
+// live collection plus the tail sealed since the last checkpoint.
+func (l *ShardLog[K, V]) Rotate(since lattice.Frontier, batches []*core.Batch[K, V]) error {
+	next := l.gen + 1
+	var data []byte
+	l.pbuf = append(l.pbuf[:0], recSince)
+	l.pbuf = appendFrontier(l.pbuf, since)
+	data = appendRecord(data, l.pbuf)
+	for _, b := range batches {
+		l.pbuf = append(l.pbuf[:0], recBatch)
+		l.pbuf = appendBatch(l.pbuf, l.kc, l.vc, b)
+		data = appendRecord(data, l.pbuf)
+	}
+
+	tmp := filepath.Join(l.dir, fmt.Sprintf("gen-%08d.tmp", next))
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if _, err := nf.Write(data); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	path := filepath.Join(l.dir, genName(next))
+	if err := os.Rename(tmp, path); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if d, derr := os.Open(l.dir); derr == nil {
+		d.Sync() // best-effort: persist the rename itself
+		d.Close()
+	}
+	old, oldGen := l.f, l.gen
+	l.f, l.gen = nf, next
+	old.Close()
+	os.Remove(filepath.Join(l.dir, genName(oldGen)))
+	return nil
+}
+
+// Close releases the active log file.
+func (l *ShardLog[K, V]) Close() error { return l.f.Close() }
+
+// Dir returns the shard's directory.
+func (l *ShardLog[K, V]) Dir() string { return l.dir }
+
+// ShardDir is the conventional location of one worker's shard of one named
+// arrangement under a server data directory.
+func ShardDir(dataDir, name string, worker int) string {
+	return filepath.Join(dataDir, name, fmt.Sprintf("shard-%03d", worker))
+}
+
+// CountShards reports how many worker shards are logged for the named
+// arrangement (zero when none); recovery requires the worker count to match.
+func CountShards(dataDir, name string) (int, error) {
+	entries, err := os.ReadDir(filepath.Join(dataDir, name))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ListArrangements returns the names of arrangements with logs under
+// dataDir (a restart's manifest of what can be restored).
+func ListArrangements(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, err := CountShards(dataDir, e.Name()); err == nil && n > 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

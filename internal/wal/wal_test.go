@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// mkBatch builds a sealed batch covering epochs [lo, hi) from (key, val,
+// epoch, diff) quads.
+func mkBatch(t *testing.T, lo, hi uint64, quads ...[4]int64) *core.Batch[uint64, uint64] {
+	if t != nil {
+		t.Helper()
+	}
+	var upds []core.Update[uint64, uint64]
+	for _, q := range quads {
+		upds = append(upds, core.Update[uint64, uint64]{
+			Key: uint64(q[0]), Val: uint64(q[1]), Time: lattice.Ts(uint64(q[2])), Diff: q[3],
+		})
+	}
+	return core.BuildBatch(core.U64(), upds,
+		lattice.NewFrontier(lattice.Ts(lo)), lattice.NewFrontier(lattice.Ts(hi)),
+		lattice.MinFrontier(1))
+}
+
+func openU64(t *testing.T, dir string, opt Options) (*ShardLog[uint64, uint64], *ShardState[uint64, uint64]) {
+	t.Helper()
+	lg, st, err := OpenShard[uint64, uint64](dir, U64Codec(), U64Codec(), opt)
+	if err != nil {
+		t.Fatalf("OpenShard: %v", err)
+	}
+	return lg, st
+}
+
+func shardFile(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 {
+		t.Fatalf("want exactly one generation file, have %v", names)
+	}
+	return filepath.Join(dir, names[0])
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	lg, st := openU64(t, dir, Options{})
+	if len(st.Batches) != 0 || st.Torn {
+		t.Fatalf("fresh log not empty: %+v", st)
+	}
+	b1 := mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}, [4]int64{2, 20, 0, 2})
+	b2 := mkBatch(t, 1, 3, [4]int64{1, 10, 1, -1}, [4]int64{3, 30, 2, 1})
+	for _, b := range []*core.Batch[uint64, uint64]{b1, b2} {
+		if err := lg.AppendBatch(b); err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+	}
+	if err := lg.AdvanceSince(lattice.NewFrontier(lattice.Ts(3))); err != nil {
+		t.Fatalf("AdvanceSince: %v", err)
+	}
+	lg.Close()
+
+	lg2, st2 := openU64(t, dir, Options{})
+	defer lg2.Close()
+	if st2.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	if !reflect.DeepEqual(st2.Batches, []*core.Batch[uint64, uint64]{b1, b2}) {
+		t.Fatalf("replayed batches differ:\n got %+v\nwant %+v", st2.Batches, []*core.Batch[uint64, uint64]{b1, b2})
+	}
+	if !st2.Since.Equal(lattice.NewFrontier(lattice.Ts(3))) {
+		t.Fatalf("replayed since = %v, want {(3)}", st2.Since)
+	}
+	if !st2.Upper.Equal(lattice.NewFrontier(lattice.Ts(3))) {
+		t.Fatalf("replayed upper = %v, want {(3)}", st2.Upper)
+	}
+}
+
+func TestTornTailTruncatedAndAppendable(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	b1 := mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1})
+	b2 := mkBatch(t, 1, 2, [4]int64{2, 20, 1, 1})
+	lg.AppendBatch(b1)
+	lg.AppendBatch(b2)
+	lg.Close()
+
+	// Tear mid-record: drop the last 5 bytes, as a crash mid-write would.
+	path := shardFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(data)
+	if err := os.WriteFile(path, data[:full-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lg2, st := openU64(t, dir, Options{})
+	if !st.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if len(st.Batches) != 1 || !reflect.DeepEqual(st.Batches[0], b1) {
+		t.Fatalf("torn replay: want exactly the first batch, got %d batches", len(st.Batches))
+	}
+	// The tail must be physically gone so appends chain from the prefix.
+	if fi, _ := os.Stat(path); fi.Size() >= int64(full-5) {
+		t.Fatalf("torn tail not truncated: %d bytes", fi.Size())
+	}
+	if err := lg2.AppendBatch(b2); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	lg2.Close()
+	_, st3 := openU64(t, dir, Options{})
+	if len(st3.Batches) != 2 || st3.Torn {
+		t.Fatalf("after re-append: %d batches, torn=%v", len(st3.Batches), st3.Torn)
+	}
+}
+
+func TestBitFlipRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	b1 := mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1})
+	b2 := mkBatch(t, 1, 2, [4]int64{2, 20, 1, 1})
+	b3 := mkBatch(t, 2, 3, [4]int64{3, 30, 2, 1})
+	lg.AppendBatch(b1)
+	mid, _ := lg.f.Seek(0, 1)
+	lg.AppendBatch(b2)
+	lg.AppendBatch(b3)
+	lg.Close()
+
+	path := shardFile(t, dir)
+	data, _ := os.ReadFile(path)
+	data[mid+12] ^= 0x40 // corrupt the second record's payload
+	os.WriteFile(path, data, 0o644)
+
+	_, st := openU64(t, dir, Options{})
+	if !st.Torn || len(st.Batches) != 1 {
+		t.Fatalf("bit flip: want 1-batch prefix and torn=true, got %d batches torn=%v",
+			len(st.Batches), st.Torn)
+	}
+}
+
+func TestChainBreakIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	lg.AppendBatch(mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}))
+	// Skip [1,2): the next batch's lower does not match the chain.
+	lg.AppendBatch(mkBatch(t, 2, 3, [4]int64{2, 20, 2, 1}))
+	lg.Close()
+
+	_, _, err := OpenShard[uint64, uint64](dir, U64Codec(), U64Codec(), Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("chain break: want *CorruptError, got %v", err)
+	}
+}
+
+func TestRotateSupersedesAndChains(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	lg.AppendBatch(mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}))
+	lg.AppendBatch(mkBatch(t, 1, 2, [4]int64{1, 10, 1, 1}))
+
+	// Checkpoint: one consolidated batch through epoch 2, since {2}.
+	snap := core.BuildBatch(core.U64(),
+		[]core.Update[uint64, uint64]{{Key: 1, Val: 10, Time: lattice.Ts(2), Diff: 2}},
+		lattice.MinFrontier(1), lattice.NewFrontier(lattice.Ts(2)),
+		lattice.NewFrontier(lattice.Ts(2)))
+	if err := lg.Rotate(lattice.NewFrontier(lattice.Ts(2)),
+		[]*core.Batch[uint64, uint64]{snap}); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	// Appends continue into the new generation.
+	lg.AppendBatch(mkBatch(t, 2, 4, [4]int64{2, 20, 3, 1}))
+	lg.Close()
+
+	shardFile(t, dir) // asserts the old generation was deleted
+	_, st := openU64(t, dir, Options{})
+	if len(st.Batches) != 2 {
+		t.Fatalf("rotated log: want snapshot + 1 live batch, got %d", len(st.Batches))
+	}
+	if !st.Batches[0].Since.Equal(lattice.NewFrontier(lattice.Ts(2))) {
+		t.Fatalf("snapshot since = %v", st.Batches[0].Since)
+	}
+	if !st.Upper.Equal(lattice.NewFrontier(lattice.Ts(4))) {
+		t.Fatalf("upper = %v, want {(4)}", st.Upper)
+	}
+}
+
+func TestFreshDiscardsExistingLog(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	lg.AppendBatch(mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}))
+	lg.Close()
+	_, st := openU64(t, dir, Options{Fresh: true})
+	if len(st.Batches) != 0 {
+		t.Fatalf("Fresh open replayed %d batches", len(st.Batches))
+	}
+}
+
+func TestClampBatches(t *testing.T) {
+	fn := core.U64()
+	chain := []*core.Batch[uint64, uint64]{
+		mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}),
+		mkBatch(t, 1, 4, [4]int64{2, 20, 1, 1}, [4]int64{3, 30, 2, 1}, [4]int64{4, 40, 3, 1}),
+		mkBatch(t, 4, 5, [4]int64{5, 50, 4, 1}),
+	}
+	cut := lattice.NewFrontier(lattice.Ts(3))
+	out := ClampBatches(fn, chain, cut)
+	if len(out) != 2 {
+		t.Fatalf("clamp: want 2 batches, got %d", len(out))
+	}
+	if out[0] != chain[0] {
+		t.Fatal("clamp: fully covered batch should pass through shared")
+	}
+	if !out[1].Upper.Equal(cut) {
+		t.Fatalf("clamp: straddler upper = %v, want %v", out[1].Upper, cut)
+	}
+	got := map[[2]uint64]core.Diff{}
+	out[1].ForEach(func(k, v uint64, _ lattice.Time, d core.Diff) { got[[2]uint64{k, v}] += d })
+	want := map[[2]uint64]core.Diff{{2, 20}: 1, {3, 30}: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clamp contents = %v, want %v", got, want)
+	}
+
+	// A cut on an existing boundary passes batches through and drops the rest.
+	out = ClampBatches(fn, chain, lattice.NewFrontier(lattice.Ts(4)))
+	if len(out) != 2 || out[0] != chain[0] || out[1] != chain[1] {
+		t.Fatalf("boundary clamp: got %d batches", len(out))
+	}
+}
+
+func TestCodecs(t *testing.T) {
+	var buf []byte
+	buf = U64Codec().Append(buf, 42)
+	buf = I64Codec().Append(buf, -7)
+	buf = StringCodec().Append(buf, "hello")
+	u, n, err := U64Codec().Read(buf)
+	if err != nil || u != 42 {
+		t.Fatalf("u64: %v %v", u, err)
+	}
+	buf = buf[n:]
+	i, n, err := I64Codec().Read(buf)
+	if err != nil || i != -7 {
+		t.Fatalf("i64: %v %v", i, err)
+	}
+	buf = buf[n:]
+	s, _, err := StringCodec().Read(buf)
+	if err != nil || s != "hello" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	if _, _, err := StringCodec().Read([]byte{255, 255, 255, 255, 'x'}); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+}
+
+func TestListAndCount(t *testing.T) {
+	data := t.TempDir()
+	for _, w := range []int{0, 1, 2} {
+		lg, _, err := OpenShard[uint64, uint64](ShardDir(data, "edges", w),
+			U64Codec(), U64Codec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg.Close()
+	}
+	names, err := ListArrangements(data)
+	if err != nil || len(names) != 1 || names[0] != "edges" {
+		t.Fatalf("ListArrangements = %v, %v", names, err)
+	}
+	n, err := CountShards(data, "edges")
+	if err != nil || n != 3 {
+		t.Fatalf("CountShards = %d, %v", n, err)
+	}
+	if n, _ := CountShards(data, "absent"); n != 0 {
+		t.Fatalf("CountShards(absent) = %d", n)
+	}
+}

@@ -3,6 +3,12 @@
 # any recorded metric regresses more than 20% (tolerance overridable, e.g.
 # scripts/bench_check.sh -tol 0.3). Baselines are machine-specific — record
 # one on your hardware with:  go run ./cmd/kpg bench -json > BENCH_baseline.json
+#
+# Set BENCH_JSON=<path> to also capture the current run's report as JSON
+# (CI uploads it as a workflow artifact); the gate's exit code is unchanged.
 set -e
 cd "$(dirname "$0")/.."
+if [ -n "${BENCH_JSON:-}" ]; then
+    exec go run ./cmd/kpg bench -json -baseline BENCH_baseline.json "$@" > "$BENCH_JSON"
+fi
 exec go run ./cmd/kpg bench -baseline BENCH_baseline.json "$@"
