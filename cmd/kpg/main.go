@@ -22,6 +22,14 @@
 // prints a RESULT line identical to an uninterrupted run's — even after
 // SIGKILL mid-stream (scripts/crash_recovery_check.sh asserts exactly
 // that).
+//
+// kpg serve -listen <addr> serves the wire protocol instead of a built-in
+// scenario: external clients drive the "edges" source and attach live
+// queries over the network. kpg client (install, uninstall, update,
+// advance, sync, list, watch; server chosen with -addr) is the matching
+// command-line client; internal/net documents the protocol and the query
+// grammar. Combine -listen with -data-dir for a durable networked server
+// that checkpoints in the background.
 package main
 
 import (
@@ -46,7 +54,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, serve, bench, all)")
+		fmt.Fprintln(os.Stderr, "usage: kpg <experiment>  (fig4a..fig6f, table2..table11, serve, client, bench, all)")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -58,7 +66,7 @@ func main() {
 		"table2": table2, "table3": table3, "table4": table4,
 		"table5": table5, "table6": table6, "table7": table7,
 		"table10": table10, "table11": table11,
-		"serve": serve, "bench": bench,
+		"serve": serve, "bench": bench, "client": client,
 	}
 	if name == "all" {
 		for _, n := range []string{"fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	stdnet "net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -12,6 +16,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/interactive"
 	"repro/internal/lattice"
+	knet "repro/internal/net"
 	"repro/internal/server"
 	"repro/internal/timely"
 	"repro/internal/wal"
@@ -24,8 +29,39 @@ var (
 	serveRounds  = flag.Int("rounds", 25, "serve: churn rounds between installs")
 	serveDataDir = flag.String("data-dir", "", "serve: durable WAL directory (enables the durable serve path)")
 	serveRecover = flag.Bool("recover", false, "serve: restore arrangements from the -data-dir logs before streaming")
-	serveCkpt    = flag.Int("checkpoint-every", 10, "serve: checkpoint interval in epochs on the durable path (0 disables)")
+	serveCkpt    = flag.Int("checkpoint-every", 10, "serve: checkpoint interval on the durable path — epochs for the scenario driver, seconds under -listen (0 disables)")
+	serveListen  = flag.String("listen", "", "serve: address to serve the wire protocol on (e.g. 127.0.0.1:7071); clients drive sources and queries remotely")
 )
+
+// validateServeFlags rejects flag combinations up front, before any server
+// state (or on-disk log) is touched, instead of silently accepting them:
+//
+//   - -recover without -data-dir would run the in-memory demo and ignore the
+//     logs the operator asked to recover;
+//   - a negative -checkpoint-every would silently disable checkpointing;
+//   - -listen hands the epoch cycle to remote clients, so combining it with
+//     the built-in churn scenario's flags is contradictory.
+func validateServeFlags() error {
+	if *serveRecover && *serveDataDir == "" {
+		return errors.New("-recover requires -data-dir (there is no log to recover without one)")
+	}
+	if *serveCkpt < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d); use 0 to disable", *serveCkpt)
+	}
+	if *serveListen != "" {
+		var scenario []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes", "edges", "churn", "rounds":
+				scenario = append(scenario, "-"+f.Name)
+			}
+		})
+		if len(scenario) > 0 {
+			return fmt.Errorf("-listen serves remote clients; the scenario flags %v drive the built-in churn demo and are incompatible", scenario)
+		}
+	}
+	return nil
+}
 
 // serve demonstrates live query installation (§6.2, Fig 5): it starts a
 // server hosting a continuously churned edges arrangement, then installs
@@ -35,6 +71,14 @@ var (
 // shared arrangements pays) — and reports the install-to-first-complete-
 // result latency of both configurations.
 func serve() {
+	if err := validateServeFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	if *serveListen != "" {
+		serveNet()
+		return
+	}
 	if *serveDataDir != "" {
 		serveDurable()
 		return
@@ -175,9 +219,18 @@ func serveDurable() {
 
 	rounds := uint64(*serveRounds)
 	for round := start; round < rounds; round++ {
-		edges.Update(durableRound(round, *serveNodes, *serveChurn))
-		edges.Advance()
-		edges.Sync()
+		if err := edges.Update(durableRound(round, *serveNodes, *serveChurn)); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: update: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := edges.Advance(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: advance: %v\n", err)
+			os.Exit(1)
+		}
+		if err := edges.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: sync: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("sealed epoch %d\n", round)
 		if *serveCkpt > 0 && (round+1)%uint64(*serveCkpt) == 0 {
 			if err := s.Checkpoint(); err != nil {
@@ -190,6 +243,99 @@ func serveDurable() {
 
 	count, sum := durableResult(s, edges, rounds)
 	fmt.Printf("RESULT count=%d checksum=%016x\n", count, sum)
+}
+
+// serveNet is the network serve path (kpg serve -listen): a server hosting
+// an "edges" arrangement (durable when -data-dir is also given) serves the
+// wire protocol. Remote kpg clients install and uninstall queries, stream
+// updates, seal epochs, and watch per-epoch result deltas; the process runs
+// until SIGINT/SIGTERM. On the durable path a background ticker checkpoints
+// every -checkpoint-every seconds — the shutdown sequence and the ticker
+// may race, which server.ErrClosed resolves cleanly.
+func serveNet() {
+	w := clampWorkers(4)
+	durable := *serveDataDir != ""
+	var s *server.Server
+	if durable {
+		s = server.NewOpts(w, server.Options{DataDir: *serveDataDir, Recover: *serveRecover})
+	} else {
+		s = server.New(w)
+	}
+	defer s.Close()
+
+	var edges *server.Source[uint64, uint64]
+	var err error
+	if durable {
+		edges, err = server.NewSourceOpts(s, "edges", core.U64(), server.SourceOptions[uint64, uint64]{
+			Durable:  true,
+			KeyCodec: wal.U64Codec(),
+			ValCodec: wal.U64Codec(),
+		})
+	} else {
+		edges, err = server.NewSource(s, "edges", core.U64())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *serveRecover {
+		rec, err := s.Restore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recovered \"edges\" through epoch %d from the batch log (no source replay)\n", rec["edges"])
+	}
+
+	fe := knet.NewFrontend(s)
+	if err := fe.RegisterSource(edges); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := stdnet.Listen("tcp", *serveListen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d workers on %s\n", w, ln.Addr())
+
+	stopCkpt := make(chan struct{})
+	if durable && *serveCkpt > 0 {
+		go func() {
+			tick := time.NewTicker(time.Duration(*serveCkpt) * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					switch err := s.Checkpoint(); {
+					case err == nil:
+						fmt.Printf("checkpointed at epoch %d\n", edges.Epoch())
+					case errors.Is(err, server.ErrClosed):
+						return // shutdown won the race; nothing to log
+					default:
+						fmt.Fprintf(os.Stderr, "serve: checkpoint: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("shutting down")
+		fe.Close()
+	}()
+
+	if err := fe.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	}
+	close(stopCkpt)
+	fe.Close()
+	fmt.Println("frontend closed; server shutting down")
 }
 
 // durableRound derives round r's updates from r alone — no accumulated

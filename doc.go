@@ -34,7 +34,16 @@
 //     dataflows against them while updates stream (the paper's §6.2
 //     interactive scenario made operational). Durable sources log through
 //     internal/wal; Checkpoint/Restore rebuild every trace from logged
-//     batches on restart — no source replay.
+//     batches on restart — no source replay. Shutdown is race-hardened:
+//     Close is idempotent and operations racing it fail fast with a typed
+//     ErrClosed.
+//   - internal/net — the wire-protocol front-end: external clients install
+//     and uninstall queries from a small pipeline grammar
+//     (filter/swap/join/count/distinct over registered sources), stream
+//     source updates, seal epochs, and subscribe to per-epoch result
+//     deltas over TCP. Frames reuse the WAL's CRC32-C record format and
+//     codecs; per-query hubs tie backpressure to the epoch cycle, so a
+//     slow subscriber lags only its own stream, never the workers.
 //   - workload substrates (internal/tpch, graphs, datalog, graspan,
 //     interactive with its live installation wiring) and the experiment
 //     drivers (internal/experiments) regenerating every table and figure of
@@ -46,8 +55,10 @@
 // against naive recompute oracles (also exposed as go test -fuzz targets).
 //
 // See the examples/ directory for runnable programs (examples/live-queries
-// demonstrates queries attaching to a running arrangement), cmd/kpg for the
-// experiment CLI and the serve and bench subcommands (bench records and
+// demonstrates queries attaching to a running arrangement in-process,
+// examples/remote-queries the same over the network), cmd/kpg for the
+// experiment CLI and the serve, client, and bench subcommands (serve
+// -listen hosts the wire protocol, client drives it, bench records and
 // gates the tier-1 throughput baseline in BENCH_baseline.json), and
 // DESIGN.md for the system inventory and testing strategy.
 package kpg

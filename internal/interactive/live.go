@@ -63,7 +63,8 @@ func (l *Live) UpdateEdges(upds []core.Update[uint64, uint64]) {
 	for _, q := range l.queries {
 		q.feedEdges(upds)
 	}
-	l.Edges.Update(upds)
+	// A racing Close means the whole harness is coming down; nothing to do.
+	_ = l.Edges.Update(upds)
 }
 
 // InsertEdge adds one edge at the current epoch.
@@ -84,7 +85,7 @@ func (l *Live) Advance() uint64 {
 }
 
 func (l *Live) advanceLocked() uint64 {
-	sealed := l.Edges.Advance()
+	sealed, _ := l.Edges.Advance()
 	next := sealed + 1
 	for _, q := range l.queries {
 		q.advanceEdges(next)
@@ -93,7 +94,7 @@ func (l *Live) advanceLocked() uint64 {
 }
 
 // Sync blocks until the shared arrangement reflects every sealed epoch.
-func (l *Live) Sync() { l.Edges.Sync() }
+func (l *Live) Sync() { _ = l.Edges.Sync() }
 
 // LiveQuery is one installed query-class dataflow and its result stream.
 type LiveQuery[K comparable, V comparable] struct {

@@ -1,0 +1,476 @@
+package net
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/server"
+	"repro/internal/timely"
+	"repro/internal/wal"
+)
+
+// Frontend exposes a server.Server over the wire protocol: remote clients
+// install and uninstall named queries from the query grammar, send source
+// updates, seal epochs, and subscribe to per-epoch result deltas. All
+// methods are also callable in-process (the CLI serve path and tests drive
+// them directly).
+type Frontend struct {
+	srv *server.Server
+
+	mu      sync.Mutex
+	sources map[string]*server.Source[uint64, uint64]
+	queries map[string]*netQuery
+	conns   map[net.Conn]struct{}
+	ln      net.Listener
+	closed  bool
+
+	wg sync.WaitGroup // accept loop, connection handlers, query pumps
+}
+
+// netQuery is one query installed through the frontend: the server-side
+// dataflow plus the hub its result sink feeds and the pump publishing
+// completed epochs into it.
+type netQuery struct {
+	name, text string
+	q          *server.Query
+	hub        *hub
+}
+
+// ErrFrontendClosed reports an operation against a closed frontend.
+var ErrFrontendClosed = errors.New("net: frontend closed")
+
+// NewFrontend wraps a server. Register sources before serving.
+func NewFrontend(srv *server.Server) *Frontend {
+	return &Frontend{
+		srv:     srv,
+		sources: make(map[string]*server.Source[uint64, uint64]),
+		queries: make(map[string]*netQuery),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// RegisterSource makes a server source visible to the query grammar and the
+// update/advance requests under its registered name.
+func (fe *Frontend) RegisterSource(src *server.Source[uint64, uint64]) error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.closed {
+		return ErrFrontendClosed
+	}
+	if _, dup := fe.sources[src.Name()]; dup {
+		return fmt.Errorf("net: source %q already registered", src.Name())
+	}
+	fe.sources[src.Name()] = src
+	return nil
+}
+
+// Install parses a query text, installs its dataflow against the shared
+// arrangements (snapshot import plus live batches), and begins collecting
+// its per-epoch result deltas for subscribers.
+func (fe *Frontend) Install(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("net: query name must be non-empty")
+	}
+	pl, err := ParseQuery(text)
+	if err != nil {
+		return err
+	}
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		return ErrFrontendClosed
+	}
+	srcs := make(map[string]*server.Source[uint64, uint64], len(fe.sources))
+	for n, s := range fe.sources {
+		srcs[n] = s
+	}
+	fe.mu.Unlock()
+	for _, s := range pl.sources(nil) {
+		if srcs[s] == nil {
+			return fmt.Errorf("net: query %q reads unknown source %q", name, s)
+		}
+	}
+
+	h := newHub()
+	q, err := fe.srv.Install(name, func(w *timely.Worker, g *timely.Graph) server.Built {
+		b := &builder{g: g, sources: srcs}
+		out := pl.build(b)
+		dd.Inspect(out, func(k, v uint64, t lattice.Time, d core.Diff) {
+			h.add(t.Epoch(), k, v, int64(d))
+		})
+		imports := b.imports
+		return server.Built{Probe: dd.Probe(out), Teardown: func() {
+			for _, a := range imports {
+				if a.Cancel != nil {
+					a.Cancel()
+				}
+			}
+		}}
+	})
+	if err != nil {
+		return err
+	}
+	nq := &netQuery{name: name, text: text, q: q, hub: h}
+
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		h.close()
+		q.Uninstall()
+		return ErrFrontendClosed
+	}
+	fe.queries[name] = nq
+	fe.wg.Add(1)
+	fe.mu.Unlock()
+	go fe.pump(nq)
+	return nil
+}
+
+// pump publishes epochs to the query's hub as the probe passes them. It is
+// the only goroutine parked against the cluster per query: subscribers wait
+// on the hub, not on the workers, so any number of them cost the epoch
+// cycle nothing.
+func (fe *Frontend) pump(nq *netQuery) {
+	defer fe.wg.Done()
+	e := uint64(0)
+	for {
+		if !fe.srv.WaitFor(func() bool { return nq.hub.isClosed() || nq.q.Done(e) }) {
+			nq.hub.close() // server closed; deliver what was published, then end streams
+			return
+		}
+		if nq.hub.isClosed() {
+			return
+		}
+		e++
+		nq.hub.complete(e)
+	}
+}
+
+// Uninstall tears a query down: subscribers receive what was already
+// published, then their streams end; the dataflow leaves the workers.
+func (fe *Frontend) Uninstall(name string) error {
+	fe.mu.Lock()
+	nq := fe.queries[name]
+	if nq == nil {
+		fe.mu.Unlock()
+		return fmt.Errorf("net: query %q is not installed", name)
+	}
+	delete(fe.queries, name)
+	fe.mu.Unlock()
+	nq.hub.close()
+	fe.srv.Wake() // unpark the pump
+	nq.q.Uninstall()
+	return nil
+}
+
+func (fe *Frontend) lookupSource(name string) (*server.Source[uint64, uint64], error) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	src := fe.sources[name]
+	if src == nil {
+		return nil, fmt.Errorf("net: unknown source %q", name)
+	}
+	return src, nil
+}
+
+// Update applies input deltas to a registered source at its current epoch.
+func (fe *Frontend) Update(source string, upds []Delta) error {
+	src, err := fe.lookupSource(source)
+	if err != nil {
+		return err
+	}
+	conv := make([]core.Update[uint64, uint64], len(upds))
+	for i, u := range upds {
+		conv[i] = core.Update[uint64, uint64]{Key: u.Key, Val: u.Val, Diff: core.Diff(u.Diff)}
+	}
+	return src.Update(conv)
+}
+
+// Advance seals a source's current epoch, returning the sealed epoch. This
+// is what drives every subscriber's frontier forward.
+func (fe *Frontend) Advance(source string) (uint64, error) {
+	src, err := fe.lookupSource(source)
+	if err != nil {
+		return 0, err
+	}
+	return src.Advance()
+}
+
+// SyncSource blocks until every sealed epoch of the source is reflected in
+// its arrangement on all workers.
+func (fe *Frontend) SyncSource(source string) error {
+	src, err := fe.lookupSource(source)
+	if err != nil {
+		return err
+	}
+	return src.Sync()
+}
+
+// List reports the registered sources and installed queries.
+func (fe *Frontend) List() Listing {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	var l Listing
+	for _, src := range fe.sources {
+		l.Sources = append(l.Sources, SourceInfo{Name: src.Name(), Epoch: src.Epoch()})
+	}
+	for _, nq := range fe.queries {
+		l.Queries = append(l.Queries, QueryInfo{Name: nq.name, Text: nq.text})
+	}
+	sortListing(&l)
+	return l
+}
+
+// Serve accepts connections on ln until the frontend closes (returns nil)
+// or the listener fails (returns the error).
+func (fe *Frontend) Serve(ln net.Listener) error {
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		ln.Close()
+		return ErrFrontendClosed
+	}
+	fe.ln = ln
+	fe.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fe.mu.Lock()
+			closed := fe.closed
+			fe.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		fe.mu.Lock()
+		if fe.closed {
+			fe.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		fe.conns[conn] = struct{}{}
+		fe.wg.Add(1)
+		fe.mu.Unlock()
+		go fe.handleConn(conn)
+	}
+}
+
+// Close stops accepting, severs every connection (subscribers' writes and
+// reads error out rather than wedge), ends every stream, uninstalls the
+// frontend's queries, and waits for all of its goroutines. Idempotent. Close
+// the frontend before the server.
+func (fe *Frontend) Close() {
+	fe.mu.Lock()
+	if fe.closed {
+		fe.mu.Unlock()
+		return
+	}
+	fe.closed = true
+	ln := fe.ln
+	conns := make([]net.Conn, 0, len(fe.conns))
+	for c := range fe.conns {
+		conns = append(conns, c)
+	}
+	queries := make([]*netQuery, 0, len(fe.queries))
+	for _, nq := range fe.queries {
+		queries = append(queries, nq)
+	}
+	fe.queries = make(map[string]*netQuery)
+	fe.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, nq := range queries {
+		nq.hub.close()
+	}
+	fe.srv.Wake()
+	for _, nq := range queries {
+		nq.q.Uninstall()
+	}
+	fe.wg.Wait()
+}
+
+// handleConn serves one connection: a hello handshake, then a request loop.
+// Frame or decode errors disconnect (after a best-effort typed error reply);
+// request-level errors (unknown source, bad query, closed server) reply
+// respErr and keep the connection.
+func (fe *Frontend) handleConn(conn net.Conn) {
+	defer fe.wg.Done()
+	var streams sync.WaitGroup
+	defer func() {
+		conn.Close() // unblocks this connection's streamers
+		streams.Wait()
+		fe.mu.Lock()
+		delete(fe.conns, conn)
+		fe.mu.Unlock()
+	}()
+
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex // streamers and the request loop share the socket
+	write := func(payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if _, err := w.Write(wal.AppendRecord(nil, payload)); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	payload, err := wal.ReadRecord(r, MaxFrame)
+	if err != nil {
+		return
+	}
+	req, err := decodeRequest(payload)
+	if err != nil || req.kind != reqHello {
+		write(encodeErr("net: expected hello"))
+		return
+	}
+	if req.magic != Magic || req.version != Version {
+		write(encodeErr(fmt.Sprintf("net: protocol mismatch (want magic %08x version %d)",
+			Magic, Version)))
+		return
+	}
+	if err := write(encodeOK(uint64(fe.srv.Workers()))); err != nil {
+		return
+	}
+
+	for {
+		payload, err := wal.ReadRecord(r, MaxFrame)
+		if err != nil {
+			return // clean EOF, dead peer, or damaged frame: disconnect
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// A structurally invalid frame means the stream is unsafe to
+			// keep parsing: reply with the typed error, then disconnect.
+			write(encodeErr(err.Error()))
+			return
+		}
+		switch req.kind {
+		case reqHello:
+			if write(encodeErr("net: duplicate hello")) != nil {
+				return
+			}
+		case reqInstall:
+			if fe.reply(write, 0, fe.Install(req.name, req.text)) != nil {
+				return
+			}
+		case reqUninstall:
+			if fe.reply(write, 0, fe.Uninstall(req.name)) != nil {
+				return
+			}
+		case reqUpdate:
+			if fe.reply(write, 0, fe.Update(req.name, req.upds)) != nil {
+				return
+			}
+		case reqAdvance:
+			sealed, err := fe.Advance(req.name)
+			if fe.reply(write, sealed, err) != nil {
+				return
+			}
+		case reqSync:
+			if fe.reply(write, 0, fe.SyncSource(req.name)) != nil {
+				return
+			}
+		case reqList:
+			if write(encodeListing(fe.List())) != nil {
+				return
+			}
+		case reqSubscribe:
+			fe.mu.Lock()
+			nqs := make([]*netQuery, 0, len(req.names))
+			var missing string
+			for _, n := range req.names {
+				if nq := fe.queries[n]; nq != nil {
+					nqs = append(nqs, nq)
+				} else {
+					missing = n
+				}
+			}
+			fe.mu.Unlock()
+			if missing != "" {
+				if write(encodeErr(fmt.Sprintf("net: query %q is not installed", missing))) != nil {
+					return
+				}
+				continue
+			}
+			if write(encodeOK(0)) != nil {
+				return
+			}
+			for _, nq := range nqs {
+				sub, snap, start := nq.hub.subscribe()
+				streams.Add(1)
+				go streamTo(nq, sub, snap, start, write, &streams)
+			}
+		}
+	}
+}
+
+// reply writes respOK (with a value) or respErr; its return value is only
+// the connection's health.
+func (fe *Frontend) reply(write func([]byte) error, value uint64, err error) error {
+	if err != nil {
+		return write(encodeErr(err.Error()))
+	}
+	return write(encodeOK(value))
+}
+
+// streamTo is one subscription: the consolidated snapshot, then completed
+// epochs as they publish, at the pace of this connection alone. A write
+// error (slow-reader socket torn down, client killed) detaches the
+// subscription; nothing upstream notices.
+func streamTo(nq *netQuery, sub *subscriber, snap []Delta, start uint64,
+	write func([]byte) error, streams *sync.WaitGroup) {
+
+	defer streams.Done()
+	defer nq.hub.unsubscribe(sub)
+	err := write(encodeEvent(Event{Kind: streamSnapshot, Query: nq.name, Epoch: start, Upds: snap}))
+	if err != nil {
+		return
+	}
+	// The snapshot consolidates every epoch below start, so completion
+	// through start-1 is already established: announce it rather than
+	// leaving a quiescent stream frontier-less until the next epoch seals.
+	if start > 0 {
+		if write(encodeEvent(Event{Kind: streamFrontier, Query: nq.name, Epoch: start - 1})) != nil {
+			return
+		}
+	}
+	for {
+		ds, frontier, ok := sub.next()
+		if !ok {
+			// Query uninstalled or server closing: tell the client its
+			// stream is over rather than leaving it blocked on a read.
+			write(encodeEvent(Event{Kind: streamEnd, Query: nq.name}))
+			return
+		}
+		for _, d := range ds {
+			ev := Event{Kind: streamDelta, Query: nq.name, Epoch: d.epoch, Upds: d.upds}
+			if write(encodeEvent(ev)) != nil {
+				return
+			}
+		}
+		if write(encodeEvent(Event{Kind: streamFrontier, Query: nq.name, Epoch: frontier})) != nil {
+			return
+		}
+	}
+}
+
+// sortListing orders a listing deterministically.
+func sortListing(l *Listing) {
+	sort.Slice(l.Sources, func(i, j int) bool { return l.Sources[i].Name < l.Sources[j].Name })
+	sort.Slice(l.Queries, func(i, j int) bool { return l.Queries[i].Name < l.Queries[j].Name })
+}

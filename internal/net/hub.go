@@ -1,0 +1,169 @@
+package net
+
+import (
+	"sort"
+	"sync"
+)
+
+// hub collects one installed query's result deltas and fans them out to
+// subscribers, decoupling the epoch cycle from connection speed:
+//
+//   - Worker-side sinks call add, which appends to an in-memory per-epoch
+//     bucket under a briefly-held mutex — it never blocks on a subscriber.
+//   - The query's pump calls complete as the probe passes each epoch; only
+//     then do the epoch's deltas become visible to subscribers (results for
+//     an epoch are published atomically, never partially).
+//   - Each subscriber drains completed epochs at the pace of its own
+//     connection writes. A slow subscriber lags and pins only the buckets
+//     it has not yet read; everyone else streams on.
+//
+// Buckets behind every subscriber's cursor are folded into a consolidated
+// base (zero-diff records vanish), so hub memory is proportional to the live
+// result set plus the slowest subscriber's backlog — the same shape as the
+// trace compaction the arrangements themselves perform. A subscriber that
+// arrives late receives that base as a snapshot, then the live epochs: the
+// network analogue of the shared-arrangement import.
+type hub struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	base       map[[2]uint64]int64 // net collection of epochs < baseEpoch
+	baseEpoch  uint64
+	buckets    map[uint64][]Delta // per-epoch deltas, epochs >= baseEpoch
+	completeTo uint64             // epochs < completeTo are complete
+	subs       map[*subscriber]struct{}
+	closed     bool
+}
+
+// subscriber is one attachment to a hub. cursor is the next epoch it has not
+// yet received; it only ever advances to completed epochs.
+type subscriber struct {
+	h      *hub
+	cursor uint64
+}
+
+func newHub() *hub {
+	h := &hub{
+		base:    make(map[[2]uint64]int64),
+		buckets: make(map[uint64][]Delta),
+		subs:    make(map[*subscriber]struct{}),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// add records one result delta (worker-side sink; must never block).
+func (h *hub) add(epoch, key, val uint64, diff int64) {
+	h.mu.Lock()
+	h.buckets[epoch] = append(h.buckets[epoch], Delta{Key: key, Val: val, Diff: diff})
+	h.mu.Unlock()
+}
+
+// complete publishes every epoch below the given frontier (exclusive) and
+// folds buckets no subscriber still needs into the base.
+func (h *hub) complete(to uint64) {
+	h.mu.Lock()
+	if to > h.completeTo {
+		h.completeTo = to
+	}
+	h.trimLocked()
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// trimLocked folds buckets behind every subscriber's cursor (all completed
+// buckets when no one is subscribed) into the consolidated base.
+func (h *hub) trimLocked() {
+	limit := h.completeTo
+	for s := range h.subs {
+		if s.cursor < limit {
+			limit = s.cursor
+		}
+	}
+	for h.baseEpoch < limit {
+		for _, d := range h.buckets[h.baseEpoch] {
+			k := [2]uint64{d.Key, d.Val}
+			h.base[k] += d.Diff
+			if h.base[k] == 0 {
+				delete(h.base, k)
+			}
+		}
+		delete(h.buckets, h.baseEpoch)
+		h.baseEpoch++
+	}
+}
+
+// close wakes every subscriber and the pump; late calls are no-ops. The
+// caller must also wake the cluster (server.Wake) so a pump parked in
+// WaitFor re-evaluates.
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+func (h *hub) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// subscribe attaches a new subscriber, returning it plus the consolidated
+// snapshot it starts from: the net collection of every epoch below start.
+// The subscriber's first live events begin at epoch start.
+func (h *hub) subscribe() (s *subscriber, snapshot []Delta, start uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s = &subscriber{h: h, cursor: h.baseEpoch}
+	h.subs[s] = struct{}{}
+	snapshot = make([]Delta, 0, len(h.base))
+	for k, d := range h.base {
+		snapshot = append(snapshot, Delta{Key: k[0], Val: k[1], Diff: d})
+	}
+	sort.Slice(snapshot, func(i, j int) bool {
+		if snapshot[i].Key != snapshot[j].Key {
+			return snapshot[i].Key < snapshot[j].Key
+		}
+		return snapshot[i].Val < snapshot[j].Val
+	})
+	return s, snapshot, h.baseEpoch
+}
+
+// unsubscribe detaches a subscriber (its pinned buckets become foldable).
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.trimLocked()
+	h.mu.Unlock()
+}
+
+// epochDeltas is one completed epoch's published deltas.
+type epochDeltas struct {
+	epoch uint64
+	upds  []Delta
+}
+
+// next blocks until at least one epoch at or past the subscriber's cursor is
+// complete (or the hub closes), then returns the completed epochs' deltas
+// plus the inclusive frontier they reach. ok is false when the hub closed
+// with nothing further to deliver.
+func (s *subscriber) next() (ds []epochDeltas, frontier uint64, ok bool) {
+	h := s.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.completeTo <= s.cursor && !h.closed {
+		h.cond.Wait()
+	}
+	if h.completeTo <= s.cursor { // closed with nothing new
+		return nil, 0, false
+	}
+	for e := s.cursor; e < h.completeTo; e++ {
+		if b := h.buckets[e]; len(b) > 0 {
+			ds = append(ds, epochDeltas{epoch: e, upds: append([]Delta(nil), b...)})
+		}
+	}
+	s.cursor = h.completeTo
+	h.trimLocked()
+	return ds, h.completeTo - 1, true
+}

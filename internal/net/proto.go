@@ -1,0 +1,364 @@
+// Package net is the wire-protocol front-end for live queries: it exposes a
+// server.Server's install/uninstall/update/subscribe surface to external
+// clients over a length-prefixed binary protocol, so queries attach to a
+// *running* system (the paper's §6.2 interactive scenario) from another
+// process.
+//
+// Framing reuses the WAL's record format (u32 length | u32 CRC32-C |
+// payload, via wal.AppendRecord/wal.ReadRecord): the frames that carry
+// result deltas are the same encodings the shard logs persist, which is
+// deliberate — a distributed data plane would frame the identical artifact.
+// Every payload is `u8 kind | body`; bodies are built from the wal codec
+// helpers and decoded with the bounds-checked wal.Dec, so malformed bytes
+// yield typed errors, never panics.
+//
+// Backpressure is tied to the epoch cycle: worker-side sinks only append
+// deltas to an in-memory hub (never blocking), and each subscriber streams
+// completed epochs at the pace of its own connection. A slow subscriber
+// therefore lags and pins only its own backlog; it never blocks the workers
+// or other subscribers.
+package net
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every connection's hello frame ("kpg1").
+	Magic uint32 = 0x6b706731
+	// Version is the protocol version; mismatches are refused at hello.
+	Version uint32 = 1
+	// MaxFrame bounds a single frame's payload in both directions.
+	MaxFrame uint32 = 1 << 24
+)
+
+// Request kinds (client to server).
+const (
+	reqHello byte = iota + 1
+	reqInstall
+	reqUninstall
+	reqUpdate
+	reqAdvance
+	reqSync
+	reqList
+	reqSubscribe
+)
+
+// Response and stream kinds (server to client).
+const (
+	respOK byte = iota + 64
+	respErr
+	respListing
+	// streamSnapshot carries a subscriber's starting state: the query's net
+	// collection consolidated through every epoch below Epoch.
+	streamSnapshot
+	// streamDelta carries one completed epoch's result changes.
+	streamDelta
+	// streamFrontier announces completion: every delta at or below Epoch has
+	// been delivered (sent even when the epoch's delta is empty).
+	streamFrontier
+	// streamEnd announces that a subscription is over (the query was
+	// uninstalled or the server is shutting down); no further events for
+	// this query will follow.
+	streamEnd
+)
+
+// Delta is one result or input change on the wire.
+type Delta struct {
+	Key, Val uint64
+	Diff     int64
+}
+
+// request is one decoded client frame.
+type request struct {
+	kind    byte
+	magic   uint32 // hello
+	version uint32 // hello
+	name    string // install/uninstall/update/advance/sync: query or source
+	text    string // install: query text
+	upds    []Delta
+	names   []string // subscribe
+}
+
+// Event is one decoded stream frame, delivered to watchers.
+type Event struct {
+	Kind  byte // streamSnapshot, streamDelta, or streamFrontier
+	Query string
+	Epoch uint64
+	Upds  []Delta // nil for frontier events
+}
+
+// Snapshot reports whether the event carries a consolidated starting state.
+func (e Event) Snapshot() bool { return e.Kind == streamSnapshot }
+
+// Frontier reports whether the event is a pure completion announcement.
+func (e Event) Frontier() bool { return e.Kind == streamFrontier }
+
+// End reports whether the event ends its query's subscription.
+func (e Event) End() bool { return e.Kind == streamEnd }
+
+// errProto reports a structurally valid frame with nonsensical contents.
+var errProto = errors.New("net: protocol error")
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errProto, fmt.Sprintf(format, args...))
+}
+
+// appendDeltas encodes a delta list (count, then key/val/diff triples).
+func appendDeltas(dst []byte, upds []Delta) []byte {
+	dst = wal.AppendU32(dst, uint32(len(upds)))
+	for _, u := range upds {
+		dst = wal.AppendU64(dst, u.Key)
+		dst = wal.AppendU64(dst, u.Val)
+		dst = wal.AppendU64(dst, uint64(u.Diff))
+	}
+	return dst
+}
+
+// decDeltas decodes a delta list, bounding the count against the payload.
+func decDeltas(d *wal.Dec) ([]Delta, error) {
+	n, err := d.Count("delta")
+	if err != nil {
+		return nil, err
+	}
+	if n*24 > d.Remaining() {
+		return nil, protoErrf("delta count %d exceeds frame", n)
+	}
+	out := make([]Delta, 0, n)
+	for i := 0; i < n; i++ {
+		k, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		diff, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Delta{Key: k, Val: v, Diff: int64(diff)})
+	}
+	return out, nil
+}
+
+// encodeRequest encodes one client frame payload.
+func encodeRequest(r request) []byte {
+	dst := []byte{r.kind}
+	switch r.kind {
+	case reqHello:
+		dst = wal.AppendU32(dst, r.magic)
+		dst = wal.AppendU32(dst, r.version)
+	case reqInstall:
+		dst = wal.AppendString(dst, r.name)
+		dst = wal.AppendString(dst, r.text)
+	case reqUninstall, reqAdvance, reqSync:
+		dst = wal.AppendString(dst, r.name)
+	case reqUpdate:
+		dst = wal.AppendString(dst, r.name)
+		dst = appendDeltas(dst, r.upds)
+	case reqList:
+	case reqSubscribe:
+		dst = wal.AppendU32(dst, uint32(len(r.names)))
+		for _, n := range r.names {
+			dst = wal.AppendString(dst, n)
+		}
+	}
+	return dst
+}
+
+// decodeRequest decodes one client frame payload. It never panics: every
+// malformed input yields an error the connection handler reports and then
+// disconnects on.
+func decodeRequest(payload []byte) (request, error) {
+	var r request
+	if len(payload) == 0 {
+		return r, protoErrf("empty frame")
+	}
+	d := wal.NewDec(payload[1:])
+	r.kind = payload[0]
+	var err error
+	switch r.kind {
+	case reqHello:
+		if r.magic, err = d.U32(); err != nil {
+			return r, err
+		}
+		if r.version, err = d.U32(); err != nil {
+			return r, err
+		}
+	case reqInstall:
+		if r.name, err = d.String(); err != nil {
+			return r, err
+		}
+		if r.text, err = d.String(); err != nil {
+			return r, err
+		}
+	case reqUninstall, reqAdvance, reqSync:
+		if r.name, err = d.String(); err != nil {
+			return r, err
+		}
+	case reqUpdate:
+		if r.name, err = d.String(); err != nil {
+			return r, err
+		}
+		if r.upds, err = decDeltas(d); err != nil {
+			return r, err
+		}
+	case reqList:
+	case reqSubscribe:
+		n, err := d.Count("subscription")
+		if err != nil {
+			return r, err
+		}
+		r.names = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			nm, err := d.String()
+			if err != nil {
+				return r, err
+			}
+			r.names = append(r.names, nm)
+		}
+	default:
+		return r, protoErrf("unknown request kind %d", r.kind)
+	}
+	if d.Remaining() != 0 {
+		return r, protoErrf("%d trailing bytes after request body", d.Remaining())
+	}
+	return r, nil
+}
+
+// SourceInfo describes one registered source in a listing.
+type SourceInfo struct {
+	Name  string
+	Epoch uint64
+}
+
+// QueryInfo describes one installed query in a listing.
+type QueryInfo struct {
+	Name string
+	Text string
+}
+
+// Listing is the server's reply to a list request.
+type Listing struct {
+	Sources []SourceInfo
+	Queries []QueryInfo
+}
+
+// encodeOK encodes a success response carrying one value (advance returns
+// the sealed epoch; other requests carry zero).
+func encodeOK(value uint64) []byte {
+	return wal.AppendU64([]byte{respOK}, value)
+}
+
+func encodeErr(msg string) []byte {
+	return wal.AppendString([]byte{respErr}, msg)
+}
+
+func encodeListing(l Listing) []byte {
+	dst := []byte{respListing}
+	dst = wal.AppendU32(dst, uint32(len(l.Sources)))
+	for _, s := range l.Sources {
+		dst = wal.AppendString(dst, s.Name)
+		dst = wal.AppendU64(dst, s.Epoch)
+	}
+	dst = wal.AppendU32(dst, uint32(len(l.Queries)))
+	for _, q := range l.Queries {
+		dst = wal.AppendString(dst, q.Name)
+		dst = wal.AppendString(dst, q.Text)
+	}
+	return dst
+}
+
+// encodeEvent encodes a stream frame.
+func encodeEvent(e Event) []byte {
+	dst := []byte{e.Kind}
+	dst = wal.AppendString(dst, e.Query)
+	dst = wal.AppendU64(dst, e.Epoch)
+	if e.Kind == streamSnapshot || e.Kind == streamDelta {
+		dst = appendDeltas(dst, e.Upds)
+	}
+	return dst
+}
+
+// response is one decoded server frame.
+type response struct {
+	kind    byte
+	value   uint64 // ok
+	msg     string // err
+	listing Listing
+	event   Event
+}
+
+// decodeResponse decodes one server frame payload (client side).
+func decodeResponse(payload []byte) (response, error) {
+	var r response
+	if len(payload) == 0 {
+		return r, protoErrf("empty frame")
+	}
+	d := wal.NewDec(payload[1:])
+	r.kind = payload[0]
+	var err error
+	switch r.kind {
+	case respOK:
+		if r.value, err = d.U64(); err != nil {
+			return r, err
+		}
+	case respErr:
+		if r.msg, err = d.String(); err != nil {
+			return r, err
+		}
+	case respListing:
+		n, err := d.Count("source")
+		if err != nil {
+			return r, err
+		}
+		for i := 0; i < n; i++ {
+			var s SourceInfo
+			if s.Name, err = d.String(); err != nil {
+				return r, err
+			}
+			if s.Epoch, err = d.U64(); err != nil {
+				return r, err
+			}
+			r.listing.Sources = append(r.listing.Sources, s)
+		}
+		if n, err = d.Count("query"); err != nil {
+			return r, err
+		}
+		for i := 0; i < n; i++ {
+			var q QueryInfo
+			if q.Name, err = d.String(); err != nil {
+				return r, err
+			}
+			if q.Text, err = d.String(); err != nil {
+				return r, err
+			}
+			r.listing.Queries = append(r.listing.Queries, q)
+		}
+	case streamSnapshot, streamDelta, streamFrontier, streamEnd:
+		r.event.Kind = r.kind
+		if r.event.Query, err = d.String(); err != nil {
+			return r, err
+		}
+		if r.event.Epoch, err = d.U64(); err != nil {
+			return r, err
+		}
+		if r.kind == streamSnapshot || r.kind == streamDelta {
+			if r.event.Upds, err = decDeltas(d); err != nil {
+				return r, err
+			}
+		}
+	default:
+		return r, protoErrf("unknown response kind %d", r.kind)
+	}
+	if d.Remaining() != 0 {
+		return r, protoErrf("%d trailing bytes after response body", d.Remaining())
+	}
+	return r, nil
+}

@@ -1,0 +1,285 @@
+package net
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/server"
+	"repro/internal/timely"
+)
+
+// Query grammar. A query is a pipeline over registered sources; every stage
+// maps a (uint64, uint64) collection to another, so plans compose freely and
+// every result streams over the wire in the same delta encoding:
+//
+//	query  := term { '|' stage }
+//	term   := SOURCE | '(' query ')'
+//	stage  := 'keyeq' N | 'valeq' N | 'keymod' M R | 'valmod' M R
+//	        | 'swap' | 'join' term | 'count' | 'distinct'
+//
+// Stages:
+//
+//	keyeq N / valeq N   — keep records whose key (value) equals N
+//	keymod M R          — keep records with key % M == R (valmod likewise)
+//	swap                — exchange key and value
+//	join t              — join with term t on key: a pipeline record (k, v)
+//	                      matching t's (k, w) emits (w, v) — results re-key
+//	                      by t's value and carry the pipeline's value, so
+//	                      with edge sources keyed by origin node each join
+//	                      is one hop along t
+//	count               — per-key record count (value becomes the count)
+//	distinct            — reduce every present record to multiplicity one
+//
+// The paper's interactive query classes fall out directly: one-hop from x is
+// `edges | keyeq x | swap | join edges`, another `| join edges` makes it
+// two-hop, and `| count` turns any of them into a maintained aggregate.
+//
+// Sources in a plan attach to the server's shared arrangements by snapshot
+// import (Source.ImportInto): installing a query on a long-running server
+// costs work proportional to the live collection, not its update history.
+
+// maxPlanDepth bounds parenthesis nesting: the parser recurses, and plans
+// arrive over the network, so unbounded nesting would be a remote stack
+// overflow.
+const maxPlanDepth = 64
+
+// plan is one parsed query stage tree.
+type plan interface {
+	// sources appends the source names the plan reads.
+	sources(into []string) []string
+	// build constructs the worker-local dataflow for this plan.
+	build(b *builder) dd.Collection[uint64, uint64]
+}
+
+type planSource struct{ name string }
+
+type planFilter struct {
+	in    plan
+	onKey bool
+	mod   uint64 // 0 means equality test against eq
+	eq    uint64
+}
+
+type planSwap struct{ in plan }
+
+type planJoin struct{ left, right plan }
+
+type planCount struct{ in plan }
+
+type planDistinct struct{ in plan }
+
+func (p planSource) sources(into []string) []string { return append(into, p.name) }
+func (p planFilter) sources(into []string) []string { return p.in.sources(into) }
+func (p planSwap) sources(into []string) []string   { return p.in.sources(into) }
+func (p planJoin) sources(into []string) []string {
+	return p.right.sources(p.left.sources(into))
+}
+func (p planCount) sources(into []string) []string    { return p.in.sources(into) }
+func (p planDistinct) sources(into []string) []string { return p.in.sources(into) }
+
+// builder carries the per-worker context a plan builds in.
+type builder struct {
+	g       *timely.Graph
+	sources map[string]*server.Source[uint64, uint64]
+	imports []*core.Arranged[uint64, uint64]
+	joins   int
+}
+
+func (p planSource) build(b *builder) dd.Collection[uint64, uint64] {
+	arr := b.sources[p.name].ImportInto(b.g)
+	b.imports = append(b.imports, arr)
+	return dd.Flatten(arr)
+}
+
+func (p planFilter) build(b *builder) dd.Collection[uint64, uint64] {
+	in := p.in.build(b)
+	sel, mod, eq := p.onKey, p.mod, p.eq
+	return dd.Filter(in, func(k, v uint64) bool {
+		x := v
+		if sel {
+			x = k
+		}
+		if mod != 0 {
+			return x%mod == eq
+		}
+		return x == eq
+	})
+}
+
+func (p planSwap) build(b *builder) dd.Collection[uint64, uint64] {
+	return dd.Map(p.in.build(b), func(k, v uint64) (uint64, uint64) { return v, k })
+}
+
+func (p planJoin) build(b *builder) dd.Collection[uint64, uint64] {
+	left := p.left.build(b)
+	right := p.right.build(b)
+	b.joins++
+	name := fmt.Sprintf("net-join-%d", b.joins)
+	return dd.Join(left, core.U64(), right, core.U64(), name,
+		func(k, v, w uint64) (uint64, uint64) { return w, v })
+}
+
+func (p planCount) build(b *builder) dd.Collection[uint64, uint64] {
+	counts := dd.Count(p.in.build(b), core.U64())
+	return dd.Map(counts, func(k uint64, c int64) (uint64, uint64) { return k, uint64(c) })
+}
+
+func (p planDistinct) build(b *builder) dd.Collection[uint64, uint64] {
+	return dd.Distinct(p.in.build(b), core.U64())
+}
+
+// tokenize splits a query text into tokens, treating '(', ')' and '|' as
+// their own tokens regardless of spacing.
+func tokenize(text string) []string {
+	var toks []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch r {
+		case '(', ')', '|':
+			flush()
+			toks = append(toks, string(r))
+		case ' ', '\t', '\n', '\r':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) num(what string) (uint64, error) {
+	t := p.next()
+	if t == "" {
+		return 0, fmt.Errorf("net: query: missing %s", what)
+	}
+	n, err := strconv.ParseUint(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("net: query: %s: %q is not a number", what, t)
+	}
+	return n, nil
+}
+
+// ParseQuery parses a query text into its plan. It never panics, whatever
+// the input: queries arrive over the network.
+func ParseQuery(text string) (plan, error) {
+	p := &parser{toks: tokenize(text)}
+	pl, err := p.query(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t != "" {
+		return nil, fmt.Errorf("net: query: unexpected %q", t)
+	}
+	return pl, nil
+}
+
+func (p *parser) query(depth int) (plan, error) {
+	pl, err := p.term(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		if pl, err = p.stage(pl, depth); err != nil {
+			return nil, err
+		}
+	}
+	return pl, nil
+}
+
+func (p *parser) term(depth int) (plan, error) {
+	if depth > maxPlanDepth {
+		return nil, fmt.Errorf("net: query: nesting deeper than %d", maxPlanDepth)
+	}
+	switch t := p.next(); t {
+	case "":
+		return nil, fmt.Errorf("net: query: missing source or '(' group")
+	case "(":
+		pl, err := p.query(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if c := p.next(); c != ")" {
+			return nil, fmt.Errorf("net: query: expected ')', got %q", c)
+		}
+		return pl, nil
+	case ")", "|":
+		return nil, fmt.Errorf("net: query: unexpected %q", t)
+	default:
+		return planSource{name: t}, nil
+	}
+}
+
+func (p *parser) stage(in plan, depth int) (plan, error) {
+	switch t := p.next(); t {
+	case "keyeq", "valeq":
+		n, err := p.num(t + " operand")
+		if err != nil {
+			return nil, err
+		}
+		return planFilter{in: in, onKey: t == "keyeq", eq: n}, nil
+	case "keymod", "valmod":
+		m, err := p.num(t + " modulus")
+		if err != nil {
+			return nil, err
+		}
+		if m == 0 {
+			return nil, fmt.Errorf("net: query: %s modulus must be nonzero", t)
+		}
+		r, err := p.num(t + " remainder")
+		if err != nil {
+			return nil, err
+		}
+		if r >= m {
+			return nil, fmt.Errorf("net: query: %s remainder %d not below modulus %d", t, r, m)
+		}
+		return planFilter{in: in, onKey: t == "keymod", mod: m, eq: r}, nil
+	case "swap":
+		return planSwap{in: in}, nil
+	case "join":
+		right, err := p.term(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return planJoin{left: in, right: right}, nil
+	case "count":
+		return planCount{in: in}, nil
+	case "distinct":
+		return planDistinct{in: in}, nil
+	case "":
+		return nil, fmt.Errorf("net: query: missing stage after '|'")
+	default:
+		return nil, fmt.Errorf("net: query: unknown stage %q", t)
+	}
+}

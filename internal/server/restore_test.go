@@ -1,12 +1,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lattice"
@@ -302,5 +304,169 @@ func TestDurableGuards(t *testing.T) {
 	}
 	if _, err := src2.Restore(); err == nil {
 		t.Fatal("double Restore accepted")
+	}
+}
+
+// TestRestoreFailsAtomically: when one durable source's shard logs turn out
+// unrecoverable mid-restore, Server.Restore must return a nil map alongside
+// the error — never a partially populated epoch map a caller (like serve.go)
+// could mistakenly resume from.
+func TestRestoreFailsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s := NewOpts(2, Options{DataDir: dir})
+	good, err := NewSourceOpts(s, "aa-good", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewSourceOpts(s, "zz-bad", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		good.Update([]core.Update[uint64, uint64]{{Key: uint64(e), Val: 1, Diff: 1}})
+		good.Advance()
+		bad.Update([]core.Update[uint64, uint64]{{Key: uint64(e), Val: 2, Diff: 1}})
+		bad.Advance()
+	}
+	good.Sync()
+	bad.Sync()
+	s.Close()
+
+	// Corrupt zz-bad: rewrite both worker shards as fresh logs whose only
+	// batch has an empty upper frontier — a "closed log" no resume point can
+	// be cut from. Replay accepts the frames (they are CRC-valid and
+	// well-formed), so the damage only surfaces mid-restore, after aa-good
+	// has already restored successfully.
+	for w := 0; w < 2; w++ {
+		lg, _, err := wal.OpenShard(wal.ShardDir(dir, "zz-bad", w),
+			wal.U64Codec(), wal.U64Codec(), wal.Options{Fresh: true})
+		if err != nil {
+			t.Fatalf("rewriting shard %d: %v", w, err)
+		}
+		closedBatch := core.BuildBatch(core.U64(),
+			[]core.Update[uint64, uint64]{{Key: 7, Val: 7, Time: lattice.Ts(0), Diff: 1}},
+			lattice.MinFrontier(1), lattice.Frontier{}, lattice.MinFrontier(1))
+		if err := lg.AppendBatch(closedBatch); err != nil {
+			t.Fatalf("appending closed batch: %v", err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := NewOpts(2, Options{DataDir: dir, Recover: true})
+	defer rec.Close()
+	if _, err := NewSourceOpts(rec, "aa-good", core.U64(), durableOpts()); err != nil {
+		t.Fatalf("re-registering aa-good: %v", err)
+	}
+	if _, err := NewSourceOpts(rec, "zz-bad", core.U64(), durableOpts()); err != nil {
+		t.Fatalf("re-registering zz-bad: %v", err)
+	}
+	epochs, err := rec.Restore()
+	if err == nil {
+		t.Fatal("Restore succeeded over an unrecoverable shard")
+	}
+	if epochs != nil {
+		t.Fatalf("Restore returned a partial epoch map %v alongside error %v; want nil", epochs, err)
+	}
+}
+
+// TestClosedServerRefusesWork: every driver-facing operation against a
+// closed server fails fast with ErrClosed instead of wedging or panicking,
+// and Close is idempotent — the contract a checkpoint ticker or a remote
+// client racing shutdown relies on.
+func TestClosedServerRefusesWork(t *testing.T) {
+	dir := t.TempDir()
+	s := NewOpts(2, Options{DataDir: dir})
+	src, err := NewSourceOpts(s, "e", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Update([]core.Update[uint64, uint64]{{Key: 1, Val: 2, Diff: 1}})
+	src.Advance()
+	src.Sync()
+	s.Close()
+	s.Close() // idempotent
+
+	if err := src.Update([]core.Update[uint64, uint64]{{Key: 3, Val: 4, Diff: 1}}); err != ErrClosed {
+		t.Fatalf("Update after Close: %v, want ErrClosed", err)
+	}
+	if _, err := src.Advance(); err != ErrClosed {
+		t.Fatalf("Advance after Close: %v, want ErrClosed", err)
+	}
+	if err := src.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Checkpoint(); err != ErrClosed {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Restore(); err != ErrClosed {
+		t.Fatalf("Restore after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Install("q", func(w *timely.Worker, g *timely.Graph) Built {
+		return Built{}
+	}); err != ErrClosed {
+		t.Fatalf("Install after Close: %v, want ErrClosed", err)
+	}
+	if _, err := NewSourceOpts(s, "late", core.U64(), durableOpts()); err != ErrClosed {
+		t.Fatalf("NewSource after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacesDriverOps closes the server while a "ticker" goroutine is
+// mid-checkpoint and another streams updates — the exact shutdown race a
+// serve -listen process runs every time. Nothing may panic or wedge; the
+// racing operations must terminate, erroring only with ErrClosed.
+func TestCloseRacesDriverOps(t *testing.T) {
+	dir := t.TempDir()
+	s := NewOpts(2, Options{DataDir: dir})
+	src, err := NewSourceOpts(s, "e", core.U64(), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Update([]core.Update[uint64, uint64]{{Key: 1, Val: 1, Diff: 1}})
+	src.Advance()
+	src.Sync()
+
+	done := make(chan struct{}, 2)
+	go func() { // checkpoint ticker
+		defer func() { done <- struct{}{} }()
+		for {
+			if err := s.Checkpoint(); err != nil {
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				t.Errorf("checkpoint failed with %v, want nil or ErrClosed", err)
+				return
+			}
+		}
+	}()
+	go func() { // update stream
+		defer func() { done <- struct{}{} }()
+		for e := uint64(0); ; e++ {
+			if err := src.Update([]core.Update[uint64, uint64]{{Key: e, Val: 1, Diff: 1}}); err != nil {
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				t.Errorf("update failed with %v, want nil or ErrClosed", err)
+				return
+			}
+			if _, err := src.Advance(); err != nil {
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				t.Errorf("advance failed with %v, want nil or ErrClosed", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let both loops reach steady state
+	s.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("driver op wedged across Close")
+		}
 	}
 }

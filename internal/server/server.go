@@ -38,6 +38,11 @@ import (
 	"repro/internal/wal"
 )
 
+// ErrClosed reports an operation against a server that has been closed (or
+// raced Close). Remote front-ends translate it into a clean client error
+// instead of a wedged or panicking connection.
+var ErrClosed = errors.New("server: closed")
+
 // Server owns a cluster of dataflow workers, the named shared arrangements
 // maintained on them, and the live query dataflows installed against them.
 type Server struct {
@@ -45,6 +50,7 @@ type Server struct {
 	opts Options
 
 	mu      sync.Mutex
+	closed  bool
 	sources map[string]sourceHandle
 	queries map[string]*Query
 }
@@ -95,12 +101,21 @@ func (s *Server) Workers() int { return s.c.Peers() }
 func (s *Server) Cluster() *timely.Cluster { return s.c }
 
 // Close retires every source input and stops the workers. Live queries are
-// abandoned in place; drivers must not race Close with other calls. Durable
-// sources are abandoned open (their inputs are not closed: the terminal
-// empty frontier would mark the log complete and unresumable); their logs
-// are released once the workers have stopped.
+// abandoned in place. Durable sources are abandoned open (their inputs are
+// not closed: the terminal empty frontier would mark the log complete and
+// unresumable); their logs are released once the workers have stopped.
+//
+// Close is idempotent, and calls racing it (a checkpoint ticker, a remote
+// client's install or update) fail with ErrClosed instead of wedging: the
+// closed flag refuses new work, and the cluster refuses posts that slip past
+// the flag (timely's Aborted results) rather than queueing them forever.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
 	srcs := make([]sourceHandle, 0, len(s.sources))
 	for _, src := range s.sources {
 		srcs = append(srcs, src)
@@ -115,10 +130,21 @@ func (s *Server) Close() {
 	}
 }
 
+// Closed reports whether Close has begun.
+func (s *Server) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Checkpoint compacts every durable source's log to a snapshot of its trace
 // (the same artifact a late-subscribing query imports), discarding the
-// superseded batch runs. Safe to call while updates stream.
+// superseded batch runs. Safe to call while updates stream. Returns
+// ErrClosed if the server has been closed.
 func (s *Server) Checkpoint() error {
+	if s.Closed() {
+		return ErrClosed
+	}
 	var errs []error
 	for _, src := range s.sourcesByName() {
 		if err := src.checkpoint(); err != nil {
@@ -131,13 +157,18 @@ func (s *Server) Checkpoint() error {
 // Restore rebuilds every durable source registered so far from its logged
 // batches — no source replay — returning each source's resumed epoch by
 // name. Call once, after re-registering the schema on a server started with
-// Options.Recover and before sending any updates.
+// Options.Recover and before sending any updates. Recovery fails atomically:
+// on any error the returned map is nil — there is no partially recovered
+// epoch set a caller could mistakenly resume from.
 func (s *Server) Restore() (map[string]uint64, error) {
+	if s.Closed() {
+		return nil, ErrClosed
+	}
 	out := make(map[string]uint64)
 	for _, src := range s.sourcesByName() {
 		epoch, durable, err := src.restore()
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		if durable {
 			out[src.sourceName()] = epoch
@@ -257,6 +288,10 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 	// Reserve the name before building anything: a duplicate must never
 	// leave an orphan dataflow scheduled on the workers.
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if _, dup := s.sources[name]; dup {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: source %q already registered", name)
@@ -286,6 +321,12 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		src.probes[i] = timely.NewProbe(a.Stream)
 	})
 	inst.Wait()
+	if inst.Aborted() {
+		s.mu.Lock()
+		delete(s.sources, name)
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if err := errors.Join(openErrs...); err != nil {
 		// The dataflow stays installed (idle) and the name stays reserved:
 		// retrying under the same name on mismatched shards must not
@@ -313,12 +354,17 @@ func (src *Source[K, V]) Epoch() uint64 {
 }
 
 // Update introduces a batch of updates at the current epoch. The caller's
-// slice is not retained or modified; times are stamped into a copy.
-func (src *Source[K, V]) Update(upds []core.Update[K, V]) {
+// slice is not retained or modified; times are stamped into a copy. Returns
+// ErrClosed once the server has been closed.
+func (src *Source[K, V]) Update(upds []core.Update[K, V]) error {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	if src.s.Closed() {
+		return ErrClosed
+	}
 	src.checkRestored()
 	src.inputs[0].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
+	return nil
 }
 
 // checkRestored panics on use of a recovering source before Restore (the
@@ -335,23 +381,27 @@ func (src *Source[K, V]) checkRestored() {
 }
 
 // Insert adds one copy of (k, v) at the current epoch.
-func (src *Source[K, V]) Insert(k K, v V) {
-	src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: 1}})
+func (src *Source[K, V]) Insert(k K, v V) error {
+	return src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: 1}})
 }
 
 // Remove deletes one copy of (k, v) at the current epoch.
-func (src *Source[K, V]) Remove(k K, v V) {
-	src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: -1}})
+func (src *Source[K, V]) Remove(k K, v V) error {
+	return src.Update([]core.Update[K, V]{{Key: k, Val: v, Diff: -1}})
 }
 
 // Advance seals the current epoch on every worker's input handle and
 // returns it. Behind the new epoch it advances the arrangement's primary
 // compaction frontier (on each owning worker), permitting the spine to
 // consolidate history that no current or future reader can distinguish —
-// which is exactly what keeps late-subscriber snapshots small.
-func (src *Source[K, V]) Advance() uint64 {
+// which is exactly what keeps late-subscriber snapshots small. Returns
+// ErrClosed once the server has been closed.
+func (src *Source[K, V]) Advance() (uint64, error) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	if src.s.Closed() {
+		return 0, ErrClosed
+	}
 	src.checkRestored()
 	sealed := src.epoch
 	src.epoch++
@@ -365,21 +415,29 @@ func (src *Source[K, V]) Advance() uint64 {
 			a.AdvanceSince(f)
 		})
 	}
-	return sealed
+	return sealed, nil
 }
 
 // Sync blocks until every epoch sealed so far is fully reflected in the
-// arrangement on all workers.
-func (src *Source[K, V]) Sync() {
+// arrangement on all workers. Returns ErrClosed if the server closed before
+// (or while) the epochs completed.
+func (src *Source[K, V]) Sync() error {
 	src.mu.Lock()
+	if src.s.Closed() {
+		src.mu.Unlock()
+		return ErrClosed
+	}
 	src.checkRestored()
 	e := src.epoch
 	src.mu.Unlock()
 	if e == 0 {
-		return
+		return nil
 	}
 	t := lattice.Ts(e - 1)
-	src.s.c.WaitUntil(func() bool { return src.probes[0].Done(t) })
+	if !src.s.c.WaitUntil(func() bool { return src.probes[0].Done(t) }) {
+		return ErrClosed
+	}
+	return nil
 }
 
 // ImportInto attaches the calling worker's shard of the arrangement to a new
@@ -425,6 +483,9 @@ func (src *Source[K, V]) closeDurable() {
 func (src *Source[K, V]) Restore() (uint64, error) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	if src.s.Closed() {
+		return 0, ErrClosed
+	}
 	if !src.durable {
 		return 0, fmt.Errorf("server: source %q is not durable", src.nm)
 	}
@@ -456,7 +517,7 @@ func (src *Source[K, V]) Restore() (uint64, error) {
 	since := lattice.MeetAll(sf...)
 
 	perr := make([]error, len(src.logs))
-	src.s.c.PostEach(func(w *timely.Worker) {
+	p := src.s.c.PostEach(func(w *timely.Worker) {
 		i := w.Index()
 		clamped := wal.ClampBatches(src.fn, src.states[i].Batches, cut)
 		src.arr[i].Restore(clamped, since)
@@ -464,7 +525,11 @@ func (src *Source[K, V]) Restore() (uint64, error) {
 		// are discarded on disk too, so the chain stays contiguous when
 		// live appends resume from the cut.
 		perr[i] = src.logs[i].Rotate(since, clamped)
-	}).Wait()
+	})
+	p.Wait()
+	if p.Aborted() {
+		return 0, ErrClosed // server closed underneath us; nothing was loaded
+	}
 	// The traces are loaded: past the point of no return regardless of the
 	// log rewrite's outcome, so a retry must not re-load them (it would
 	// panic on the non-empty spines). A rewrite error leaves the on-disk
@@ -518,14 +583,20 @@ func (src *Source[K, V]) Checkpoint() error {
 		return fmt.Errorf("server: source %q is not serving (recovering or failed); cannot checkpoint", src.nm)
 	}
 	src.mu.Unlock()
-	src.Sync()
+	if err := src.Sync(); err != nil {
+		return err
+	}
 
 	perr := make([]error, len(src.logs))
-	src.s.c.PostEach(func(w *timely.Worker) {
+	p := src.s.c.PostEach(func(w *timely.Worker) {
 		i := w.Index()
 		snap := src.arr[i].Agent.SnapshotBatch()
 		perr[i] = src.logs[i].Rotate(snap.Since.Clone(), []*core.Batch[K, V]{snap})
-	}).Wait()
+	})
+	p.Wait()
+	if p.Aborted() {
+		return ErrClosed
+	}
 	return errors.Join(perr...)
 }
 
@@ -568,6 +639,10 @@ func (s *Server) Install(name string, build func(w *timely.Worker, g *timely.Gra
 	// Reserve the name before building: the loser of a duplicate-name race
 	// must not leave a built dataflow scheduled forever.
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if _, dup := s.queries[name]; dup {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: query %q already installed", name)
@@ -579,6 +654,12 @@ func (s *Server) Install(name string, build func(w *timely.Worker, g *timely.Gra
 		q.built[w.Index()] = build(w, g)
 	})
 	q.inst.Wait()
+	if q.inst.Aborted() {
+		s.mu.Lock()
+		delete(s.queries, name)
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	q.probe = q.built[0].Probe
 	return q, nil
 }
@@ -596,6 +677,22 @@ func (q *Query) WaitDone(t lattice.Time) bool {
 	return q.s.c.WaitUntil(func() bool { return q.probe.Done(t) })
 }
 
+// Done reports (without blocking) whether the query's results through the
+// given epoch are complete on every worker. Subscription pumps poll it from
+// WaitFor conditions to learn when an epoch's deltas may be published.
+func (q *Query) Done(epoch uint64) bool { return q.probe.Done(lattice.Ts(epoch)) }
+
+// WaitFor parks the caller until cond reports true, re-evaluating whenever
+// the workers make progress (or Wake is called). It returns false if the
+// server closed first. Together with Query.Done and Wake it is the
+// subscription hook a streaming front-end builds on.
+func (s *Server) WaitFor(cond func() bool) bool { return s.c.WaitUntil(cond) }
+
+// Wake forces every WaitFor condition to re-evaluate. Call it after changing
+// state a condition observes that the workers do not (for example, marking a
+// subscription closed from a network goroutine).
+func (s *Server) Wake() { s.c.Wake() }
+
 // teardown runs every worker's teardown on its own goroutine.
 func (q *Query) teardown() {
 	q.s.c.PostEach(func(w *timely.Worker) {
@@ -608,11 +705,15 @@ func (q *Query) teardown() {
 // Uninstall tears the query down while the rest of the server keeps
 // serving: per-worker teardowns run (closing the query's inputs, cancelling
 // its imports, dropping its trace handles), the dataflow drains to
-// quiescence, and its operators leave every worker's schedule.
+// quiescence, and its operators leave every worker's schedule. On a closed
+// server the dataflow is already abandoned in place; Uninstall just drops
+// the registration.
 func (q *Query) Uninstall() {
-	q.teardown()
-	q.s.c.WaitUntil(q.inst.Complete)
-	q.s.c.Uninstall(q.inst)
+	if !q.s.Closed() {
+		q.teardown()
+		q.s.c.WaitUntil(q.inst.Complete)
+		q.s.c.Uninstall(q.inst)
+	}
 	q.s.mu.Lock()
 	delete(q.s.queries, q.nm)
 	q.s.mu.Unlock()

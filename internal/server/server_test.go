@@ -185,7 +185,7 @@ func TestLiveInstallMatchesStartup(t *testing.T) {
 
 			// Stream the second phase against the now-shared arrangement.
 			edges.Update(phase1)
-			sealed := edges.Advance()
+			sealed, _ := edges.Advance()
 			if !q.WaitDone(lattice.Ts(sealed)) {
 				t.Fatal("server stopped before phase-1 results")
 			}

@@ -53,7 +53,11 @@ func (c *Cluster) Peers() int { return c.rt.peers }
 
 // serve is the servant loop: drain posted actions, step every installed
 // dataflow, and park when neither produced activity. Exits when the cluster
-// has been stopped and the worker is idle.
+// has been stopped and the worker is idle. One final action drain runs after
+// observing the stop: an action appended before Shutdown set the flag (the
+// append and the flag share rt.mu) is thereby guaranteed to run, so its
+// Pending/Installed waiters always unblock — actions appended after the flag
+// are refused at the append site instead.
 func (w *Worker) serve() {
 	for {
 		gen := w.rt.activityGen()
@@ -66,6 +70,7 @@ func (w *Worker) serve() {
 		stopped := w.rt.stopped
 		w.rt.mu.Unlock()
 		if stopped {
+			w.runActions()
 			return
 		}
 		w.rt.waitActivity(gen)
@@ -100,14 +105,20 @@ func (w *Worker) Remove(g *Graph) {
 
 // Installed tracks one live installation across all workers.
 type Installed struct {
-	peers  int
-	wg     sync.WaitGroup
-	graphs []*Graph // per worker; valid after Wait
-	seq    int      // dataflow sequence number; valid after Wait
+	peers   int
+	wg      sync.WaitGroup
+	graphs  []*Graph // per worker; valid after Wait
+	seq     int      // dataflow sequence number; valid after Wait
+	aborted bool     // cluster was already stopped; nothing was built
 }
 
 // Wait blocks until every worker has built its shard of the dataflow.
 func (in *Installed) Wait() { in.wg.Wait() }
+
+// Aborted reports whether the installation was refused because the cluster
+// had already shut down (no dataflow was built; Graph returns nil). Call
+// only after Wait.
+func (in *Installed) Aborted() bool { return in.aborted }
 
 // Graph returns the given worker's shard. Call only after Wait.
 func (in *Installed) Graph(worker int) *Graph { return in.graphs[worker] }
@@ -122,10 +133,17 @@ func (in *Installed) Complete() bool { return in.graphs[0].Complete() }
 // the same order on every worker. Install may be called from any goroutine;
 // concurrent Install calls are serialized and every worker observes them in
 // the same order, keeping operator identifiers aligned.
+// Calling Install on a cluster that has already shut down does not wedge:
+// the returned Installed is marked Aborted and its Wait returns immediately.
 func (c *Cluster) Install(build func(w *Worker, g *Graph)) *Installed {
 	in := &Installed{peers: c.rt.peers, graphs: make([]*Graph, c.rt.peers)}
-	in.wg.Add(c.rt.peers)
 	c.rt.mu.Lock()
+	if c.rt.stopped {
+		in.aborted = true
+		c.rt.mu.Unlock()
+		return in
+	}
+	in.wg.Add(c.rt.peers)
 	for i := 0; i < c.rt.peers; i++ {
 		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
 			g := w.Dataflow(func(g *Graph) { build(w, g) })
@@ -142,18 +160,31 @@ func (c *Cluster) Install(build func(w *Worker, g *Graph)) *Installed {
 }
 
 // Pending tracks posted actions; Wait blocks until they have all run.
-type Pending struct{ wg sync.WaitGroup }
+type Pending struct {
+	wg      sync.WaitGroup
+	aborted bool
+}
 
 // Wait blocks until every action of the post has run.
 func (p *Pending) Wait() { p.wg.Wait() }
 
+// Aborted reports whether the post was refused because the cluster had
+// already shut down (the action never ran). Call only after Wait.
+func (p *Pending) Aborted() bool { return p.aborted }
+
 // Post schedules f to run on the given worker's goroutine. Use it for any
 // mutation of worker-local state (trace handles, import cancellation) from a
-// driver goroutine.
+// driver goroutine. Posting to a cluster that has already shut down does not
+// wedge: the action is dropped and the returned Pending is marked Aborted.
 func (c *Cluster) Post(worker int, f func(w *Worker)) *Pending {
 	p := &Pending{}
-	p.wg.Add(1)
 	c.rt.mu.Lock()
+	if c.rt.stopped {
+		p.aborted = true
+		c.rt.mu.Unlock()
+		return p
+	}
+	p.wg.Add(1)
 	c.rt.actions[worker] = append(c.rt.actions[worker], func(w *Worker) {
 		f(w)
 		p.wg.Done()
@@ -163,11 +194,17 @@ func (c *Cluster) Post(worker int, f func(w *Worker)) *Pending {
 	return p
 }
 
-// PostEach schedules f to run once on every worker's goroutine.
+// PostEach schedules f to run once on every worker's goroutine. Like Post,
+// it aborts rather than wedges on a stopped cluster.
 func (c *Cluster) PostEach(f func(w *Worker)) *Pending {
 	p := &Pending{}
-	p.wg.Add(c.rt.peers)
 	c.rt.mu.Lock()
+	if c.rt.stopped {
+		p.aborted = true
+		c.rt.mu.Unlock()
+		return p
+	}
+	p.wg.Add(c.rt.peers)
 	for i := 0; i < c.rt.peers; i++ {
 		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
 			f(w)
@@ -218,9 +255,15 @@ func (c *Cluster) Uninstall(in *Installed) {
 	c.rt.mu.Unlock()
 }
 
+// Wake bumps the cluster's activity counter, re-evaluating every WaitUntil
+// condition. Use it after changing state outside the runtime (for example,
+// closing a subscription) that a WaitUntil condition observes.
+func (c *Cluster) Wake() { c.rt.wake() }
+
 // Shutdown stops the workers and blocks until they exit. Dataflows that are
-// not yet complete are abandoned in place. No Install, Post, or WaitUntil
-// may race with or follow Shutdown.
+// not yet complete are abandoned in place. Install, Post, and PostEach calls
+// racing or following Shutdown are refused with an Aborted result rather
+// than wedged; WaitUntil returns false.
 func (c *Cluster) Shutdown() {
 	c.rt.mu.Lock()
 	c.rt.stopped = true
