@@ -14,18 +14,26 @@
 //     schedule, recycled through sync.Pool arenas so steady-state routing
 //     allocates (almost) nothing.
 //   - internal/core — shared arrangements: the arrange operator, immutable
-//     indexed batches with galloping (exponential) key search, LSM-style
-//     traces maintained by fueled k-way merges of geometric batch runs
-//     (idle-aware budgets keep compaction off the latency-critical path),
-//     trace handles with logical/physical compaction frontiers, and
-//     cross-dataflow Import.
+//     indexed batches with galloping (exponential) key and value search,
+//     LSM-style traces maintained by fueled k-way merges of geometric batch
+//     runs (idle-aware budgets keep compaction off the latency-critical
+//     path), trace handles with logical/physical compaction frontiers, and
+//     cross-dataflow Import. Batch value storage is pluggable (ValStore):
+//     row-major slices by default, or column-major uint64 word columns for
+//     types implementing Columnar — merges then compare in place, copy
+//     column-by-column only for histories that survive consolidation, and
+//     assemble merged batches directly without materializing wide tuples.
 //   - internal/dd — differential dataflow operators (map, filter, concat,
 //     join, reduce/count/distinct, iterate with mutually recursive
 //     Variables) built as thin shells over arrangements; join and reduce
-//     gallop over sorted batch and trace runs rather than scanning.
+//     gallop over sorted batch and trace runs rather than scanning, join
+//     products suspend at value boundaries under fuel (resuming via
+//     SeekVal), and reduce accumulates through borrow-free (store, index)
+//     cursor views.
 //   - internal/wal — durability: per-worker append-only logs of sealed
 //     batches (length-prefixed, CRC-checksummed records with
 //     lower/upper/since framing) plus compaction-frontier advances;
+//     ColumnarCodec serializes columnar batch values column-major;
 //     checkpoints rotate a log to one compacted snapshot batch, and crash
 //     recovery replays the longest consistent prefix, clamped across
 //     shards to the meet of their sealed frontiers.

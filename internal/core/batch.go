@@ -21,10 +21,15 @@ type Batch[K, V any] struct {
 	Lower, Upper, Since lattice.Frontier
 
 	Keys   []K
-	KeyOff []int32 // len(Keys)+1; value range of key i is Vals[KeyOff[i]:KeyOff[i+1]]
-	Vals   []V
-	ValOff []int32 // len(Vals)+1; history of value j is Upds[ValOff[j]:ValOff[j+1]]
+	KeyOff []int32     // len(Keys)+1; value range of key i is Vals[KeyOff[i]:KeyOff[i+1]]
+	Vals   ValStore[V] // pluggable layout: row-major slice or columnar words
+	ValOff []int32     // len(Vals)+1; history of value j is Upds[ValOff[j]:ValOff[j+1]]
 	Upds   []TimeDiff
+
+	// minTimes caches MinTimes, computed once at construction (builders and
+	// decoders stream the times anyway). Nil for hand-assembled batches,
+	// which fall back to computing per call.
+	minTimes []lattice.Time
 }
 
 // Len returns the number of update triples in the batch.
@@ -78,6 +83,14 @@ func (b *Batch[K, V]) SeekKey(fn Funcs[K, V], k K, from int) int {
 	return lo
 }
 
+// SeekVal returns the index of the first value ≥ v within the half-open
+// value index range [from, hi) — typically one key's ValRange — mirroring
+// SeekKey's gallop: forward-only cursors pay O(log distance) per seek, and
+// columnar stores compare in place without materializing candidates.
+func (b *Batch[K, V]) SeekVal(fn Funcs[K, V], v V, from, hi int) int {
+	return b.Vals.SeekGE(fn.LessV, v, from, hi)
+}
+
 // ForKey invokes f for every (val, time, diff) of key k, if present.
 func (b *Batch[K, V]) ForKey(fn Funcs[K, V], k K, f func(v V, t lattice.Time, d Diff)) {
 	ki := b.SeekKey(fn, k, 0)
@@ -86,32 +99,64 @@ func (b *Batch[K, V]) ForKey(fn Funcs[K, V], k K, f func(v V, t lattice.Time, d 
 	}
 	lo, hi := b.ValRange(ki)
 	for vi := lo; vi < hi; vi++ {
+		v := b.Vals.At(vi)
 		ul, uh := b.UpdRange(vi)
 		for ui := ul; ui < uh; ui++ {
-			f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+			f(v, b.Upds[ui].Time, b.Upds[ui].Diff)
 		}
 	}
 }
 
 // ForEach invokes f for every update triple in the batch, in (key, val,
-// time) order.
+// time) order. Values materialize once per value group, not once per update.
 func (b *Batch[K, V]) ForEach(f func(k K, v V, t lattice.Time, d Diff)) {
 	for ki := range b.Keys {
 		lo, hi := b.ValRange(ki)
 		for vi := lo; vi < hi; vi++ {
+			v := b.Vals.At(vi)
 			ul, uh := b.UpdRange(vi)
 			for ui := ul; ui < uh; ui++ {
-				f(b.Keys[ki], b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+				f(b.Keys[ki], v, b.Upds[ui].Time, b.Upds[ui].Diff)
 			}
 		}
 	}
 }
 
 // MinTimes returns the antichain of minimal update times in the batch: the
-// stamp its message carries in arranged streams.
+// stamp its message carries in arranged streams. Constructed batches carry
+// the answer precomputed; hand-assembled ones compute it per call.
 func (b *Batch[K, V]) MinTimes() []lattice.Time {
+	if b.minTimes != nil || len(b.Upds) == 0 {
+		return b.minTimes
+	}
+	return computeMinTimes(b.Upds)
+}
+
+// CacheMinTimes precomputes the MinTimes cache on an externally assembled
+// batch (the WAL decoder calls it); BuildBatch and the merge builder populate
+// it inline.
+func (b *Batch[K, V]) CacheMinTimes() {
+	b.minTimes = computeMinTimes(b.Upds)
+}
+
+// computeMinTimes finds the minimal antichain of the update times. Depth-1
+// times are totally ordered, so the common case is a single min scan with one
+// small allocation instead of antichain insertion per update.
+func computeMinTimes(upds []TimeDiff) []lattice.Time {
+	if len(upds) == 0 {
+		return nil
+	}
+	if upds[0].Time.Depth() == 1 {
+		min := upds[0].Time
+		for _, u := range upds[1:] {
+			if u.Time.TotalLess(min) {
+				min = u.Time
+			}
+		}
+		return []lattice.Time{min}
+	}
 	var f lattice.Frontier
-	for _, u := range b.Upds {
+	for _, u := range upds {
 		f.Insert(u.Time)
 	}
 	return f.Elements()
@@ -204,6 +249,7 @@ func BuildBatch[K, V any](fn Funcs[K, V], upds []Update[K, V],
 
 	upds = SortUpdates(fn, upds)
 	b := &Batch[K, V]{Lower: lower, Upper: upper, Since: since}
+	b.Vals = fn.newStore(0)
 	b.KeyOff = append(b.KeyOff, 0)
 	b.ValOff = append(b.ValOff, 0)
 	// Times compacted toward a non-minimal since may legitimately land at or
@@ -225,13 +271,14 @@ func BuildBatch[K, V any](fn Funcs[K, V], upds []Update[K, V],
 			b.KeyOff = append(b.KeyOff, b.KeyOff[len(b.KeyOff)-1])
 		}
 		if newVal {
-			b.Vals = append(b.Vals, u.Val)
+			b.Vals.Append(u.Val)
 			b.ValOff = append(b.ValOff, b.ValOff[len(b.ValOff)-1])
 			b.KeyOff[len(b.KeyOff)-1]++
 		}
 		b.Upds = append(b.Upds, TimeDiff{u.Time, u.Diff})
 		b.ValOff[len(b.ValOff)-1]++
 	}
+	b.minTimes = computeMinTimes(b.Upds)
 	return b
 }
 
@@ -274,15 +321,6 @@ func newTupleCursor[K, V any](b *Batch[K, V]) tupleCursor[K, V] {
 
 func (c *tupleCursor[K, V]) valid() bool { return c.ui < len(c.b.Upds) }
 
-func (c *tupleCursor[K, V]) get() Update[K, V] {
-	return Update[K, V]{
-		Key:  c.b.Keys[c.ki],
-		Val:  c.b.Vals[c.vi],
-		Time: c.b.Upds[c.ui].Time,
-		Diff: c.b.Upds[c.ui].Diff,
-	}
-}
-
 func (c *tupleCursor[K, V]) next() {
 	c.ui++
 	c.skipEmpty()
@@ -291,7 +329,7 @@ func (c *tupleCursor[K, V]) next() {
 // skipEmpty advances ki/vi so they enclose ui, skipping keys or values whose
 // ranges are empty (possible only for malformed batches, but cheap to guard).
 func (c *tupleCursor[K, V]) skipEmpty() {
-	for c.vi < len(c.b.Vals) && int(c.b.ValOff[c.vi+1]) <= c.ui {
+	for c.vi < c.b.Vals.Len() && int(c.b.ValOff[c.vi+1]) <= c.ui {
 		c.vi++
 	}
 	for c.ki < len(c.b.Keys) && int(c.b.KeyOff[c.ki+1]) <= c.vi {

@@ -28,8 +28,8 @@ func TestBuildBatchBasics(t *testing.T) {
 	}
 	// key 1 has vals 10 (two times) and 11.
 	lo, hi := b.ValRange(0)
-	if hi-lo != 2 || b.Vals[lo] != 10 || b.Vals[lo+1] != 11 {
-		t.Fatalf("vals of key 1: %v", b.Vals[lo:hi])
+	if hi-lo != 2 || b.Vals.At(lo) != 10 || b.Vals.At(lo+1) != 11 {
+		t.Fatalf("vals of key 1: %v, %v", b.Vals.At(lo), b.Vals.At(lo+1))
 	}
 	ul, uh := b.UpdRange(lo)
 	if uh-ul != 2 {
@@ -110,7 +110,12 @@ func TestTupleCursorRoundTrip(t *testing.T) {
 	c := newTupleCursor(b)
 	var got []Update[uint64, uint64]
 	for c.valid() {
-		got = append(got, c.get())
+		got = append(got, Update[uint64, uint64]{
+			Key:  b.Keys[c.ki],
+			Val:  b.Vals.At(c.vi),
+			Time: b.Upds[c.ui].Time,
+			Diff: b.Upds[c.ui].Diff,
+		})
 		c.next()
 	}
 	if len(got) != b.Len() {

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+)
+
+// batchBuilder assembles a batch directly in its columnar representation from
+// update tuples arriving in (key, val, time-total-order) order — the emission
+// order of k-way merges over sorted batches. Spine merges feed it one tuple
+// at a time and it groups, coalesces, and bulk-copies in place, replacing the
+// old materialize-into-[]Update-then-BuildBatch path that copied every wide
+// tuple twice and re-sorted an already sorted sequence.
+//
+// Values copy lazily: an open group holds only a (store, index) reference
+// into its source batch, and the value moves — through ValStore.AppendRange,
+// column-by-column for columnar layouts — only once its coalesced history
+// turns out non-empty. Churn that cancels below the compaction frontier is
+// compared and dropped without ever copying the wide tuple.
+//
+// The merge order also makes group detection one-sided: the open group's key
+// and value are ≤ every later tuple's, so a single LessK/Less decides "same
+// group or new" (equality needs no second compare).
+type batchBuilder[K, V any] struct {
+	fn Funcs[K, V]
+	b  *Batch[K, V]
+
+	openKey  bool
+	openVal  bool
+	keyVals  int          // value groups kept under the open key
+	srcVals  *ValStore[V] // pending value: source store ...
+	srcVi    int          // ... and index (copied only if the group survives)
+	tds      []TimeDiff   // pending history of the open value
+	unsorted bool         // compaction reordered the pending history
+}
+
+func newBatchBuilder[K, V any](fn Funcs[K, V], capHint int) *batchBuilder[K, V] {
+	b := &Batch[K, V]{
+		KeyOff: []int32{0},
+		ValOff: []int32{0},
+	}
+	b.Vals = fn.newStore(capHint)
+	if capHint > 0 {
+		b.Upds = make([]TimeDiff, 0, capHint)
+	}
+	return &batchBuilder[K, V]{fn: fn, b: b}
+}
+
+// push appends one update whose key and value live at (ki, vi) of src.
+// Tuples must arrive in nondecreasing (key, val) order; times within one
+// (key, val) group may arrive out of total order (compaction can reorder
+// multidimensional times), which close-time sorting repairs per group.
+func (bl *batchBuilder[K, V]) push(src *Batch[K, V], ki, vi int, td TimeDiff) {
+	b := bl.b
+	// bl keys/vals are ≤ the incoming tuple's, so one Less decides each.
+	if !bl.openKey || bl.fn.LessK(b.Keys[len(b.Keys)-1], src.Keys[ki]) {
+		bl.closeVal()
+		bl.closeKey()
+		b.Keys = append(b.Keys, src.Keys[ki])
+		bl.openKey = true
+	} else if bl.openVal && bl.srcVals.Less(bl.fn.LessV, bl.srcVi, &src.Vals, vi) {
+		bl.closeVal()
+	}
+	if !bl.openVal {
+		bl.srcVals, bl.srcVi = &src.Vals, vi
+		bl.openVal = true
+	}
+	if len(bl.tds) > 0 && td.Time.TotalLess(bl.tds[len(bl.tds)-1].Time) {
+		bl.unsorted = true
+	}
+	bl.tds = append(bl.tds, td)
+}
+
+// closeVal seals the open value group: sort the history if compaction
+// disturbed it, coalesce equal times, drop zeros, and copy the value from
+// its source store only when something survives.
+func (bl *batchBuilder[K, V]) closeVal() {
+	if !bl.openVal {
+		return
+	}
+	bl.openVal = false
+	if bl.unsorted {
+		sort.Slice(bl.tds, func(i, j int) bool {
+			return bl.tds[i].Time.TotalLess(bl.tds[j].Time)
+		})
+		bl.unsorted = false
+	}
+	b := bl.b
+	before := len(b.Upds)
+	for i := 0; i < len(bl.tds); {
+		j := i + 1
+		acc := bl.tds[i].Diff
+		for j < len(bl.tds) && bl.tds[j].Time == bl.tds[i].Time {
+			acc += bl.tds[j].Diff
+			j++
+		}
+		if acc != 0 {
+			b.Upds = append(b.Upds, TimeDiff{bl.tds[i].Time, acc})
+		}
+		i = j
+	}
+	bl.tds = bl.tds[:0]
+	if len(b.Upds) == before {
+		return // the history cancelled entirely: the value never copies
+	}
+	b.Vals.AppendRange(bl.srcVals, bl.srcVi, bl.srcVi+1)
+	b.ValOff = append(b.ValOff, int32(len(b.Upds)))
+	bl.keyVals++
+}
+
+// closeKey seals the open key, retracting it when every value cancelled.
+func (bl *batchBuilder[K, V]) closeKey() {
+	if !bl.openKey {
+		return
+	}
+	bl.openKey = false
+	b := bl.b
+	if bl.keyVals == 0 {
+		b.Keys = b.Keys[:len(b.Keys)-1]
+		return
+	}
+	b.KeyOff = append(b.KeyOff, int32(b.Vals.Len()))
+	bl.keyVals = 0
+}
+
+// finish seals any open groups and stamps the batch's framing frontiers.
+// It re-checks BuildBatch's containment invariants over the assembled
+// histories — one linear pass per merged batch, so a compaction or cursor
+// bug still panics at the merge instead of leaking a malformed batch into
+// the spine (and the WAL).
+func (bl *batchBuilder[K, V]) finish(lower, upper, since lattice.Frontier) *Batch[K, V] {
+	bl.closeVal()
+	bl.closeKey()
+	b := bl.b
+	b.Lower, b.Upper, b.Since = lower, upper, since
+	checkLower := !lower.Empty()
+	checkUpper := sinceIsMinimal(since)
+	if checkLower || checkUpper {
+		for _, u := range b.Upds {
+			if checkLower && !lower.LessEqual(u.Time) {
+				panic(fmt.Sprintf("core: merged update time %v not in advance of batch lower %v", u.Time, lower))
+			}
+			if checkUpper && upper.LessEqual(u.Time) {
+				panic(fmt.Sprintf("core: merged update time %v in advance of batch upper %v", u.Time, upper))
+			}
+		}
+	}
+	b.minTimes = computeMinTimes(b.Upds)
+	return b
+}

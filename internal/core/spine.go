@@ -44,11 +44,14 @@ type spineEntry[K, V any] struct {
 // mergeState is one in-progress, fueled k-way merge of a run of time-adjacent
 // batches. Merging a whole geometric run at once (instead of cascading 2-way
 // merges) writes each update once per maintenance round rather than once per
-// level it bubbles through.
+// level it bubbles through. Output goes straight into a batchBuilder: tuples
+// pop in (key, val, time) order, so the merged batch assembles column-by-
+// column in place — no []Update materialization and no re-sort of an already
+// sorted sequence, and wide values move as column words rather than structs.
 type mergeState[K, V any] struct {
 	batches []*Batch[K, V] // oldest first
 	cs      []tupleCursor[K, V]
-	out     []Update[K, V]
+	bld     *batchBuilder[K, V]
 	since   lattice.Frontier // compaction frontier captured at merge start
 }
 
@@ -139,18 +142,19 @@ func (s *Spine[K, V]) advanceMerge(idx, fuel int) int {
 		if min < 0 {
 			break
 		}
-		best := m.cs[min].get()
-		m.cs[min].next()
-		if rep, ok := lattice.Compact(best.Time, m.since); ok {
-			best.Time = rep
-			m.out = append(m.out, best)
+		c := &m.cs[min]
+		td := m.batches[min].Upds[c.ui]
+		if rep, ok := lattice.Compact(td.Time, m.since); ok {
+			td.Time = rep
+			m.bld.push(m.batches[min], c.ki, c.vi, td)
 		}
+		c.next()
 		fuel--
 		s.UpdatesMerged++
 	}
 	if m.remaining() == 0 {
 		first, last := m.batches[0], m.batches[len(m.batches)-1]
-		merged := BuildBatch(s.fn, m.out, first.Lower, last.Upper, m.since.Clone())
+		merged := m.bld.finish(first.Lower, last.Upper, m.since.Clone())
 		s.entries[idx] = spineEntry[K, V]{batch: merged}
 		s.MergesCompleted++
 	}
@@ -158,8 +162,9 @@ func (s *Spine[K, V]) advanceMerge(idx, fuel int) int {
 }
 
 // cursorLess orders two tuple cursors by their current (key, val, time)
-// without materializing Update copies (the merge inner loop runs once per
-// tuple per round; copying the wide tuples just to compare them dominated).
+// without materializing value copies: the store comparison reads columns in
+// place, so wide tuples are never copied just to be compared (the merge inner
+// loop runs once per tuple per round; that copying dominated).
 func (s *Spine[K, V]) cursorLess(a, b *tupleCursor[K, V]) bool {
 	ka, kb := a.b.Keys[a.ki], b.b.Keys[b.ki]
 	if s.fn.LessK(ka, kb) {
@@ -168,12 +173,8 @@ func (s *Spine[K, V]) cursorLess(a, b *tupleCursor[K, V]) bool {
 	if s.fn.LessK(kb, ka) {
 		return false
 	}
-	va, vb := a.b.Vals[a.vi], b.b.Vals[b.vi]
-	if s.fn.LessV(va, vb) {
-		return true
-	}
-	if s.fn.LessV(vb, va) {
-		return false
+	if c := a.b.Vals.Cmp(s.fn.LessV, a.vi, &b.b.Vals, b.vi); c != 0 {
+		return c < 0
 	}
 	return a.b.Upds[a.ui].Time.TotalLess(b.b.Upds[b.ui].Time)
 }
@@ -242,7 +243,7 @@ func (s *Spine[K, V]) startMergeRange(i, j int) {
 		m.cs = append(m.cs, newTupleCursor(b))
 		total += b.Len()
 	}
-	m.out = make([]Update[K, V], 0, total)
+	m.bld = newBatchBuilder(s.fn, total)
 	s.MergesStarted++
 	s.entries[i] = spineEntry[K, V]{merge: m}
 	s.entries = append(s.entries[:i+1], s.entries[j+1:]...)
@@ -497,7 +498,8 @@ func (c *TraceCursor[K, V]) SeekKey(k K) bool {
 }
 
 // ForUpdates invokes f with every (val, time, diff) of key k across all
-// batches. The cursor must be positioned at k via SeekKey.
+// batches. The cursor must be positioned at k via SeekKey. Values
+// materialize once per value group, not once per update.
 func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff)) {
 	for i, b := range c.batches {
 		ki := c.pos[i]
@@ -506,9 +508,10 @@ func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff))
 		}
 		lo, hi := b.ValRange(ki)
 		for vi := lo; vi < hi; vi++ {
+			v := b.Vals.At(vi)
 			ul, uh := b.UpdRange(vi)
 			for ui := ul; ui < uh; ui++ {
-				f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+				f(v, b.Upds[ui].Time, b.Upds[ui].Diff)
 			}
 		}
 	}
@@ -521,6 +524,21 @@ func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff))
 // — the galloping-merge analogue for a key's value histories. Consumers can
 // therefore accumulate with a running (value, sum) pair instead of sorting.
 func (c *TraceCursor[K, V]) ForUpdatesOrdered(k K, f func(v V, t lattice.Time, d Diff)) {
+	c.ForUpdatesOrderedView(k, func(s *ValStore[V], vi int, t lattice.Time, d Diff) {
+		f(s.At(vi), t, d)
+	})
+}
+
+// ForUpdatesOrderedView is ForUpdatesOrdered yielding a borrow-free
+// (store, index) view of each value instead of a materialized copy: the
+// k-way value merge compares stores in place, and consumers that only need
+// ordering (reduce's running accumulation, counts) never pay a wide struct
+// copy per update — they call s.At(vi) once per value group, if at all.
+// Views stay valid as long as the cursor's batches do (they are immutable),
+// so a consumer may hold one across callbacks as its running group.
+func (c *TraceCursor[K, V]) ForUpdatesOrderedView(k K,
+	f func(s *ValStore[V], vi int, t lattice.Time, d Diff)) {
+
 	c.rngs = c.rngs[:0]
 	for i, b := range c.batches {
 		ki := c.pos[i]
@@ -539,7 +557,7 @@ func (c *TraceCursor[K, V]) ForUpdatesOrdered(k K, f func(v V, t lattice.Time, d
 		for vi := r.vi; vi < r.hi; vi++ {
 			ul, uh := b.UpdRange(vi)
 			for ui := ul; ui < uh; ui++ {
-				f(b.Vals[vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+				f(&b.Vals, vi, b.Upds[ui].Time, b.Upds[ui].Diff)
 			}
 		}
 		return
@@ -550,9 +568,8 @@ func (c *TraceCursor[K, V]) ForUpdatesOrdered(k K, f func(v V, t lattice.Time, d
 			if c.rngs[i].vi >= c.rngs[i].hi {
 				continue
 			}
-			if min < 0 || c.fn.LessV(
-				c.batches[c.rngs[i].batch].Vals[c.rngs[i].vi],
-				c.batches[c.rngs[min].batch].Vals[c.rngs[min].vi]) {
+			if min < 0 || c.batches[c.rngs[i].batch].Vals.Less(c.fn.LessV,
+				c.rngs[i].vi, &c.batches[c.rngs[min].batch].Vals, c.rngs[min].vi) {
 				min = i
 			}
 		}
@@ -563,7 +580,7 @@ func (c *TraceCursor[K, V]) ForUpdatesOrdered(k K, f func(v V, t lattice.Time, d
 		b := c.batches[r.batch]
 		ul, uh := b.UpdRange(r.vi)
 		for ui := ul; ui < uh; ui++ {
-			f(b.Vals[r.vi], b.Upds[ui].Time, b.Upds[ui].Diff)
+			f(&b.Vals, r.vi, b.Upds[ui].Time, b.Upds[ui].Diff)
 		}
 		r.vi++
 	}

@@ -56,7 +56,22 @@ type joinTask[K, V any] struct {
 	batch *core.Batch[K, V]
 	snap  lattice.Frontier // opposite ack at arrival (stream domain)
 	ki    int              // resume position (key index)
-	caps  []lattice.Time   // retained capability times
+	// Value-granular suspension: when fuel runs out inside a key with many
+	// values, resume records the first unpaired value; the next schedule
+	// gallops back to it with SeekVal (values within a key are strictly
+	// increasing, so the seek is exact) instead of redoing the whole key.
+	resume  V
+	resumed bool
+	caps    []lattice.Time // retained capability times
+}
+
+// traceUpd is one trace-side update of the key under match, collected once
+// per key so the batch-side product below revisits it without re-walking the
+// trace cursor (and without re-materializing wide values) per batch update.
+type traceUpd[V any] struct {
+	v V
+	t lattice.Time
+	d core.Diff
 }
 
 type joinState[K, V1, V2, K2, VO any] struct {
@@ -70,7 +85,10 @@ type joinState[K, V1, V2, K2, VO any] struct {
 	ackB   lattice.Frontier
 	pendA  []*joinTask[K, V1] // a-batches to match against b's trace
 	pendB  []*joinTask[K, V2]
-	f      func(K, V1, V2) (K2, VO)
+	// per-side scratch for the trace updates of the key under match
+	scratchA []traceUpd[V1]
+	scratchB []traceUpd[V2]
+	f        func(K, V1, V2) (K2, VO)
 }
 
 func (st *joinState[K, V1, V2, K2, VO]) schedule(ctx *timely.Ctx,
@@ -110,7 +128,8 @@ func (st *joinState[K, V1, V2, K2, VO]) schedule(ctx *timely.Ctx,
 	var outBuf []core.Update[K2, VO]
 	for len(st.pendA) > 0 && fuel > 0 {
 		task := st.pendA[0]
-		fuel = matchBatch(st.fnA, st.fnB, task, st.hB, st.shiftA, st.shiftB, fuel,
+		fuel, st.scratchB = matchBatch(st.fnA, st.fnB, task, st.hB, st.shiftA, st.shiftB,
+			fuel, st.scratchB,
 			func(k K, v1 V1, t lattice.Time, d core.Diff, v2 V2, t2 lattice.Time, d2 core.Diff) {
 				k2, vo := st.f(k, v1, v2)
 				outBuf = append(outBuf, core.Update[K2, VO]{
@@ -125,7 +144,8 @@ func (st *joinState[K, V1, V2, K2, VO]) schedule(ctx *timely.Ctx,
 	}
 	for len(st.pendB) > 0 && fuel > 0 {
 		task := st.pendB[0]
-		fuel = matchBatch(st.fnB, st.fnA, task, st.hA, st.shiftB, st.shiftA, fuel,
+		fuel, st.scratchA = matchBatch(st.fnB, st.fnA, task, st.hA, st.shiftB, st.shiftA,
+			fuel, st.scratchA,
 			func(k K, v2 V2, t lattice.Time, d core.Diff, v1 V1, t1 lattice.Time, d1 core.Diff) {
 				k2, vo := st.f(k, v1, v2)
 				outBuf = append(outBuf, core.Update[K2, VO]{
@@ -216,11 +236,19 @@ func shiftFrontier(f lattice.Frontier, n int) lattice.Frontier {
 // the trace cursor gallops forward to the batch's current key, and when the
 // trace has no such key the batch gallops forward to the trace's next key —
 // a merge join over two sorted runs, so disjoint key ranges cost
-// O(log distance) rather than one probe per batch key. Emits via pair.
-// Returns the remaining fuel; the task's ki records the resume position.
+// O(log distance) rather than one probe per batch key.
+//
+// For a key present on both sides, the trace's updates are collected once
+// into scratch (one wide-value materialization per trace value, not one per
+// batch update) and the product is emitted value by value, checking fuel at
+// value boundaries: a skewed key with a huge product suspends mid-key instead
+// of monopolizing the worker (§5.3.1 futures), and the resume gallops back to
+// the recorded value with SeekVal. Returns the remaining fuel and the scratch
+// for reuse; the task's (ki, resume) record the resume position.
 func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 	task *joinTask[K, VX], hY *core.Handle[K, VY], shiftX, shiftY, fuel int,
-	pair func(k K, vx VX, tx lattice.Time, dx core.Diff, vy VY, ty lattice.Time, dy core.Diff)) int {
+	scratch []traceUpd[VY],
+	pair func(k K, vx VX, tx lattice.Time, dx core.Diff, vy VY, ty lattice.Time, dy core.Diff)) (int, []traceUpd[VY]) {
 
 	cur := hY.CursorThrough(core.ProjectFrontier(task.snap, shiftY))
 	bt := task.batch
@@ -231,16 +259,33 @@ func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 	for task.ki < bt.NumKeys() && fuel > 0 {
 		k := bt.Keys[task.ki]
 		if cur.SeekKey(k) {
+			scratch = scratch[:0]
+			cur.ForUpdates(k, func(vy VY, ty lattice.Time, dy core.Diff) {
+				scratch = append(scratch, traceUpd[VY]{vy, core.ShiftTime(ty, shiftY), dy})
+			})
 			lo, hi := bt.ValRange(task.ki)
-			for vi := lo; vi < hi; vi++ {
+			vi := lo
+			if task.resumed {
+				vi = bt.SeekVal(fnX, task.resume, lo, hi)
+				task.resumed = false
+			}
+			for ; vi < hi; vi++ {
+				if fuel <= 0 {
+					// Suspend at a value boundary: each value's product is
+					// emitted exactly once, so resuming at this value is safe.
+					task.resume = bt.Vals.At(vi)
+					task.resumed = true
+					return fuel, scratch
+				}
+				vx := bt.Vals.At(vi)
 				ul, uh := bt.UpdRange(vi)
 				for ui := ul; ui < uh; ui++ {
 					tx := core.ShiftTime(bt.Upds[ui].Time, shiftX)
 					dx := bt.Upds[ui].Diff
-					cur.ForUpdates(k, func(vy VY, ty lattice.Time, dy core.Diff) {
-						pair(k, bt.Vals[vi], tx, dx, vy, core.ShiftTime(ty, shiftY), dy)
-						fuel--
-					})
+					for i := range scratch {
+						pair(k, vx, tx, dx, scratch[i].v, scratch[i].t, scratch[i].d)
+					}
+					fuel -= len(scratch)
 				}
 			}
 			fuel-- // charge for the key visit
@@ -248,9 +293,13 @@ func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 			continue
 		}
 		fuel--
-		// Trace misses k: its cursors now sit at keys strictly beyond k, so
-		// gallop the batch forward to the smallest trace key instead of
-		// probing every batch key in between.
+		// Trace misses k — including a k whose history legitimately cancelled
+		// under compaction while the task was suspended mid-key: any recorded
+		// resume value belongs to k and must not constrain the next key.
+		task.resumed = false
+		// The trace cursors now sit at keys strictly beyond k, so gallop the
+		// batch forward to the smallest trace key instead of probing every
+		// batch key in between.
 		nk, ok := cur.PeekKey()
 		if !ok {
 			task.ki = bt.NumKeys() // trace exhausted; nothing left to match
@@ -258,5 +307,5 @@ func matchBatch[K, VX, VY any](fnX core.Funcs[K, VX], fnY core.Funcs[K, VY],
 		}
 		task.ki = bt.SeekKey(fnX, nk, task.ki+1)
 	}
-	return fuel
+	return fuel, scratch
 }

@@ -1,0 +1,117 @@
+package dd
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// TestJoinValueGranularSuspension forces a single key whose join product
+// (300×300 pairs, plus satellites) exceeds joinFuel several times over, so
+// the operator must suspend mid-key at value boundaries and resume by
+// galloping back with SeekVal. The output must be the exact cross product —
+// nothing lost at suspension points, nothing emitted twice on resume — and
+// keys after the skewed one must still be matched.
+func TestJoinValueGranularSuspension(t *testing.T) {
+	const n = 300 // n*n = 90000 > joinFuel (65536)
+	cap := runCollected(t, 1,
+		func(c Collection[uint64, uint64]) Collection[uint64, uint64] {
+			left := Filter(c, func(k, v uint64) bool { return v < 100000 })
+			right := Filter(c, func(k, v uint64) bool { return v >= 100000 })
+			return Join(left, core.U64(), right, core.U64(), "skewed",
+				func(k, v1, v2 uint64) (uint64, uint64) {
+					return k, v1*1000000 + (v2 - 100000)
+				})
+		},
+		func(in *InputCollection[uint64, uint64], step func(uint64)) {
+			// Key 0 is the skewed key; values have gaps so the resume seek
+			// gallops over non-trivial distances.
+			for i := uint64(0); i < n; i++ {
+				in.Insert(0, 3+7*i)
+				in.Insert(0, 100000+13*i)
+			}
+			// Satellite keys after the skewed one.
+			for k := uint64(1); k <= 5; k++ {
+				for i := uint64(0); i < 4; i++ {
+					in.Insert(k, 10+i)
+					in.Insert(k, 100000+i)
+				}
+			}
+			step(0)
+			// A second epoch extends the skewed key on one side: only the new
+			// pairs may appear, each exactly once.
+			in.Insert(0, 3+7*n)
+			step(1)
+		})
+
+	acc := cap.At(lattice.Ts(1))
+	want := n*(n+1) + 5*4*4
+	if len(acc) != want {
+		t.Fatalf("join produced %d distinct pairs, want %d", len(acc), want)
+	}
+	for rec, d := range acc {
+		if d != 1 {
+			t.Fatalf("pair %v has multiplicity %d, want 1", rec, d)
+		}
+	}
+}
+
+// TestJoinResumeAfterKeyVanishes pins the resume bookkeeping: a task
+// suspended mid-key holds a resume value of that key; if the key's history
+// cancels out of the trace before the next schedule (legitimate under
+// compaction), the stale resume value must not constrain later keys — every
+// value of the next matched key still pairs.
+func TestJoinResumeAfterKeyVanishes(t *testing.T) {
+	fn := core.U64()
+	spine := core.NewSpine[uint64, uint64](fn, core.MergeDefault)
+	h := spine.NewHandle()
+	var traceUpds []core.Update[uint64, uint64]
+	for v := uint64(1); v <= 5; v++ {
+		traceUpds = append(traceUpds, core.Update[uint64, uint64]{
+			Key: 20, Val: v, Time: lattice.Ts(0), Diff: 1,
+		})
+	}
+	spine.Append(core.BuildBatch(fn, traceUpds, lattice.MinFrontier(1),
+		lattice.NewFrontier(lattice.Ts(1)), lattice.MinFrontier(1)))
+
+	// The batch under match: key 10 (which the trace no longer has — its
+	// history "cancelled" before this schedule) and key 20.
+	var batchUpds []core.Update[uint64, uint64]
+	for v := uint64(100); v < 103; v++ {
+		batchUpds = append(batchUpds, core.Update[uint64, uint64]{
+			Key: 10, Val: v, Time: lattice.Ts(0), Diff: 1,
+		})
+	}
+	for v := uint64(1); v <= 5; v++ {
+		batchUpds = append(batchUpds, core.Update[uint64, uint64]{
+			Key: 20, Val: v + 50, Time: lattice.Ts(0), Diff: 1,
+		})
+	}
+	bt := core.BuildBatch(fn, batchUpds, lattice.MinFrontier(1),
+		lattice.NewFrontier(lattice.Ts(1)), lattice.MinFrontier(1))
+
+	// Suspended mid key 10 with a resume value that orders above every value
+	// of key 20.
+	task := &joinTask[uint64, uint64]{
+		batch:   bt,
+		snap:    lattice.NewFrontier(lattice.Ts(5)),
+		ki:      0,
+		resume:  102,
+		resumed: true,
+	}
+	pairs := 0
+	_, _ = matchBatch(fn, fn, task, h, 0, 0, 1<<20, nil,
+		func(k, vx uint64, tx lattice.Time, dx core.Diff, vy uint64, ty lattice.Time, dy core.Diff) {
+			if k != 20 {
+				t.Fatalf("paired key %d, want only 20", k)
+			}
+			pairs++
+		})
+	if pairs != 5*5 {
+		t.Fatalf("key 20 paired %d times, want 25 (stale resume value skipped values)", pairs)
+	}
+	if task.ki != bt.NumKeys() {
+		t.Fatalf("task not completed: ki=%d", task.ki)
+	}
+}

@@ -274,19 +274,23 @@ func (st *reduceState[K, V, V2]) evaluate(ctx *timely.Ctx, k K, t lattice.Time,
 		// future work. The join ut ∨ t equals t when ut ≤ t and ut when
 		// t ≤ ut, so only genuinely incomparable times (never at depth 1)
 		// pay for the Join.
-		var curVal V
+		// The view cursor yields (store, index) pairs: the running group is
+		// tracked as a view and compared in place, so a wide value
+		// materializes once per value group (at flush), never per update.
+		var curS *core.ValStore[V]
+		var curIdx int
 		var curAcc core.Diff
 		curHas := false
 		flush := func() {
 			if curHas && curAcc != 0 {
-				st.inVals = append(st.inVals, ValDiff[V]{curVal, curAcc})
+				st.inVals = append(st.inVals, ValDiff[V]{curS.At(curIdx), curAcc})
 			}
 		}
-		inCur.ForUpdatesOrdered(k, func(v V, ut lattice.Time, d core.Diff) {
+		inCur.ForUpdatesOrderedView(k, func(s *core.ValStore[V], vi int, ut lattice.Time, d core.Diff) {
 			if ut.LessEqual(t) {
-				if !curHas || st.fnIn.LessV(curVal, v) {
+				if !curHas || curS.Less(st.fnIn.LessV, curIdx, s, vi) {
 					flush()
-					curVal, curAcc, curHas = v, 0, true
+					curS, curIdx, curAcc, curHas = s, vi, 0, true
 				}
 				curAcc += d
 				return

@@ -10,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/lattice"
 	"repro/internal/timely"
+	"repro/internal/tpch"
 )
 
 // ArrangeLoadResult carries a latency distribution for one configuration.
@@ -135,6 +136,67 @@ func ArrangeThroughput(workers, rounds, perRound int) []ThroughputResult {
 		run("trace maintenance"),
 		run("count"),
 	}
+}
+
+// WideMergeThroughput isolates the spine: it pre-builds the same churning
+// batch chain under either layout outside the clock (batch formation from
+// row-major input is layout-independent work), then times Append + fueled
+// maintenance + a final Recompact — the merge/consolidation component of
+// Fig 6d's "trace maintenance", where the value-storage layout is the whole
+// cost. The reader's logical frontier advances with the appends, so merges
+// continuously consolidate cancelling churn. Returns tuples per second
+// through the spine.
+func WideMergeThroughput(d *tpch.Data, columnar bool, rounds, perRound int) float64 {
+	fn := tpch.LineItemFuncs(columnar)
+	const keys = 1 << 6
+	const lag = 4
+	items := d.Items
+	r := rand.New(rand.NewSource(7))
+	chain := make([]*core.Batch[uint64, tpch.LineItem], 0, rounds)
+	window := make([][]core.Update[uint64, tpch.LineItem], 0, rounds)
+	lower := lattice.MinFrontier(1)
+	total := 0
+	for i := 0; i < rounds; i++ {
+		upds := make([]core.Update[uint64, tpch.LineItem], 0, perRound)
+		fresh := perRound
+		if i >= lag {
+			fresh = perRound / 2
+		}
+		for j := 0; j < fresh; j++ {
+			item := items[r.Intn(len(items))]
+			item.LineNumber = int64(i*perRound + j)
+			upds = append(upds, core.Update[uint64, tpch.LineItem]{
+				Key: item.OrderKey % keys, Val: item, Time: lattice.Ts(uint64(i)), Diff: 1,
+			})
+		}
+		if i >= lag {
+			old := window[i-lag]
+			for j := 0; j < perRound-fresh && j < len(old); j++ {
+				u := old[j]
+				u.Time = lattice.Ts(uint64(i))
+				u.Diff = -1
+				upds = append(upds, u)
+			}
+		}
+		window = append(window, upds)
+		upper := lattice.NewFrontier(lattice.Ts(uint64(i + 1)))
+		batch := core.BuildBatch(fn, append([]core.Update[uint64, tpch.LineItem](nil), upds...),
+			lower.Clone(), upper, lattice.MinFrontier(1))
+		total += batch.Len()
+		chain = append(chain, batch)
+		lower = upper
+	}
+
+	s := core.NewSpine[uint64, tpch.LineItem](fn, core.MergeDefault)
+	h := s.NewHandle()
+	start := time.Now()
+	for i, b := range chain {
+		s.Append(b)
+		h.SetLogical(lattice.NewFrontier(lattice.Ts(uint64(i + 1))))
+	}
+	s.Recompact()
+	elapsed := time.Since(start)
+	return float64(total) / elapsed.Seconds()
 }
 
 // MergeLevels runs the amortized-merging experiment (Fig 6e): the same

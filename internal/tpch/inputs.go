@@ -215,12 +215,40 @@ func lessLineItem(a, b LineItem) bool {
 	return a.ShipMode < b.ShipMode
 }
 
-func fnSupplier() core.Funcs[uint64, Supplier] { return fnU64T(lessSupplier) }
-func fnCustomer() core.Funcs[uint64, Customer] { return fnU64T(lessCustomer) }
-func fnPart() core.Funcs[uint64, Part]         { return fnU64T(lessPart) }
-func fnPartSupp() core.Funcs[uint64, PartSupp] { return fnU64T(lessPartSupp) }
-func fnOrder() core.Funcs[uint64, Order]       { return fnU64T(lessOrder) }
-func fnLineItem() core.Funcs[uint64, LineItem] { return fnU64T(lessLineItem) }
+// The relation Funcs carry columnar store factories (columnar.go): every
+// arrangement of a relation stores its wide tuples column-major.
+
+func fnSupplier() core.Funcs[uint64, Supplier] {
+	f := fnU64T(lessSupplier)
+	f.NewStore = supplierStore
+	return f
+}
+
+func fnCustomer() core.Funcs[uint64, Customer] {
+	f := fnU64T(lessCustomer)
+	f.NewStore = customerStore
+	return f
+}
+
+func fnPart() core.Funcs[uint64, Part] {
+	f := fnU64T(lessPart)
+	f.NewStore = partStore
+	return f
+}
+
+func fnPartSupp() core.Funcs[uint64, PartSupp] {
+	f := fnU64T(lessPartSupp)
+	f.NewStore = partSuppStore
+	return f
+}
+
+func fnOrder() core.Funcs[uint64, Order] {
+	f := fnU64T(lessOrder)
+	f.NewStore = orderStore
+	return f
+}
+
+func fnLineItem() core.Funcs[uint64, LineItem] { return LineItemFuncs(true) }
 
 // Inputs is one worker's update handles for the six mutable relations
 // (region and nation are derivable from the integer codes).

@@ -144,7 +144,11 @@ func (c *cursor) count(what string) (int, error) {
 }
 
 // appendBatch encodes a batch: the three framing frontiers followed by the
-// five columnar arrays, exactly as core.Batch stores them.
+// five columnar arrays, exactly as core.Batch stores them. The value section
+// is row-major (one self-delimiting encoding per value) for ordinary codecs;
+// a storeCodec (ColumnarCodec) lays it out column-major instead, dumping the
+// store's word columns directly — same u32 count prefix, deterministic bytes
+// either way.
 func appendBatch[K, V any](dst []byte, kc Codec[K], vc Codec[V], b *core.Batch[K, V]) []byte {
 	dst = appendFrontier(dst, b.Lower)
 	dst = appendFrontier(dst, b.Upper)
@@ -157,9 +161,13 @@ func appendBatch[K, V any](dst []byte, kc Codec[K], vc Codec[V], b *core.Batch[K
 	for _, o := range b.KeyOff {
 		dst = appendU32(dst, uint32(o))
 	}
-	dst = appendU32(dst, uint32(len(b.Vals)))
-	for _, v := range b.Vals {
-		dst = vc.Append(dst, v)
+	dst = appendU32(dst, uint32(b.Vals.Len()))
+	if sc, ok := vc.(storeCodec[V]); ok {
+		dst = sc.appendStore(dst, &b.Vals)
+	} else {
+		for i := 0; i < b.Vals.Len(); i++ {
+			dst = vc.Append(dst, b.Vals.At(i))
+		}
 	}
 	dst = appendU32(dst, uint32(len(b.ValOff)))
 	for _, o := range b.ValOff {
@@ -205,14 +213,20 @@ func decodeBatch[K, V any](c *cursor, kc Codec[K], vc Codec[V]) (*core.Batch[K, 
 	if err != nil {
 		return nil, err
 	}
-	b.Vals = make([]V, 0, min(nVals, 4096))
-	for i := 0; i < nVals; i++ {
-		v, n, verr := vc.Read(c.buf[c.off:])
-		if verr != nil {
-			return nil, c.fail("val %d: %v", i, verr)
+	if sc, ok := vc.(storeCodec[V]); ok {
+		if b.Vals, err = sc.readStore(c, nVals); err != nil {
+			return nil, err
 		}
-		c.off += n
-		b.Vals = append(b.Vals, v)
+	} else {
+		b.Vals.Grow(min(nVals, 4096))
+		for i := 0; i < nVals; i++ {
+			v, n, verr := vc.Read(c.buf[c.off:])
+			if verr != nil {
+				return nil, c.fail("val %d: %v", i, verr)
+			}
+			c.off += n
+			b.Vals.Append(v)
+		}
 	}
 	if b.ValOff, err = c.offsets("valoff"); err != nil {
 		return nil, err
@@ -239,6 +253,7 @@ func decodeBatch[K, V any](c *cursor, kc Codec[K], vc Codec[V]) (*core.Batch[K, 
 	if err := validateBatch(b); err != nil {
 		return nil, err
 	}
+	b.CacheMinTimes()
 	return b, nil
 }
 
@@ -275,10 +290,10 @@ func validateBatch[K, V any](b *core.Batch[K, V]) error {
 	if len(b.KeyOff) != len(b.Keys)+1 {
 		return fmt.Errorf("keyoff length %d for %d keys", len(b.KeyOff), len(b.Keys))
 	}
-	if len(b.ValOff) != len(b.Vals)+1 {
-		return fmt.Errorf("valoff length %d for %d vals", len(b.ValOff), len(b.Vals))
+	if len(b.ValOff) != b.Vals.Len()+1 {
+		return fmt.Errorf("valoff length %d for %d vals", len(b.ValOff), b.Vals.Len())
 	}
-	if err := monotone(b.KeyOff, len(b.Vals), "keyoff"); err != nil {
+	if err := monotone(b.KeyOff, b.Vals.Len(), "keyoff"); err != nil {
 		return err
 	}
 	if err := monotone(b.ValOff, len(b.Upds), "valoff"); err != nil {
