@@ -184,7 +184,11 @@ func watch(c *knet.Client, queries []string) error {
 		}
 		switch {
 		case ev.End():
-			fmt.Printf("%s: stream ended\n", ev.Query)
+			if ev.Reason != "" && ev.Reason != knet.EndReasonClosed {
+				fmt.Printf("%s: stream ended (%s)\n", ev.Query, ev.Reason)
+			} else {
+				fmt.Printf("%s: stream ended\n", ev.Query)
+			}
 			done[ev.Query] = true
 		case ev.Frontier():
 			fmt.Printf("%s: complete through epoch %d\n", ev.Query, ev.Epoch)
@@ -193,8 +197,14 @@ func watch(c *knet.Client, queries []string) error {
 			}
 		default:
 			kind := "delta"
-			if ev.Snapshot() {
+			switch {
+			case ev.Snapshot():
 				kind = "snapshot"
+			case ev.Resync():
+				// The server reset this lagging stream: the event carries a
+				// consolidated replacement, so drop everything accumulated.
+				kind = "resync"
+				acc[ev.Query] = make(map[[2]uint64]int64)
 			}
 			fmt.Printf("%s: %s at epoch %d (%d updates)\n", ev.Query, kind, ev.Epoch, len(ev.Upds))
 			m := acc[ev.Query]

@@ -7,6 +7,8 @@ import (
 	stdnet "net"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -31,6 +33,12 @@ var (
 	serveRecover = flag.Bool("recover", false, "serve: restore arrangements from the -data-dir logs before streaming")
 	serveCkpt    = flag.Int("checkpoint-every", 10, "serve: checkpoint interval on the durable path — epochs for the scenario driver, seconds under -listen (0 disables)")
 	serveListen  = flag.String("listen", "", "serve: address to serve the wire protocol on (e.g. 127.0.0.1:7071); clients drive sources and queries remotely")
+	serveFsync   = flag.Bool("fsync", false, "serve: fsync WAL appends on the durable path (requires -data-dir)")
+	serveGroupMs = flag.Int("group-commit-ms", 0, "serve: group-commit interval in milliseconds for WAL fsyncs — one fsync per dirty log per interval instead of per append (requires -fsync; 0 syncs every append)")
+	serveCkptB   = flag.Int64("checkpoint-bytes", 0, "serve: additionally checkpoint whenever the batch log exceeds this many bytes (requires -data-dir; 0 disables)")
+	serveMaxLag  = flag.Uint64("max-lag", 0, "serve: adaptive batching bound — pending epochs coalesce into one physical seal while completion lags this many seals behind (0 = default)")
+	serveSubLag  = flag.Int("sub-lag", 0, "serve: pinned-delta backlog bound per subscriber before snapshot-reset (requires -listen; 0 = default, negative = unbounded)")
+	serveKick    = flag.Bool("kick-lagging", false, "serve: disconnect subscribers that breach -sub-lag instead of snapshot-resetting them (requires -listen)")
 )
 
 // validateServeFlags rejects flag combinations up front, before any server
@@ -39,6 +47,9 @@ var (
 //   - -recover without -data-dir would run the in-memory demo and ignore the
 //     logs the operator asked to recover;
 //   - a negative -checkpoint-every would silently disable checkpointing;
+//   - durability knobs (-fsync, -group-commit-ms, -checkpoint-bytes) without
+//     the layer they tune would be silently inert;
+//   - subscriber-lag knobs only mean anything when remote subscribers exist;
 //   - -listen hands the epoch cycle to remote clients, so combining it with
 //     the built-in churn scenario's flags is contradictory.
 func validateServeFlags() error {
@@ -47,6 +58,33 @@ func validateServeFlags() error {
 	}
 	if *serveCkpt < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d); use 0 to disable", *serveCkpt)
+	}
+	if *serveFsync && *serveDataDir == "" {
+		return errors.New("-fsync requires -data-dir (there is no log to sync without one)")
+	}
+	if *serveGroupMs < 0 {
+		return fmt.Errorf("-group-commit-ms must be >= 0 (got %d)", *serveGroupMs)
+	}
+	if *serveGroupMs > 0 && !*serveFsync {
+		return errors.New("-group-commit-ms batches fsyncs and requires -fsync")
+	}
+	if *serveCkptB < 0 {
+		return fmt.Errorf("-checkpoint-bytes must be >= 0 (got %d); use 0 to disable", *serveCkptB)
+	}
+	if *serveCkptB > 0 && *serveDataDir == "" {
+		return errors.New("-checkpoint-bytes requires -data-dir (there is no log to bound without one)")
+	}
+	if *serveListen == "" {
+		var subs []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sub-lag", "kick-lagging":
+				subs = append(subs, "-"+f.Name)
+			}
+		})
+		if len(subs) > 0 {
+			return fmt.Errorf("%v bound remote subscribers and require -listen", subs)
+		}
 	}
 	if *serveListen != "" {
 		var scenario []string
@@ -182,6 +220,17 @@ func serve() {
 	fmt.Println("\nqueries attached to the running arrangement; uninstalled cleanly; server shutting down")
 }
 
+// serveServerOptions assembles the durable server configuration the serve
+// flags describe; both durable paths (scenario driver and -listen) share it.
+func serveServerOptions() server.Options {
+	return server.Options{
+		DataDir:          *serveDataDir,
+		Recover:          *serveRecover,
+		Fsync:            *serveFsync,
+		GroupCommitEvery: time.Duration(*serveGroupMs) * time.Millisecond,
+	}
+}
+
 // serveDurable is the durable serve path (kpg serve -data-dir [-recover]):
 // a server hosting a WAL-backed edges arrangement streams a deterministic
 // churn workload, checkpointing periodically. Killed at any point — even
@@ -190,9 +239,16 @@ func serve() {
 // from the recovered epoch, and serves exactly the results an uninterrupted
 // run serves; the final RESULT line is the comparison artifact the CI
 // crash-recovery smoke asserts on.
+//
+// Epochs are sealed through a server.Batcher: every round still gets its own
+// logical epoch (so recovery round arithmetic is unchanged), but when the
+// dataflow falls behind the driver, pending rounds coalesce into one
+// physical seal instead of queueing per-round seals. "sealed epoch" lines
+// print on completion, not submission, so the crash smoke's kill point
+// ("sealed epoch N" observed) guarantees epoch N really is in the log.
 func serveDurable() {
 	w := clampWorkers(4)
-	s := server.NewOpts(w, server.Options{DataDir: *serveDataDir, Recover: *serveRecover})
+	s := server.NewOpts(w, serveServerOptions())
 	defer s.Close()
 	fmt.Printf("durable serve: %d workers, data-dir %s\n", w, *serveDataDir)
 
@@ -217,29 +273,64 @@ func serveDurable() {
 		fmt.Printf("recovered \"edges\" through epoch %d from the batch log (no source replay)\n", start)
 	}
 
+	b := server.NewBatcher(edges, server.BatcherOptions{MaxLag: *serveMaxLag})
+	defer b.Close()
+
 	rounds := uint64(*serveRounds)
+
+	// Completion tracker: the driver below no longer waits per round, so
+	// "sealed epoch" lines stream from here as the probe frontier passes each
+	// logical epoch — a printed epoch is durably in the batch log.
+	trackerDone := make(chan struct{})
+	go func() {
+		defer close(trackerDone)
+		reported := start
+		for reported < rounds {
+			if !s.WaitFor(func() bool { return edges.CompletedEpochs() > reported }) {
+				return
+			}
+			for c := edges.CompletedEpochs(); reported < c && reported < rounds; reported++ {
+				fmt.Printf("sealed epoch %d\n", reported)
+			}
+		}
+	}()
+
+	checkpoint := func(round uint64) {
+		due := *serveCkpt > 0 && (round+1)%uint64(*serveCkpt) == 0
+		grown := *serveCkptB > 0 && s.LogBytes() >= *serveCkptB
+		if !due && !grown {
+			return
+		}
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpointed after round %d (log %d bytes)\n", round, s.LogBytes())
+	}
+
 	for round := start; round < rounds; round++ {
-		if err := edges.Update(durableRound(round, *serveNodes, *serveChurn)); err != nil {
+		if err := b.Offer(durableRound(round, *serveNodes, *serveChurn)); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: update: %v\n", err)
 			os.Exit(1)
 		}
-		if _, err := edges.Advance(); err != nil {
+		if _, err := b.Seal(); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: advance: %v\n", err)
 			os.Exit(1)
 		}
-		if err := edges.Sync(); err != nil {
-			fmt.Fprintf(os.Stderr, "serve: sync: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("sealed epoch %d\n", round)
-		if *serveCkpt > 0 && (round+1)%uint64(*serveCkpt) == 0 {
-			if err := s.Checkpoint(); err != nil {
-				fmt.Fprintf(os.Stderr, "serve: checkpoint: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("checkpointed through epoch %d\n", round)
-		}
+		checkpoint(round)
 	}
+	if err := b.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: flush: %v\n", err)
+		os.Exit(1)
+	}
+	if err := edges.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: sync: %v\n", err)
+		os.Exit(1)
+	}
+	<-trackerDone
+	st := b.Stats()
+	fmt.Printf("batching: %d logical epochs in %d physical seals (max coalesced %d)\n",
+		st.LogicalSeals, st.PhysicalSeals, st.MaxCoalesced)
 
 	count, sum := durableResult(s, edges, rounds)
 	fmt.Printf("RESULT count=%d checksum=%016x\n", count, sum)
@@ -249,15 +340,19 @@ func serveDurable() {
 // an "edges" arrangement (durable when -data-dir is also given) serves the
 // wire protocol. Remote kpg clients install and uninstall queries, stream
 // updates, seal epochs, and watch per-epoch result deltas; the process runs
-// until SIGINT/SIGTERM. On the durable path a background ticker checkpoints
-// every -checkpoint-every seconds — the shutdown sequence and the ticker
-// may race, which server.ErrClosed resolves cleanly.
+// until SIGINT/SIGTERM. Remote epoch seals route through per-source adaptive
+// batchers (-max-lag) and subscriber backlogs are bounded (-sub-lag,
+// -kick-lagging). On the durable path a background ticker checkpoints every
+// -checkpoint-every seconds and whenever the log passes -checkpoint-bytes;
+// shutdown stops the ticker, drains the frontend, then takes one final
+// checkpoint so a clean exit never leaves an unbounded replay tail. Any
+// failed checkpoint — ticker or final — makes the process exit non-zero.
 func serveNet() {
 	w := clampWorkers(4)
 	durable := *serveDataDir != ""
 	var s *server.Server
 	if durable {
-		s = server.NewOpts(w, server.Options{DataDir: *serveDataDir, Recover: *serveRecover})
+		s = server.NewOpts(w, serveServerOptions())
 	} else {
 		s = server.New(w)
 	}
@@ -287,7 +382,11 @@ func serveNet() {
 		fmt.Printf("recovered \"edges\" through epoch %d from the batch log (no source replay)\n", rec["edges"])
 	}
 
-	fe := knet.NewFrontend(s)
+	fe := knet.NewFrontendOpts(s, knet.FrontendOptions{
+		SubscriberMaxLag: *serveSubLag,
+		KickLagging:      *serveKick,
+		BatchMaxLag:      *serveMaxLag,
+	})
 	if err := fe.RegisterSource(edges); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
@@ -299,23 +398,39 @@ func serveNet() {
 	}
 	fmt.Printf("serving %d workers on %s\n", w, ln.Addr())
 
+	// The checkpoint loop polls once a second and fires on either trigger:
+	// -checkpoint-every seconds elapsed, or the log past -checkpoint-bytes.
+	// Shutdown closes stopCkpt and waits on ckptWG, so the final checkpoint
+	// below never races a ticker checkpoint.
 	stopCkpt := make(chan struct{})
-	if durable && *serveCkpt > 0 {
+	var ckptWG sync.WaitGroup
+	var ckptFailed atomic.Bool
+	if durable && (*serveCkpt > 0 || *serveCkptB > 0) {
+		ckptWG.Add(1)
 		go func() {
-			tick := time.NewTicker(time.Duration(*serveCkpt) * time.Second)
+			defer ckptWG.Done()
+			tick := time.NewTicker(time.Second)
 			defer tick.Stop()
+			last := time.Now()
 			for {
 				select {
 				case <-stopCkpt:
 					return
 				case <-tick.C:
+					due := *serveCkpt > 0 && time.Since(last) >= time.Duration(*serveCkpt)*time.Second
+					grown := *serveCkptB > 0 && s.LogBytes() >= *serveCkptB
+					if !due && !grown {
+						continue
+					}
 					switch err := s.Checkpoint(); {
 					case err == nil:
-						fmt.Printf("checkpointed at epoch %d\n", edges.Epoch())
+						last = time.Now()
+						fmt.Printf("checkpointed at epoch %d (log %d bytes)\n", edges.Epoch(), s.LogBytes())
 					case errors.Is(err, server.ErrClosed):
 						return // shutdown won the race; nothing to log
 					default:
 						fmt.Fprintf(os.Stderr, "serve: checkpoint: %v\n", err)
+						ckptFailed.Store(true)
 					}
 				}
 			}
@@ -334,8 +449,24 @@ func serveNet() {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 	}
 	close(stopCkpt)
+	ckptWG.Wait()
 	fe.Close()
+	if durable {
+		switch err := s.Checkpoint(); {
+		case err == nil:
+			fmt.Printf("final checkpoint at epoch %d\n", edges.Epoch())
+		case errors.Is(err, server.ErrClosed):
+			// already shut down; the periodic checkpoints bounded the tail
+		default:
+			fmt.Fprintf(os.Stderr, "serve: final checkpoint: %v\n", err)
+			ckptFailed.Store(true)
+		}
+	}
 	fmt.Println("frontend closed; server shutting down")
+	if ckptFailed.Load() {
+		s.Close()
+		os.Exit(1)
+	}
 }
 
 // durableRound derives round r's updates from r alone — no accumulated

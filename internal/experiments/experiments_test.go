@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/graphs"
 	"repro/internal/graspan"
@@ -117,6 +118,33 @@ func TestQueryBatchLatencySmoke(t *testing.T) {
 		if out[name] <= 0 {
 			t.Fatalf("%s missing", name)
 		}
+	}
+}
+
+func TestOpenLoopSweepSmoke(t *testing.T) {
+	sw := OpenLoopLatencySweep(1, []float64{0.5, 2}, true, 60, 4)
+	if len(sw.Static) != 2 || len(sw.Adaptive) != 2 {
+		t.Fatalf("want 2 cells per mode, got %d/%d", len(sw.Static), len(sw.Adaptive))
+	}
+	for i := range sw.Static {
+		for _, r := range []OpenLoopResult{sw.Static[i], sw.Adaptive[i]} {
+			if r.Epochs != 60 || r.P50 <= 0 || r.P99 < r.P50 || r.Max < r.P99 {
+				t.Fatalf("cell %d (%+v): degenerate percentiles", i, r)
+			}
+		}
+		if sw.Static[i].PhysicalSeals != 60 {
+			t.Fatalf("static run issued %d physical seals, want 60", sw.Static[i].PhysicalSeals)
+		}
+		if sw.Adaptive[i].PhysicalSeals > 60 {
+			t.Fatalf("adaptive run issued %d physical seals for 60 logical", sw.Adaptive[i].PhysicalSeals)
+		}
+	}
+}
+
+func TestDurableFsyncThroughputSmoke(t *testing.T) {
+	per, grouped := FsyncGroupCommitSpeedup(1, 40, 4, 5*time.Millisecond)
+	if per <= 0 || grouped <= 0 {
+		t.Fatalf("rates: per-record %v, grouped %v", per, grouped)
 	}
 }
 

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/server"
+	"repro/internal/timely"
+	"repro/internal/wal"
+)
+
+// This file holds the ingestion-control experiments: an open-loop offered-
+// load latency sweep comparing fixed per-update epochs against adaptive
+// batching (the paper's Fig 4b epoch-size tradeoff, chosen at runtime), and
+// a WAL fsync-throughput comparison of per-record sync against group commit.
+
+// OpenLoopResult is one (load, mode) cell of the sweep.
+type OpenLoopResult struct {
+	Load          float64 // offered load, epochs/sec
+	Adaptive      bool    // adaptive batching vs fixed per-epoch sealing
+	Epochs        int
+	P50, P99, Max time.Duration // intended-emission-time to completion
+	PhysicalSeals uint64        // epochs actually issued (== Epochs when static)
+}
+
+// OpenLoopSweep bundles the static and adaptive runs over the same loads.
+type OpenLoopSweep struct {
+	Loads    []float64
+	Static   []OpenLoopResult
+	Adaptive []OpenLoopResult
+}
+
+// CalibrateEpochRate measures the closed-loop epoch rate (epochs/sec) of
+// per-epoch sealing: updates are offered and sealed one epoch at a time as
+// fast as completion allows. The open-loop sweep positions its offered loads
+// relative to this capacity, so the experiment is machine-independent.
+func CalibrateEpochRate(workers, epochs, perEpoch int) float64 {
+	s := server.New(workers)
+	defer s.Close()
+	src := openLoopSource(s)
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		if err := src.Update(churn(uint64(e), perEpoch)); err != nil {
+			return 0
+		}
+		if _, err := src.Advance(); err != nil {
+			return 0
+		}
+	}
+	if err := src.Sync(); err != nil {
+		return 0
+	}
+	return float64(epochs) / time.Since(start).Seconds()
+}
+
+// OpenLoopLatency drives one open-loop run: epochs are emitted on a fixed
+// schedule (intended emission times start + e/load) regardless of whether the
+// system keeps up, and each epoch's latency is measured from its intended
+// emission to its observed completion — so queueing delay is charged to the
+// system, not hidden by a blocked driver (the coordinated-omission trap).
+//
+// Static mode seals every epoch physically (fixed per-update cadence);
+// adaptive mode routes seals through a server.Batcher, which coalesces
+// pending epochs into coarser physical seals whenever completion lags.
+func OpenLoopLatency(workers int, load float64, epochs, perEpoch int, adaptive bool) OpenLoopResult {
+	s := server.New(workers)
+	defer s.Close()
+	src := openLoopSource(s)
+
+	var b *server.Batcher[uint64, uint64]
+	if adaptive {
+		b = server.NewBatcher(src, server.BatcherOptions{})
+		defer b.Close()
+	}
+
+	intended := make([]time.Time, epochs)
+	completed := make([]time.Time, epochs)
+
+	// Completion tracker: parked against the cluster, stamping each logical
+	// epoch as the probe frontier passes it. Coalesced epochs complete
+	// together, so a jump stamps the whole group at once.
+	trackerDone := make(chan struct{})
+	go func() {
+		defer close(trackerDone)
+		reported := uint64(0)
+		for reported < uint64(epochs) {
+			if !s.WaitFor(func() bool { return src.CompletedEpochs() > reported }) {
+				return
+			}
+			now := time.Now()
+			for c := src.CompletedEpochs(); reported < c && reported < uint64(epochs); reported++ {
+				completed[reported] = now
+			}
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / load)
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		intended[e] = start.Add(time.Duration(e) * interval)
+		if d := time.Until(intended[e]); d > 0 {
+			time.Sleep(d)
+		}
+		upds := churn(uint64(e), perEpoch)
+		if adaptive {
+			if err := b.Offer(upds); err != nil {
+				break
+			}
+			if _, err := b.Seal(); err != nil {
+				break
+			}
+		} else {
+			if err := src.Update(upds); err != nil {
+				break
+			}
+			if _, err := src.Advance(); err != nil {
+				break
+			}
+		}
+	}
+	if adaptive {
+		b.Flush()
+	}
+	src.Sync()
+	<-trackerDone
+
+	lats := make([]time.Duration, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		if completed[e].IsZero() {
+			continue // server closed mid-run
+		}
+		lats = append(lats, completed[e].Sub(intended[e]))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := OpenLoopResult{Load: load, Adaptive: adaptive, Epochs: len(lats)}
+	if len(lats) > 0 {
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+		res.Max = lats[len(lats)-1]
+	}
+	res.PhysicalSeals = uint64(epochs)
+	if adaptive {
+		res.PhysicalSeals = b.Stats().PhysicalSeals
+	}
+	return res
+}
+
+// OpenLoopLatencySweep runs static and adaptive modes over each offered
+// load. Loads are fractions of the calibrated closed-loop capacity when
+// relative is true (so >1 means deliberate overload), absolute epochs/sec
+// otherwise.
+func OpenLoopLatencySweep(workers int, loads []float64, relative bool, epochs, perEpoch int) OpenLoopSweep {
+	sw := OpenLoopSweep{Loads: append([]float64(nil), loads...)}
+	if relative {
+		rate := CalibrateEpochRate(workers, epochs/2+1, perEpoch)
+		for i, f := range sw.Loads {
+			sw.Loads[i] = f * rate
+		}
+	}
+	for _, load := range sw.Loads {
+		sw.Static = append(sw.Static, OpenLoopLatency(workers, load, epochs, perEpoch, false))
+		sw.Adaptive = append(sw.Adaptive, OpenLoopLatency(workers, load, epochs, perEpoch, true))
+	}
+	return sw
+}
+
+// openLoopSource builds the measured pipeline: one source with a live query
+// (import, flatten, probe) so completion tracks a real dataflow, not just
+// the source arrangement.
+func openLoopSource(s *server.Server) *server.Source[uint64, uint64] {
+	src, err := server.NewSource(s, "edges", core.U64())
+	if err != nil {
+		panic(err) // fresh server, fixed name: cannot collide
+	}
+	_, err = s.Install("openloop", func(w *timely.Worker, g *timely.Graph) server.Built {
+		imported := src.ImportInto(g)
+		col := dd.Flatten(imported)
+		return server.Built{Probe: dd.Probe(col), Teardown: func() { imported.Cancel() }}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+// churn emits perEpoch updates for epoch e: half insertions keyed to the
+// epoch and half retractions of the previous epoch's insertions, so the
+// arrangement's live set stays bounded however long the run.
+func churn(e uint64, perEpoch int) []core.Update[uint64, uint64] {
+	upds := make([]core.Update[uint64, uint64], 0, perEpoch)
+	half := perEpoch/2 + 1
+	for i := 0; i < half; i++ {
+		upds = append(upds, core.Update[uint64, uint64]{Key: e % 512, Val: uint64(i)<<32 | e, Diff: 1})
+		if e > 0 {
+			upds = append(upds, core.Update[uint64, uint64]{Key: (e - 1) % 512, Val: uint64(i)<<32 | (e - 1), Diff: -1})
+		}
+	}
+	return upds
+}
+
+// DurableFsyncThroughput measures the durable ingest rate (epochs/sec) with
+// Fsync on: groupCommit zero syncs the shard log after every appended batch
+// (one fsync per epoch per shard); a positive interval routes syncs through
+// the shared group committer (one fsync per dirty file per interval). The
+// speedup of the latter over the former is the group-commit win.
+func DurableFsyncThroughput(dir string, groupCommit time.Duration, workers, epochs, perEpoch int) float64 {
+	s := server.NewOpts(workers, server.Options{
+		DataDir: dir, Fsync: true, GroupCommitEvery: groupCommit,
+	})
+	defer s.Close()
+	src, err := server.NewSourceOpts(s, "edges", core.U64(), server.SourceOptions[uint64, uint64]{
+		Durable:  true,
+		KeyCodec: wal.U64Codec(),
+		ValCodec: wal.U64Codec(),
+	})
+	if err != nil {
+		return 0
+	}
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		if err := src.Update(churn(uint64(e), perEpoch)); err != nil {
+			return 0
+		}
+		if _, err := src.Advance(); err != nil {
+			return 0
+		}
+	}
+	if err := src.Sync(); err != nil {
+		return 0
+	}
+	return float64(epochs) / time.Since(start).Seconds()
+}
+
+// FsyncGroupCommitSpeedup runs the durable ingest comparison in fresh
+// directories and returns (perRecordRate, groupedRate). Callers report the
+// ratio; zero rates signal an environment failure.
+func FsyncGroupCommitSpeedup(workers, epochs, perEpoch int, interval time.Duration) (perRecord, grouped float64) {
+	d1, err := os.MkdirTemp("", "kpg-bench-fsync-*")
+	if err != nil {
+		return 0, 0
+	}
+	defer os.RemoveAll(d1)
+	d2, err := os.MkdirTemp("", "kpg-bench-fsync-*")
+	if err != nil {
+		return 0, 0
+	}
+	defer os.RemoveAll(d2)
+	perRecord = DurableFsyncThroughput(d1, 0, workers, epochs, perEpoch)
+	grouped = DurableFsyncThroughput(d2, interval, workers, epochs, perEpoch)
+	return perRecord, grouped
+}

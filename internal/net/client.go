@@ -149,8 +149,11 @@ func (c *Client) Subscribe(queries ...string) error {
 
 // Next reads one stream event. It blocks at the subscriber's own pace —
 // which is exactly the protocol's backpressure: a client that stops calling
-// Next stalls only its own stream. Returns io.EOF (or the transport error)
-// when the connection ends.
+// Next stalls only its own stream. A client that lags past the server's
+// bound sees either a Resync event (drop accumulated state, adopt the
+// carried collection) or an End with reason "lagged" (resubscribe for a
+// fresh snapshot). Returns io.EOF (or the transport error) when the
+// connection ends.
 func (c *Client) Next() (Event, error) {
 	if !c.streaming {
 		return Event{}, fmt.Errorf("net: Next before Subscribe")
@@ -160,7 +163,7 @@ func (c *Client) Next() (Event, error) {
 		return Event{}, err
 	}
 	switch resp.kind {
-	case streamSnapshot, streamDelta, streamFrontier, streamEnd:
+	case streamSnapshot, streamDelta, streamFrontier, streamEnd, streamResync:
 		return resp.event, nil
 	case respErr:
 		return Event{}, &RemoteError{Msg: resp.msg}

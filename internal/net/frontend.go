@@ -22,17 +22,43 @@ import (
 // methods are also callable in-process (the CLI serve path and tests drive
 // them directly).
 type Frontend struct {
-	srv *server.Server
+	srv    *server.Server
+	opt    FrontendOptions
+	hubOpt hubOptions
 
-	mu      sync.Mutex
-	sources map[string]*server.Source[uint64, uint64]
-	queries map[string]*netQuery
-	conns   map[net.Conn]struct{}
-	ln      net.Listener
-	closed  bool
+	mu       sync.Mutex
+	sources  map[string]*server.Source[uint64, uint64]
+	batchers map[string]*server.Batcher[uint64, uint64]
+	queries  map[string]*netQuery
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
 
 	wg sync.WaitGroup // accept loop, connection handlers, query pumps
 }
+
+// FrontendOptions tunes the frontend's ingestion control loop and its
+// subscriber lag policy.
+type FrontendOptions struct {
+	// SubscriberMaxLag bounds the completed-but-undelivered result deltas a
+	// single subscriber may pin in a query's hub. A subscriber past the bound
+	// is reset: its backlog is dropped and its next event is a streamResync
+	// carrying the consolidated collection — or, under KickLagging, its
+	// stream ends with reason "lagged". Zero means the default (1<<20
+	// deltas); negative disables the bound.
+	SubscriberMaxLag int
+	// KickLagging disconnects a lagging subscriber (streamEnd, reason
+	// "lagged") instead of resetting it.
+	KickLagging bool
+	// BatchMaxLag is the adaptive batcher's bound on sealed-but-incomplete
+	// epochs per registered source (server.BatcherOptions.MaxLag). Zero
+	// means the batcher's default.
+	BatchMaxLag uint64
+}
+
+// DefaultSubscriberMaxLag is the pinned-backlog bound applied when
+// FrontendOptions.SubscriberMaxLag is zero.
+const DefaultSubscriberMaxLag = 1 << 20
 
 // netQuery is one query installed through the frontend: the server-side
 // dataflow plus the hub its result sink feeds and the pump publishing
@@ -46,18 +72,35 @@ type netQuery struct {
 // ErrFrontendClosed reports an operation against a closed frontend.
 var ErrFrontendClosed = errors.New("net: frontend closed")
 
-// NewFrontend wraps a server. Register sources before serving.
+// NewFrontend wraps a server with default options. Register sources before
+// serving.
 func NewFrontend(srv *server.Server) *Frontend {
+	return NewFrontendOpts(srv, FrontendOptions{})
+}
+
+// NewFrontendOpts wraps a server with explicit lag-control options.
+func NewFrontendOpts(srv *server.Server, opt FrontendOptions) *Frontend {
+	hubOpt := hubOptions{maxLag: opt.SubscriberMaxLag, kick: opt.KickLagging}
+	if opt.SubscriberMaxLag == 0 {
+		hubOpt.maxLag = DefaultSubscriberMaxLag
+	}
 	return &Frontend{
-		srv:     srv,
-		sources: make(map[string]*server.Source[uint64, uint64]),
-		queries: make(map[string]*netQuery),
-		conns:   make(map[net.Conn]struct{}),
+		srv:      srv,
+		opt:      opt,
+		hubOpt:   hubOpt,
+		sources:  make(map[string]*server.Source[uint64, uint64]),
+		batchers: make(map[string]*server.Batcher[uint64, uint64]),
+		queries:  make(map[string]*netQuery),
+		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
 // RegisterSource makes a server source visible to the query grammar and the
-// update/advance requests under its registered name.
+// update/advance requests under its registered name. The frontend wraps the
+// source in an adaptive batcher: remote advances seal logical epochs, and
+// the batcher decides when to physically seal, coalescing under probe lag
+// (see server.Batcher). The frontend owns the source's epoch clock from here
+// on — drive updates and advances through the frontend, not the source.
 func (fe *Frontend) RegisterSource(src *server.Source[uint64, uint64]) error {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
@@ -68,6 +111,7 @@ func (fe *Frontend) RegisterSource(src *server.Source[uint64, uint64]) error {
 		return fmt.Errorf("net: source %q already registered", src.Name())
 	}
 	fe.sources[src.Name()] = src
+	fe.batchers[src.Name()] = server.NewBatcher(src, server.BatcherOptions{MaxLag: fe.opt.BatchMaxLag})
 	return nil
 }
 
@@ -98,7 +142,7 @@ func (fe *Frontend) Install(name, text string) error {
 		}
 	}
 
-	h := newHub()
+	h := newHub(fe.hubOpt)
 	q, err := fe.srv.Install(name, func(w *timely.Worker, g *timely.Graph) server.Built {
 		b := &builder{g: g, sources: srcs}
 		out := pl.build(b)
@@ -170,19 +214,20 @@ func (fe *Frontend) Uninstall(name string) error {
 	return nil
 }
 
-func (fe *Frontend) lookupSource(name string) (*server.Source[uint64, uint64], error) {
+func (fe *Frontend) lookupBatcher(name string) (*server.Batcher[uint64, uint64], error) {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
-	src := fe.sources[name]
-	if src == nil {
+	b := fe.batchers[name]
+	if b == nil {
 		return nil, fmt.Errorf("net: unknown source %q", name)
 	}
-	return src, nil
+	return b, nil
 }
 
-// Update applies input deltas to a registered source at its current epoch.
+// Update applies input deltas to a registered source at its current logical
+// epoch.
 func (fe *Frontend) Update(source string, upds []Delta) error {
-	src, err := fe.lookupSource(source)
+	b, err := fe.lookupBatcher(source)
 	if err != nil {
 		return err
 	}
@@ -190,27 +235,32 @@ func (fe *Frontend) Update(source string, upds []Delta) error {
 	for i, u := range upds {
 		conv[i] = core.Update[uint64, uint64]{Key: u.Key, Val: u.Val, Diff: core.Diff(u.Diff)}
 	}
-	return src.Update(conv)
+	return b.Offer(conv)
 }
 
-// Advance seals a source's current epoch, returning the sealed epoch. This
-// is what drives every subscriber's frontier forward.
+// Advance seals a source's current logical epoch, returning the sealed
+// epoch. This is what drives every subscriber's frontier forward. The
+// physical seal may coalesce with neighbors under load (adaptive batching);
+// coalesced epochs complete — and reach subscribers — together.
 func (fe *Frontend) Advance(source string) (uint64, error) {
-	src, err := fe.lookupSource(source)
+	b, err := fe.lookupBatcher(source)
 	if err != nil {
 		return 0, err
 	}
-	return src.Advance()
+	return b.Seal()
 }
 
-// SyncSource blocks until every sealed epoch of the source is reflected in
-// its arrangement on all workers.
+// SyncSource flushes any coalesced seals and blocks until every sealed epoch
+// of the source is reflected in its arrangement on all workers.
 func (fe *Frontend) SyncSource(source string) error {
-	src, err := fe.lookupSource(source)
+	b, err := fe.lookupBatcher(source)
 	if err != nil {
 		return err
 	}
-	return src.Sync()
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	return b.Source().Sync()
 }
 
 // List reports the registered sources and installed queries.
@@ -218,8 +268,8 @@ func (fe *Frontend) List() Listing {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
 	var l Listing
-	for _, src := range fe.sources {
-		l.Sources = append(l.Sources, SourceInfo{Name: src.Name(), Epoch: src.Epoch()})
+	for n, b := range fe.batchers {
+		l.Sources = append(l.Sources, SourceInfo{Name: n, Epoch: b.Epoch()})
 	}
 	for _, nq := range fe.queries {
 		l.Queries = append(l.Queries, QueryInfo{Name: nq.name, Text: nq.text})
@@ -284,6 +334,10 @@ func (fe *Frontend) Close() {
 		queries = append(queries, nq)
 	}
 	fe.queries = make(map[string]*netQuery)
+	batchers := make([]*server.Batcher[uint64, uint64], 0, len(fe.batchers))
+	for _, b := range fe.batchers {
+		batchers = append(batchers, b)
+	}
 	fe.mu.Unlock()
 
 	if ln != nil {
@@ -298,6 +352,10 @@ func (fe *Frontend) Close() {
 	fe.srv.Wake()
 	for _, nq := range queries {
 		nq.q.Uninstall()
+	}
+	for _, b := range batchers {
+		b.Flush() // seal anything coalesced so nothing is silently pending
+		b.Close()
 	}
 	fe.wg.Wait()
 }
@@ -450,20 +508,30 @@ func streamTo(nq *netQuery, sub *subscriber, snap []Delta, start uint64,
 		}
 	}
 	for {
-		ds, frontier, ok := sub.next()
+		ev, reason, ok := sub.next()
 		if !ok {
-			// Query uninstalled or server closing: tell the client its
-			// stream is over rather than leaving it blocked on a read.
-			write(encodeEvent(Event{Kind: streamEnd, Query: nq.name}))
+			// Query uninstalled, server closing, or the subscriber was
+			// kicked for lagging: tell the client its stream is over (and
+			// why) rather than leaving it blocked on a read.
+			write(encodeEvent(Event{Kind: streamEnd, Query: nq.name, Reason: reason}))
 			return
 		}
-		for _, d := range ds {
-			ev := Event{Kind: streamDelta, Query: nq.name, Epoch: d.epoch, Upds: d.upds}
-			if write(encodeEvent(ev)) != nil {
+		if ev.resync {
+			// The hub reset this subscriber: the deltas it was pinning are
+			// gone, so replace its state wholesale with the consolidated
+			// collection below ev.start.
+			re := Event{Kind: streamResync, Query: nq.name, Epoch: ev.start, Upds: ev.snapshot}
+			if write(encodeEvent(re)) != nil {
 				return
 			}
 		}
-		if write(encodeEvent(Event{Kind: streamFrontier, Query: nq.name, Epoch: frontier})) != nil {
+		for _, d := range ev.ds {
+			de := Event{Kind: streamDelta, Query: nq.name, Epoch: d.epoch, Upds: d.upds}
+			if write(encodeEvent(de)) != nil {
+				return
+			}
+		}
+		if write(encodeEvent(Event{Kind: streamFrontier, Query: nq.name, Epoch: ev.frontier})) != nil {
 			return
 		}
 	}

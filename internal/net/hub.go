@@ -5,6 +5,17 @@ import (
 	"sync"
 )
 
+// hubOptions bounds what a single subscriber may pin in a hub.
+type hubOptions struct {
+	// maxLag bounds the completed-but-undelivered deltas one subscriber may
+	// pin (buckets behind its cursor cannot fold). Zero or negative means
+	// unbounded.
+	maxLag int
+	// kick ends a breaching subscriber's stream (reason "lagged") instead of
+	// resetting it onto the consolidated collection.
+	kick bool
+}
+
 // hub collects one installed query's result deltas and fans them out to
 // subscribers, decoupling the epoch cycle from connection speed:
 //
@@ -23,9 +34,17 @@ import (
 // trace compaction the arrangements themselves perform. A subscriber that
 // arrives late receives that base as a snapshot, then the live epochs: the
 // network analogue of the shared-arrangement import.
+//
+// The backlog itself is bounded by opt.maxLag: completion's enforcement sweep
+// resets (or, under opt.kick, ends) any subscriber pinning more than that
+// many completed deltas, releasing its buckets to fold. A reset subscriber's
+// next read is a resync — the consolidated collection again, replacing
+// whatever state it had accumulated — so even a subscriber that never drains
+// cannot grow hub memory past the bound.
 type hub struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+	opt  hubOptions
 
 	base       map[[2]uint64]int64 // net collection of epochs < baseEpoch
 	baseEpoch  uint64
@@ -36,14 +55,19 @@ type hub struct {
 }
 
 // subscriber is one attachment to a hub. cursor is the next epoch it has not
-// yet received; it only ever advances to completed epochs.
+// yet received; it only ever advances to completed epochs. resync and kicked
+// are set by the enforcement sweep when the subscriber's pinned backlog
+// breaches the hub's bound, and observed at its next read.
 type subscriber struct {
 	h      *hub
 	cursor uint64
+	resync bool
+	kicked bool
 }
 
-func newHub() *hub {
+func newHub(opt hubOptions) *hub {
 	h := &hub{
+		opt:     opt,
 		base:    make(map[[2]uint64]int64),
 		buckets: make(map[uint64][]Delta),
 		subs:    make(map[*subscriber]struct{}),
@@ -59,16 +83,43 @@ func (h *hub) add(epoch, key, val uint64, diff int64) {
 	h.mu.Unlock()
 }
 
-// complete publishes every epoch below the given frontier (exclusive) and
-// folds buckets no subscriber still needs into the base.
+// complete publishes every epoch below the given frontier (exclusive),
+// enforces the per-subscriber lag bound, and folds buckets no subscriber
+// still needs into the base.
 func (h *hub) complete(to uint64) {
 	h.mu.Lock()
 	if to > h.completeTo {
 		h.completeTo = to
 	}
+	h.enforceLocked()
 	h.trimLocked()
 	h.mu.Unlock()
 	h.cond.Broadcast()
+}
+
+// enforceLocked sweeps subscribers against the lag bound: any subscriber
+// pinning more than maxLag completed deltas has its cursor jumped to the
+// frontier (releasing its buckets to fold) and is marked for resync — or for
+// disconnection under the kick policy. Counting stops at the bound, so the
+// sweep costs O(bound) per laggard, not O(backlog).
+func (h *hub) enforceLocked() {
+	if h.opt.maxLag <= 0 {
+		return
+	}
+	for s := range h.subs {
+		backlog := 0
+		for e := s.cursor; e < h.completeTo && backlog <= h.opt.maxLag; e++ {
+			backlog += len(h.buckets[e])
+		}
+		if backlog > h.opt.maxLag {
+			if h.opt.kick {
+				s.kicked = true
+			} else {
+				s.resync = true
+			}
+			s.cursor = h.completeTo
+		}
+	}
 }
 
 // trimLocked folds buckets behind every subscriber's cursor (all completed
@@ -109,6 +160,18 @@ func (h *hub) isClosed() bool {
 	return h.closed
 }
 
+// pinned reports the deltas held in per-epoch buckets — the memory the hub
+// retains beyond the folded base (test hook for the lag bound).
+func (h *hub) pinned() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, b := range h.buckets {
+		n += len(b)
+	}
+	return n
+}
+
 // subscribe attaches a new subscriber, returning it plus the consolidated
 // snapshot it starts from: the net collection of every epoch below start.
 // The subscriber's first live events begin at epoch start.
@@ -117,17 +180,7 @@ func (h *hub) subscribe() (s *subscriber, snapshot []Delta, start uint64) {
 	defer h.mu.Unlock()
 	s = &subscriber{h: h, cursor: h.baseEpoch}
 	h.subs[s] = struct{}{}
-	snapshot = make([]Delta, 0, len(h.base))
-	for k, d := range h.base {
-		snapshot = append(snapshot, Delta{Key: k[0], Val: k[1], Diff: d})
-	}
-	sort.Slice(snapshot, func(i, j int) bool {
-		if snapshot[i].Key != snapshot[j].Key {
-			return snapshot[i].Key < snapshot[j].Key
-		}
-		return snapshot[i].Val < snapshot[j].Val
-	})
-	return s, snapshot, h.baseEpoch
+	return s, sortedDeltas(h.base), h.baseEpoch
 }
 
 // unsubscribe detaches a subscriber (its pinned buckets become foldable).
@@ -138,32 +191,88 @@ func (h *hub) unsubscribe(s *subscriber) {
 	h.mu.Unlock()
 }
 
+// consolidatedLocked accumulates the base plus every completed bucket: the
+// net collection of all epochs below completeTo (what a resync re-feeds).
+func (h *hub) consolidatedLocked() []Delta {
+	acc := make(map[[2]uint64]int64, len(h.base))
+	for k, d := range h.base {
+		acc[k] = d
+	}
+	for e := h.baseEpoch; e < h.completeTo; e++ {
+		for _, d := range h.buckets[e] {
+			k := [2]uint64{d.Key, d.Val}
+			acc[k] += d.Diff
+			if acc[k] == 0 {
+				delete(acc, k)
+			}
+		}
+	}
+	return sortedDeltas(acc)
+}
+
+// sortedDeltas flattens a consolidated collection deterministically.
+func sortedDeltas(m map[[2]uint64]int64) []Delta {
+	out := make([]Delta, 0, len(m))
+	for k, d := range m {
+		out = append(out, Delta{Key: k[0], Val: k[1], Diff: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Val < out[j].Val
+	})
+	return out
+}
+
 // epochDeltas is one completed epoch's published deltas.
 type epochDeltas struct {
 	epoch uint64
 	upds  []Delta
 }
 
-// next blocks until at least one epoch at or past the subscriber's cursor is
-// complete (or the hub closes), then returns the completed epochs' deltas
-// plus the inclusive frontier they reach. ok is false when the hub closed
-// with nothing further to deliver.
-func (s *subscriber) next() (ds []epochDeltas, frontier uint64, ok bool) {
+// subEvent is what a subscriber delivers next: either per-epoch deltas, or —
+// after a lag reset — a resync snapshot replacing all accumulated state.
+type subEvent struct {
+	resync   bool
+	snapshot []Delta // resync: net collection of epochs < start
+	start    uint64  // resync: first epoch not folded into the snapshot
+	ds       []epochDeltas
+	frontier uint64 // inclusive: every epoch <= frontier is delivered
+}
+
+// next blocks until the subscriber has something to deliver (a completed
+// epoch past its cursor, a pending resync, or its end), then returns it. ok
+// is false when the stream is over; reason then says why (EndReasonClosed
+// for a clean close, EndReasonLagged when the kick policy disconnected it).
+func (s *subscriber) next() (ev subEvent, reason string, ok bool) {
 	h := s.h
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for h.completeTo <= s.cursor && !h.closed {
+	for !s.kicked && !s.resync && h.completeTo <= s.cursor && !h.closed {
 		h.cond.Wait()
 	}
+	if s.kicked {
+		return subEvent{}, EndReasonLagged, false
+	}
+	if s.resync {
+		s.resync = false
+		s.cursor = h.completeTo
+		ev = subEvent{resync: true, snapshot: h.consolidatedLocked(), start: h.completeTo}
+		ev.frontier = h.completeTo - 1 // a breach implies completeTo > 0
+		h.trimLocked()
+		return ev, "", true
+	}
 	if h.completeTo <= s.cursor { // closed with nothing new
-		return nil, 0, false
+		return subEvent{}, EndReasonClosed, false
 	}
 	for e := s.cursor; e < h.completeTo; e++ {
 		if b := h.buckets[e]; len(b) > 0 {
-			ds = append(ds, epochDeltas{epoch: e, upds: append([]Delta(nil), b...)})
+			ev.ds = append(ev.ds, epochDeltas{epoch: e, upds: append([]Delta(nil), b...)})
 		}
 	}
 	s.cursor = h.completeTo
+	ev.frontier = h.completeTo - 1
 	h.trimLocked()
-	return ds, h.completeTo - 1, true
+	return ev, "", true
 }

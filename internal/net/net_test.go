@@ -6,7 +6,6 @@ import (
 	stdnet "net"
 	"sync"
 	"testing"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
@@ -15,6 +14,11 @@ import (
 // startFrontend launches a server with an "edges" source behind a frontend
 // listening on a loopback port.
 func startFrontend(t *testing.T, workers int) (*Frontend, *server.Server, string) {
+	return startFrontendOpts(t, workers, FrontendOptions{})
+}
+
+// startFrontendOpts is startFrontend with explicit lag-control options.
+func startFrontendOpts(t *testing.T, workers int, opt FrontendOptions) (*Frontend, *server.Server, string) {
 	t.Helper()
 	srv := server.New(workers)
 	edges, err := server.NewSource(srv, "edges", core.U64())
@@ -22,7 +26,7 @@ func startFrontend(t *testing.T, workers int) (*Frontend, *server.Server, string
 		srv.Close()
 		t.Fatalf("NewSource: %v", err)
 	}
-	fe := NewFrontend(srv)
+	fe := NewFrontendOpts(srv, opt)
 	if err := fe.RegisterSource(edges); err != nil {
 		t.Fatalf("RegisterSource: %v", err)
 	}
@@ -38,6 +42,34 @@ func startFrontend(t *testing.T, workers int) (*Frontend, *server.Server, string
 	return fe, srv, ln.Addr().String()
 }
 
+// testHub digs a query's hub out of a frontend (same-package test hook).
+func testHub(t *testing.T, fe *Frontend, query string) *hub {
+	t.Helper()
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	nq := fe.queries[query]
+	if nq == nil {
+		t.Fatalf("query %q is not installed", query)
+	}
+	return nq.hub
+}
+
+// waitHubBase blocks until the hub has folded every epoch below want into
+// its base (pump caught up, nothing pinned). It parks on the hub's cond —
+// complete broadcasts — so there is no polling interval to tune.
+func waitHubBase(t *testing.T, fe *Frontend, query string, want uint64) {
+	t.Helper()
+	h := testHub(t, fe, query)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.baseEpoch < want && !h.closed {
+		h.cond.Wait()
+	}
+	if h.baseEpoch < want {
+		t.Fatalf("hub closed at base epoch %d, want %d", h.baseEpoch, want)
+	}
+}
+
 // state folds stream events into a net collection, tracking the frontier.
 type state struct {
 	acc      map[[2]uint64]int64
@@ -51,7 +83,12 @@ func (s *state) apply(e Event) {
 	switch {
 	case e.Frontier():
 		s.frontier, s.sawFront = e.Epoch, true
-	default: // snapshot or delta both fold the same way
+	case e.Resync():
+		// The server reset this subscriber: whatever was accumulated is
+		// stale; the carried collection replaces it wholesale.
+		s.acc = make(map[[2]uint64]int64)
+		fallthrough
+	default: // snapshot, resync, and delta all fold the same way
 		for _, d := range e.Upds {
 			k := [2]uint64{d.Key, d.Val}
 			s.acc[k] += d.Diff
@@ -271,6 +308,9 @@ func TestRemoteEndToEnd(t *testing.T) {
 			t.Fatalf("stream ended with %v, want end events", err)
 		}
 		if ev.End() {
+			if ev.Reason != EndReasonClosed {
+				t.Fatalf("end reason %q for %q, want %q", ev.Reason, ev.Query, EndReasonClosed)
+			}
 			ended[ev.Query] = true
 		}
 	}
@@ -280,7 +320,7 @@ func TestRemoteEndToEnd(t *testing.T) {
 // completed receives the consolidated base as one snapshot, not the raw
 // history, and then follows live.
 func TestLateSubscriberSnapshot(t *testing.T) {
-	_, _, addr := startFrontend(t, 2)
+	fe, _, addr := startFrontend(t, 2)
 	ctl, err := Dial(addr)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
@@ -310,11 +350,11 @@ func TestLateSubscriberSnapshot(t *testing.T) {
 		t.Fatalf("sync: %v", err)
 	}
 
-	// Give the pump a moment to publish through epoch 9, so the hub folds
-	// the history into its base (no subscribers are pinning buckets). Not
+	// Wait for the pump to publish through epoch 9 and the hub to fold the
+	// history into its base (no subscribers are pinning buckets). Not
 	// required for correctness — a late pump just means a smaller snapshot
-	// and more live deltas.
-	time.Sleep(50 * time.Millisecond)
+	// and more live deltas — but it is the consolidation this test is about.
+	waitHubBase(t, fe, "all", 10)
 
 	late, err := Dial(addr)
 	if err != nil {
@@ -423,6 +463,95 @@ func TestSlowSubscriberDoesNotBlockEpochCycle(t *testing.T) {
 	if len(st.acc) != 100*200 {
 		t.Fatalf("fast subscriber saw %d records, want %d", len(st.acc), 100*200)
 	}
+}
+
+// TestSubscriberLagResetReconverges: a subscriber that stops reading while
+// updates pour in is reset by the hub once its pinned backlog breaches the
+// bound. When it finally reads again it observes a resync event — the
+// consolidated collection replacing everything it missed — and its folded
+// state re-converges exactly to the brute-force oracle.
+func TestSubscriberLagResetReconverges(t *testing.T) {
+	fe, _, addr := startFrontendOpts(t, 2, FrontendOptions{SubscriberMaxLag: 1000})
+	ctl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer ctl.Close()
+	if err := ctl.Install("all", "edges"); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+
+	victim, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial victim: %v", err)
+	}
+	defer victim.Close()
+	if err := victim.Subscribe("all"); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	// The victim stops reading here: its socket fills, its server-side
+	// stream blocks, and its hub backlog starts pinning buckets.
+
+	orc := newOracle()
+	var sealed uint64
+	push := func(e int) {
+		upds := make([]Delta, 2000)
+		for i := range upds {
+			upds[i] = Delta{Key: uint64(i), Val: uint64(e), Diff: 1}
+		}
+		if err := ctl.Update("edges", upds); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		orc.apply(upds)
+		if sealed, err = ctl.Advance("edges"); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+	}
+	resyncPending := func() bool {
+		h := testHub(t, fe, "all")
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for s := range h.subs {
+			if s.resync {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Push until the enforcement sweep resets the victim (the rounds it
+	// takes depend on socket buffering; the cap is a safety net only).
+	rounds := 0
+	for ; rounds < 300 && !resyncPending(); rounds++ {
+		push(rounds)
+	}
+	if !resyncPending() {
+		t.Fatalf("no resync after %d rounds", rounds)
+	}
+	// Live traffic after the reset, so re-convergence covers both the
+	// resync snapshot and ordinary deltas behind it.
+	push(rounds)
+	push(rounds + 1)
+	if err := ctl.Sync("edges"); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	st := newState()
+	sawResync := false
+	for !st.sawFront || st.frontier < sealed {
+		ev, err := victim.Next()
+		if err != nil {
+			t.Fatalf("next (frontier %d, want %d): %v", st.frontier, sealed, err)
+		}
+		if ev.Resync() {
+			sawResync = true
+		}
+		st.apply(ev)
+	}
+	if !sawResync {
+		t.Fatal("stream never carried a resync event")
+	}
+	diffStates(t, "reconverged victim", st.acc, orc.edges)
 }
 
 // TestClientKilledMidStream: severing a watcher's connection abruptly (the

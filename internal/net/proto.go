@@ -16,7 +16,14 @@
 // deltas to an in-memory hub (never blocking), and each subscriber streams
 // completed epochs at the pace of its own connection. A slow subscriber
 // therefore lags and pins only its own backlog; it never blocks the workers
-// or other subscribers.
+// or other subscribers. That backlog is itself bounded
+// (FrontendOptions.SubscriberMaxLag): a subscriber pinning more completed
+// deltas than the bound is either reset — its stream continues with a
+// streamResync frame carrying the consolidated collection, exactly what a
+// fresh subscriber would receive — or, under KickLagging, ended with a
+// typed "lagged" end-of-stream reason. Remote epoch seals route through
+// per-source server.Batchers (FrontendOptions.BatchMaxLag), so a client
+// hammering advance cannot queue unbounded per-update epochs either.
 package net
 
 import (
@@ -31,7 +38,9 @@ const (
 	// Magic opens every connection's hello frame ("kpg1").
 	Magic uint32 = 0x6b706731
 	// Version is the protocol version; mismatches are refused at hello.
-	Version uint32 = 1
+	// Version 2 added streamResync (a lag-bounded subscriber's state is
+	// replaced wholesale) and the typed reason on streamEnd.
+	Version uint32 = 2
 	// MaxFrame bounds a single frame's payload in both directions.
 	MaxFrame uint32 = 1 << 24
 )
@@ -61,10 +70,27 @@ const (
 	// streamFrontier announces completion: every delta at or below Epoch has
 	// been delivered (sent even when the epoch's delta is empty).
 	streamFrontier
-	// streamEnd announces that a subscription is over (the query was
-	// uninstalled or the server is shutting down); no further events for
-	// this query will follow.
+	// streamEnd announces that a subscription is over; no further events for
+	// this query will follow. Its Reason distinguishes a clean end (the
+	// query was uninstalled or the server is shutting down) from a
+	// disconnect the hub imposed on a subscriber past its lag bound.
 	streamEnd
+	// streamResync replaces the subscriber's accumulated state wholesale:
+	// the hub reset a subscriber whose pinned backlog exceeded its bound,
+	// and re-feeds the consolidated net collection below Epoch (the folded
+	// base) instead of the per-epoch deltas it dropped.
+	streamResync
+)
+
+// End-of-stream reasons carried on streamEnd events.
+const (
+	// EndReasonClosed: the query was uninstalled or the server is shutting
+	// down; the stream delivered everything published.
+	EndReasonClosed = "closed"
+	// EndReasonLagged: the subscriber's pinned backlog exceeded the hub's
+	// bound under the disconnect policy; deltas were dropped, so the client
+	// must resubscribe for a fresh snapshot if it still wants the feed.
+	EndReasonLagged = "lagged"
 )
 
 // Delta is one result or input change on the wire.
@@ -86,10 +112,11 @@ type request struct {
 
 // Event is one decoded stream frame, delivered to watchers.
 type Event struct {
-	Kind  byte // streamSnapshot, streamDelta, or streamFrontier
-	Query string
-	Epoch uint64
-	Upds  []Delta // nil for frontier events
+	Kind   byte // streamSnapshot, streamDelta, streamFrontier, streamEnd, or streamResync
+	Query  string
+	Epoch  uint64
+	Upds   []Delta // nil for frontier and end events
+	Reason string  // end events only: why the stream is over
 }
 
 // Snapshot reports whether the event carries a consolidated starting state.
@@ -100,6 +127,11 @@ func (e Event) Frontier() bool { return e.Kind == streamFrontier }
 
 // End reports whether the event ends its query's subscription.
 func (e Event) End() bool { return e.Kind == streamEnd }
+
+// Resync reports whether the event replaces all accumulated state for its
+// query: the subscriber lagged past the hub's bound and was reset onto the
+// consolidated collection below Epoch.
+func (e Event) Resync() bool { return e.Kind == streamResync }
 
 // errProto reports a structurally valid frame with nonsensical contents.
 var errProto = errors.New("net: protocol error")
@@ -280,8 +312,11 @@ func encodeEvent(e Event) []byte {
 	dst := []byte{e.Kind}
 	dst = wal.AppendString(dst, e.Query)
 	dst = wal.AppendU64(dst, e.Epoch)
-	if e.Kind == streamSnapshot || e.Kind == streamDelta {
+	switch e.Kind {
+	case streamSnapshot, streamDelta, streamResync:
 		dst = appendDeltas(dst, e.Upds)
+	case streamEnd:
+		dst = wal.AppendString(dst, e.Reason)
 	}
 	return dst
 }
@@ -341,7 +376,7 @@ func decodeResponse(payload []byte) (response, error) {
 			}
 			r.listing.Queries = append(r.listing.Queries, q)
 		}
-	case streamSnapshot, streamDelta, streamFrontier, streamEnd:
+	case streamSnapshot, streamDelta, streamFrontier, streamEnd, streamResync:
 		r.event.Kind = r.kind
 		if r.event.Query, err = d.String(); err != nil {
 			return r, err
@@ -349,8 +384,13 @@ func decodeResponse(payload []byte) (response, error) {
 		if r.event.Epoch, err = d.U64(); err != nil {
 			return r, err
 		}
-		if r.kind == streamSnapshot || r.kind == streamDelta {
+		switch r.kind {
+		case streamSnapshot, streamDelta, streamResync:
 			if r.event.Upds, err = decDeltas(d); err != nil {
+				return r, err
+			}
+		case streamEnd:
+			if r.event.Reason, err = d.String(); err != nil {
 				return r, err
 			}
 		}

@@ -291,14 +291,20 @@ func TestDurableGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("update before Restore did not panic")
-			}
-		}()
-		src2.Update([]core.Update[uint64, uint64]{{Key: 9, Val: 9, Diff: 1}})
-	}()
+	// A client racing Update/Advance/Sync against Restore gets a typed
+	// error, never a panic: a remote caller must not crash the server.
+	if err := src2.Update([]core.Update[uint64, uint64]{{Key: 9, Val: 9, Diff: 1}}); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("update before Restore: %v, want ErrRecovering", err)
+	}
+	if _, err := src2.Advance(); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("advance before Restore: %v, want ErrRecovering", err)
+	}
+	if err := src2.AdvanceTo(5); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("AdvanceTo before Restore: %v, want ErrRecovering", err)
+	}
+	if err := src2.Sync(); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("sync before Restore: %v, want ErrRecovering", err)
+	}
 	if _, err := src2.Restore(); err != nil {
 		t.Fatal(err)
 	}
@@ -429,8 +435,11 @@ func TestCloseRacesDriverOps(t *testing.T) {
 	src.Sync()
 
 	done := make(chan struct{}, 2)
-	go func() { // checkpoint ticker
+	ckptReady := make(chan struct{}) // first checkpoint completed
+	updReady := make(chan struct{})  // first update+advance round completed
+	go func() {                      // checkpoint ticker
 		defer func() { done <- struct{}{} }()
+		first := ckptReady
 		for {
 			if err := s.Checkpoint(); err != nil {
 				if errors.Is(err, ErrClosed) {
@@ -439,10 +448,15 @@ func TestCloseRacesDriverOps(t *testing.T) {
 				t.Errorf("checkpoint failed with %v, want nil or ErrClosed", err)
 				return
 			}
+			if first != nil {
+				close(first)
+				first = nil
+			}
 		}
 	}()
 	go func() { // update stream
 		defer func() { done <- struct{}{} }()
+		first := updReady
 		for e := uint64(0); ; e++ {
 			if err := src.Update([]core.Update[uint64, uint64]{{Key: e, Val: 1, Diff: 1}}); err != nil {
 				if errors.Is(err, ErrClosed) {
@@ -458,9 +472,17 @@ func TestCloseRacesDriverOps(t *testing.T) {
 				t.Errorf("advance failed with %v, want nil or ErrClosed", err)
 				return
 			}
+			if first != nil {
+				close(first)
+				first = nil
+			}
 		}
 	}()
-	time.Sleep(20 * time.Millisecond) // let both loops reach steady state
+	// Close only once both loops have demonstrably reached steady state (a
+	// full successful round each), so Close genuinely races mid-operation
+	// instead of depending on a scheduler-sensitive sleep.
+	<-ckptReady
+	<-updReady
 	s.Close()
 	for i := 0; i < 2; i++ {
 		select {

@@ -14,7 +14,16 @@
 // batch a late subscriber imports; a restarted server (Options.Recover plus
 // Source.Restore or Server.Restore) rebuilds every trace directly from the
 // logged batches — no source replay — and resumes epoch advancement from
-// the logged frontier.
+// the logged frontier. With Options.Fsync, Options.GroupCommitEvery batches
+// fsyncs across epochs and shards through one shared committer, so
+// durability against machine crashes costs one sync per interval instead of
+// one per append.
+//
+// Ingestion pacing: a Batcher wraps a Source with an adaptive epoch clock —
+// every driver round still gets its own logical epoch, but while dataflow
+// completion lags the configured bound, pending epochs coalesce into one
+// physical seal (the epoch-size tradeoff of the paper's Fig 4, chosen at
+// runtime instead of fixed up front).
 //
 // Threading model: a Server wraps a timely.Cluster. Driver goroutines (the
 // callers of this package) touch only mutex-guarded runtime state — input
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dd"
@@ -43,11 +53,24 @@ import (
 // instead of a wedged or panicking connection.
 var ErrClosed = errors.New("server: closed")
 
+// ErrRecovering reports an update or seal against a durable source that is
+// registered on a recovering server but not yet restored: the trace and
+// epoch clock are not rebuilt, so accepting input would corrupt the log. A
+// remote client racing Update against Restore receives this as an error
+// frame instead of crashing the server.
+var ErrRecovering = errors.New("recovering; call Restore before sending updates")
+
+// ErrOutOfService reports a source whose post-restore log rewrite failed:
+// appends would extend a stale on-disk chain, so the source permanently
+// refuses input.
+var ErrOutOfService = errors.New("out of service (restore log rewrite failed)")
+
 // Server owns a cluster of dataflow workers, the named shared arrangements
 // maintained on them, and the live query dataflows installed against them.
 type Server struct {
 	c    *timely.Cluster
 	opts Options
+	gc   *wal.GroupCommitter // shared across durable sources; nil without group commit
 
 	mu      sync.Mutex
 	closed  bool
@@ -68,6 +91,12 @@ type Options struct {
 	Recover bool
 	// Fsync syncs the log after every record; see wal.Options.Fsync.
 	Fsync bool
+	// GroupCommitEvery, when positive with Fsync, batches fsyncs across
+	// epochs and shards: appends mark their log file dirty and one shared
+	// committer syncs every dirty file once per interval, so Fsync costs one
+	// sync per group instead of one per record. The machine-crash loss
+	// window widens to the interval; SIGKILL recovery is unaffected.
+	GroupCommitEvery time.Duration
 }
 
 // sourceHandle is the type-erased view of a Source kept in the registry.
@@ -77,6 +106,7 @@ type sourceHandle interface {
 	closeDurable()
 	checkpoint() error
 	restore() (uint64, bool, error)
+	logBytes() int64
 }
 
 // New starts a server with the given number of dataflow workers.
@@ -86,12 +116,16 @@ func New(workers int) *Server {
 
 // NewOpts starts a server with explicit options.
 func NewOpts(workers int, opts Options) *Server {
-	return &Server{
+	s := &Server{
 		c:       timely.StartCluster(workers),
 		opts:    opts,
 		sources: make(map[string]sourceHandle),
 		queries: make(map[string]*Query),
 	}
+	if opts.Fsync && opts.GroupCommitEvery > 0 {
+		s.gc = wal.NewGroupCommitter(opts.GroupCommitEvery)
+	}
+	return s
 }
 
 // Workers returns the worker count.
@@ -125,6 +159,9 @@ func (s *Server) Close() {
 		src.close()
 	}
 	s.c.Shutdown()
+	if s.gc != nil {
+		s.gc.Close() // final group commit; workers have stopped appending
+	}
 	for _, src := range srcs {
 		src.closeDurable()
 	}
@@ -152,6 +189,17 @@ func (s *Server) Checkpoint() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// LogBytes reports the total on-disk size of every durable source's current
+// log generation (the checkpointed snapshot plus the tail appended since).
+// Drivers poll it to trigger checkpoints on log growth, not just time.
+func (s *Server) LogBytes() int64 {
+	var n int64
+	for _, src := range s.sourcesByName() {
+		n += src.logBytes()
+	}
+	return n
 }
 
 // Restore rebuilds every durable source registered so far from its logged
@@ -306,7 +354,7 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		if src.durable {
 			lg, st, err := wal.OpenShard(wal.ShardDir(s.opts.DataDir, name, i),
 				opt.KeyCodec, opt.ValCodec,
-				wal.Options{Fsync: s.opts.Fsync, Fresh: !s.opts.Recover})
+				wal.Options{Fsync: s.opts.Fsync, Commit: s.gc, Fresh: !s.opts.Recover})
 			if err != nil {
 				openErrs[i] = err
 			} else {
@@ -355,29 +403,34 @@ func (src *Source[K, V]) Epoch() uint64 {
 
 // Update introduces a batch of updates at the current epoch. The caller's
 // slice is not retained or modified; times are stamped into a copy. Returns
-// ErrClosed once the server has been closed.
+// ErrClosed once the server has been closed, ErrRecovering before Restore on
+// a recovering server, and ErrOutOfService after a failed restore rewrite —
+// a remote client racing the recovery sequence gets an error, not a panic.
 func (src *Source[K, V]) Update(upds []core.Update[K, V]) error {
 	src.mu.Lock()
 	defer src.mu.Unlock()
 	if src.s.Closed() {
 		return ErrClosed
 	}
-	src.checkRestored()
+	if err := src.checkRestored(); err != nil {
+		return err
+	}
 	src.inputs[0].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
 	return nil
 }
 
-// checkRestored panics on use of a recovering source before Restore (the
+// checkRestored refuses use of a recovering source before Restore (the
 // trace and epoch clock are not yet rebuilt, so accepting updates would
-// corrupt the log) and on use of a source whose post-restore log rewrite
-// failed (appends would extend a stale chain). Caller holds src.mu.
-func (src *Source[K, V]) checkRestored() {
+// corrupt the log) and of a source whose post-restore log rewrite failed
+// (appends would extend a stale chain). Caller holds src.mu.
+func (src *Source[K, V]) checkRestored() error {
 	if src.pending {
-		panic(fmt.Sprintf("server: source %q is recovering; call Restore before sending updates", src.nm))
+		return fmt.Errorf("server: source %q is %w", src.nm, ErrRecovering)
 	}
 	if src.broken {
-		panic(fmt.Sprintf("server: source %q is out of service (restore log rewrite failed)", src.nm))
+		return fmt.Errorf("server: source %q is %w", src.nm, ErrOutOfService)
 	}
+	return nil
 }
 
 // Insert adds one copy of (k, v) at the current epoch.
@@ -395,27 +448,101 @@ func (src *Source[K, V]) Remove(k K, v V) error {
 // compaction frontier (on each owning worker), permitting the spine to
 // consolidate history that no current or future reader can distinguish —
 // which is exactly what keeps late-subscriber snapshots small. Returns
-// ErrClosed once the server has been closed.
+// ErrClosed once the server has been closed, and ErrRecovering or
+// ErrOutOfService per Update.
 func (src *Source[K, V]) Advance() (uint64, error) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
 	if src.s.Closed() {
 		return 0, ErrClosed
 	}
-	src.checkRestored()
-	sealed := src.epoch
-	src.epoch++
-	for _, in := range src.inputs {
-		in.AdvanceTo(src.epoch)
+	if err := src.checkRestored(); err != nil {
+		return 0, err
 	}
-	f := lattice.NewFrontier(lattice.Ts(src.epoch))
+	sealed := src.epoch
+	src.advanceToLocked(sealed + 1)
+	return sealed, nil
+}
+
+// AdvanceTo seals every epoch below the given one in a single step: the
+// input handles jump directly to epoch, so all updates sent since the last
+// seal complete together as one coarser batch. This is the primitive behind
+// adaptive epoch batching (the paper's Fig 4b tradeoff, tuned at runtime):
+// a backed-up pipeline coalesces many logical epochs into one physical seal.
+// Advancing to the current epoch is a no-op; moving backwards is an error.
+func (src *Source[K, V]) AdvanceTo(epoch uint64) error {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if src.s.Closed() {
+		return ErrClosed
+	}
+	if err := src.checkRestored(); err != nil {
+		return err
+	}
+	if epoch < src.epoch {
+		return fmt.Errorf("server: source %q: AdvanceTo(%d) behind current epoch %d",
+			src.nm, epoch, src.epoch)
+	}
+	if epoch > src.epoch {
+		src.advanceToLocked(epoch)
+	}
+	return nil
+}
+
+// advanceToLocked jumps the epoch clock to epoch (> src.epoch) on every
+// worker and advances the compaction frontier behind it. Caller holds
+// src.mu and has passed the closed/restored checks.
+func (src *Source[K, V]) advanceToLocked(epoch uint64) {
+	src.epoch = epoch
+	for _, in := range src.inputs {
+		in.AdvanceTo(epoch)
+	}
+	f := lattice.NewFrontier(lattice.Ts(epoch))
 	for i := range src.arr {
 		a := src.arr[i]
 		src.s.c.Post(i, func(w *timely.Worker) {
 			a.AdvanceSince(f)
 		})
 	}
-	return sealed, nil
+}
+
+// CompletedEpochs reports the source's completion frontier: every epoch
+// below the returned value is fully reflected in the arrangement on all
+// workers (and appended to the log, for durable sources — batches are logged
+// as they seal, before the probe passes). It never exceeds the current open
+// epoch, so Epoch() - CompletedEpochs() is the pipeline's in-flight depth.
+func (src *Source[K, V]) CompletedEpochs() uint64 {
+	src.mu.Lock()
+	epoch := src.epoch
+	src.mu.Unlock()
+	f := src.probes[0].Frontier()
+	if f.Empty() {
+		return epoch // input closed and drained: nothing outstanding
+	}
+	done := f.Elements()[0].Epoch()
+	for _, t := range f.Elements()[1:] {
+		if e := t.Epoch(); e < done {
+			done = e
+		}
+	}
+	if done > epoch {
+		done = epoch
+	}
+	return done
+}
+
+// Lag reports how many sealed epochs are still in flight (sealed but not
+// yet complete on every worker). It is the control signal adaptive batching
+// steers on: zero when the pipeline is drained, growing when seals outpace
+// the workers.
+func (src *Source[K, V]) Lag() uint64 {
+	done := src.CompletedEpochs()
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if src.epoch < done {
+		return 0
+	}
+	return src.epoch - done
 }
 
 // Sync blocks until every epoch sealed so far is fully reflected in the
@@ -427,7 +554,10 @@ func (src *Source[K, V]) Sync() error {
 		src.mu.Unlock()
 		return ErrClosed
 	}
-	src.checkRestored()
+	if err := src.checkRestored(); err != nil {
+		src.mu.Unlock()
+		return err
+	}
 	e := src.epoch
 	src.mu.Unlock()
 	if e == 0 {
@@ -598,6 +728,23 @@ func (src *Source[K, V]) Checkpoint() error {
 		return ErrClosed
 	}
 	return errors.Join(perr...)
+}
+
+// logBytes is the type-erased hook behind Server.LogBytes.
+func (src *Source[K, V]) logBytes() int64 {
+	src.mu.Lock()
+	durable := src.durable
+	src.mu.Unlock()
+	if !durable {
+		return 0
+	}
+	var n int64
+	for _, lg := range src.logs {
+		if lg != nil {
+			n += lg.Size()
+		}
+	}
+	return n
 }
 
 // checkpoint is the type-erased hook behind Server.Checkpoint.

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// TestGroupCommitRoundTrip exercises the group-commit append path end to
+// end: appends mark the file dirty, an explicit Commit syncs it, rotation
+// drops the old file from the committer, and the log replays identically.
+func TestGroupCommitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gc := NewGroupCommitter(time.Hour) // ticker never fires: Commit drives it
+	lg, _ := openU64(t, dir, Options{Fsync: true, Commit: gc})
+
+	b1 := mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1})
+	b2 := mkBatch(t, 1, 2, [4]int64{2, 20, 1, 1})
+	if err := lg.AppendBatch(b1); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := gc.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := lg.Rotate(lattice.NewFrontier(lattice.Ts(1)), []*core.Batch[uint64, uint64]{b1}); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := lg.AppendBatch(b2); err != nil {
+		t.Fatalf("AppendBatch after rotate: %v", err)
+	}
+	if err := gc.Close(); err != nil {
+		t.Fatalf("Close committer: %v", err)
+	}
+	lg.Close()
+
+	_, st := openU64(t, dir, Options{})
+	if len(st.Batches) != 2 {
+		t.Fatalf("replayed %d batches, want 2", len(st.Batches))
+	}
+	if !st.Upper.Equal(lattice.NewFrontier(lattice.Ts(2))) {
+		t.Fatalf("replayed upper %v, want [2]", st.Upper)
+	}
+}
+
+// TestGroupCommitStickyError: once the committer is closed, further appends
+// through it are refused rather than silently left unsynced.
+func TestGroupCommitClosedRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	gc := NewGroupCommitter(time.Hour)
+	lg, _ := openU64(t, dir, Options{Fsync: true, Commit: gc})
+	defer lg.Close()
+	if err := gc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := lg.AppendBatch(mkBatch(t, 0, 1, [4]int64{1, 1, 0, 1})); err == nil {
+		t.Fatal("append after committer close succeeded; want error")
+	}
+}
+
+// TestShardLogSize: Size tracks appended bytes, resets to the snapshot
+// length on rotation, and survives reopen.
+func TestShardLogSize(t *testing.T) {
+	dir := t.TempDir()
+	lg, _ := openU64(t, dir, Options{})
+	if lg.Size() != 0 {
+		t.Fatalf("fresh log size %d, want 0", lg.Size())
+	}
+	b := mkBatch(t, 0, 1, [4]int64{1, 10, 0, 1}, [4]int64{2, 20, 0, 1})
+	if err := lg.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	appended := lg.Size()
+	if appended <= 0 {
+		t.Fatalf("size %d after append, want > 0", appended)
+	}
+	if err := lg.AdvanceSince(lattice.NewFrontier(lattice.Ts(1))); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Size() <= appended {
+		t.Fatalf("size did not grow across appends: %d then %d", appended, lg.Size())
+	}
+	if err := lg.Rotate(lattice.NewFrontier(lattice.Ts(1)), []*core.Batch[uint64, uint64]{b}); err != nil {
+		t.Fatal(err)
+	}
+	rotated := lg.Size()
+	if rotated <= 0 {
+		t.Fatalf("size %d after rotate, want > 0", rotated)
+	}
+	lg.Close()
+
+	lg2, _ := openU64(t, dir, Options{})
+	defer lg2.Close()
+	if lg2.Size() != rotated {
+		t.Fatalf("reopened size %d, want %d", lg2.Size(), rotated)
+	}
+}

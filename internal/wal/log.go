@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/lattice"
@@ -19,6 +20,13 @@ type Options struct {
 	// model the server recovers from; Fsync extends that to machine crashes
 	// at a large per-seal cost.
 	Fsync bool
+	// Commit, when non-nil with Fsync, replaces the per-record sync with
+	// group commit: appends mark the file dirty and the shared committer
+	// syncs every dirty log once per commit interval, so the sync cost is
+	// paid once per group (across epochs and shards) instead of per record.
+	// The machine-crash loss window widens to one commit interval; the
+	// SIGKILL crash model is unaffected either way.
+	Commit *GroupCommitter
 	// Fresh discards any existing log contents instead of replaying them
 	// (restarting without -recover means starting over).
 	Fresh bool
@@ -44,10 +52,12 @@ type ShardLog[K, V any] struct {
 	kc    Codec[K]
 	vc    Codec[V]
 	fsync bool
+	gc    *GroupCommitter
 	gen   uint64
 	f     *os.File
-	pbuf  []byte // payload staging
-	rbuf  []byte // framed-record staging
+	pbuf  []byte       // payload staging
+	rbuf  []byte       // framed-record staging
+	size  atomic.Int64 // bytes in the current generation (drivers poll it)
 }
 
 func genName(gen uint64) string { return fmt.Sprintf("gen-%08d.wal", gen) }
@@ -95,12 +105,18 @@ func OpenShard[K, V any](dir string, kc Codec[K], vc Codec[V],
 		gens = nil
 	}
 
-	l := &ShardLog[K, V]{dir: dir, kc: kc, vc: vc, fsync: opt.Fsync}
+	l := &ShardLog[K, V]{dir: dir, kc: kc, vc: vc, fsync: opt.Fsync, gc: opt.Commit}
 	if len(gens) == 0 {
 		l.gen = 1
 		if l.f, err = os.OpenFile(filepath.Join(dir, genName(1)),
 			os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644); err != nil {
 			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		// Persist the file's existence, not just its (future) contents: a
+		// synced record in an unsynced directory entry is equally lost.
+		if err := syncDir(dir); err != nil {
+			l.f.Close()
+			return nil, nil, fmt.Errorf("wal: persisting log creation: %w", err)
 		}
 		return l, emptyState[K, V](), nil
 	}
@@ -132,6 +148,7 @@ func OpenShard[K, V any](dir string, kc Codec[K], vc Codec[V],
 		l.f.Close()
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
+	l.size.Store(int64(good))
 	// Older generations are superseded; a completed checkpoint deletes them,
 	// but a crash between rename and delete can leave one behind.
 	for _, g := range gens[:len(gens)-1] {
@@ -199,12 +216,36 @@ func (l *ShardLog[K, V]) append(payload []byte) error {
 	if _, err := l.f.Write(l.rbuf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.size.Add(int64(len(l.rbuf)))
 	if l.fsync {
-		if err := l.f.Sync(); err != nil {
+		if l.gc != nil {
+			if err := l.gc.mark(l.f); err != nil {
+				return fmt.Errorf("wal: group commit: %w", err)
+			}
+		} else if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	return nil
+}
+
+// Size reports the byte length of the current generation (the replayed
+// prefix plus everything appended since the last Rotate). It is safe to call
+// from any goroutine — drivers poll it to trigger checkpoints on log growth.
+func (l *ShardLog[K, V]) Size() int64 { return l.size.Load() }
+
+// syncDir fsyncs a directory, persisting the entries (creates and renames)
+// inside it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // AppendBatch logs one sealed batch (core.BatchSink). The terminal empty
@@ -264,19 +305,31 @@ func (l *ShardLog[K, V]) Rotate(since lattice.Frontier, batches []*core.Batch[K,
 		nf.Close()
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	if d, derr := os.Open(l.dir); derr == nil {
-		d.Sync() // best-effort: persist the rename itself
-		d.Close()
-	}
+	// The rename is visible in the filesystem, so the log switches to the new
+	// generation regardless of what follows; but the checkpoint only counts
+	// once the directory entry is persisted, so a failed directory sync still
+	// surfaces as a checkpoint error rather than silent data-loss exposure.
 	old, oldGen := l.f, l.gen
 	l.f, l.gen = nf, next
+	l.size.Store(int64(len(data)))
+	if l.gc != nil {
+		l.gc.drop(old)
+	}
 	old.Close()
 	os.Remove(filepath.Join(l.dir, genName(oldGen)))
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: rotate: persisting generation rename: %w", err)
+	}
 	return nil
 }
 
 // Close releases the active log file.
-func (l *ShardLog[K, V]) Close() error { return l.f.Close() }
+func (l *ShardLog[K, V]) Close() error {
+	if l.gc != nil {
+		l.gc.drop(l.f)
+	}
+	return l.f.Close()
+}
 
 // Dir returns the shard's directory.
 func (l *ShardLog[K, V]) Dir() string { return l.dir }

@@ -19,6 +19,13 @@
 // complete generation (a crash mid-checkpoint leaves at worst a *.tmp file,
 // which is ignored).
 //
+// Syncing: appends are single unbuffered writes, which survive process
+// death; Options.Fsync extends durability to machine crashes. With
+// Options.Commit set to a GroupCommitter, appends mark their log dirty and
+// the shared committer syncs every dirty log once per interval — group
+// commit — bounding data-at-risk to one interval while amortising the sync
+// cost across epochs and shards.
+//
 // Record framing is length-prefixed and CRC-checksummed:
 //
 //	u32 payload length | u32 CRC32-C(payload) | payload

@@ -1,21 +1,32 @@
 #!/bin/sh
 # Tier-1 benchmark regression gate: re-runs the kpg bench set and fails when
 # any recorded metric regresses more than 20% (tolerance overridable, e.g.
-# scripts/bench_check.sh -tol 0.3), or when the columnar wide-merge layout
-# stops beating the row store by at least WIDE_MIN (default 1.3x; the
-# fig6w_colstore_speedup_x metric gates against this absolute floor rather
-# than the baseline, since it is itself a ratio). Metrics present in the
-# current run but absent from the baseline are tolerated — new metrics land
-# before their baseline is re-recorded — while baseline metrics missing from
-# the run still fail. Baselines are machine-specific — record one on your
-# hardware with:  go run ./cmd/kpg bench -json > BENCH_baseline.json
+# scripts/bench_check.sh -tol 0.3), or when a ratio metric drops below its
+# absolute floor. Ratios gate on floors rather than the baseline, since each
+# is itself a same-run comparison:
+#   WIDE_MIN (default 1.3)  fig6w_colstore_speedup_x     columnar wide-merge
+#                           over the row store
+#   OL_MIN   (default 1.2)  openloop_adaptive_p99_gain_x adaptive batching
+#                           over fixed per-update epochs at the top offered
+#                           load of the open-loop sweep
+#   GC_MIN   (default 1.05) wal_group_commit_speedup_x   group commit over
+#                           per-record fsync, durable ingest
+# Metrics present in the current run but absent from the baseline are
+# tolerated — new metrics land before their baseline is re-recorded — while
+# baseline metrics missing from the run still fail. Baselines are
+# machine-specific — record one on your hardware with:
+#   go run ./cmd/kpg bench -json > BENCH_baseline.json
 #
 # Set BENCH_JSON=<path> to also capture the current run's report as JSON
 # (CI uploads it as a workflow artifact); the gate's exit code is unchanged.
 set -e
 cd "$(dirname "$0")/.."
 WIDE_MIN="${WIDE_MIN:-1.3}"
+OL_MIN="${OL_MIN:-1.2}"
+GC_MIN="${GC_MIN:-1.05}"
 if [ -n "${BENCH_JSON:-}" ]; then
-    exec go run ./cmd/kpg bench -json -baseline BENCH_baseline.json -wide-min "$WIDE_MIN" "$@" > "$BENCH_JSON"
+    exec go run ./cmd/kpg bench -json -baseline BENCH_baseline.json \
+        -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" "$@" > "$BENCH_JSON"
 fi
-exec go run ./cmd/kpg bench -baseline BENCH_baseline.json -wide-min "$WIDE_MIN" "$@"
+exec go run ./cmd/kpg bench -baseline BENCH_baseline.json \
+    -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" "$@"

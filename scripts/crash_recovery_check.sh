@@ -4,6 +4,17 @@
 # order-independent count + checksum of the served collection) to equal an
 # uninterrupted run's. Also asserts the restart actually resumed from the
 # batch log (recovered epoch >= 1) rather than replaying from scratch.
+#
+# Two legs share the harness:
+#   default       buffered appends (no fsync), the original coverage;
+#   group-commit  -fsync -group-commit-ms 5, so the SIGKILL lands between
+#                 group fsyncs — the process dies with appends the committer
+#                 has not yet synced, and recovery must still converge (the
+#                 page cache survives a process crash; group commit only
+#                 widens the machine-crash window, never the process one).
+#
+# "sealed epoch N" prints on completion, not submission, so the kill point
+# guarantees epoch N's batches are in the log before the signal lands.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,50 +23,62 @@ trap 'rm -rf "$tmp"' EXIT
 bin="$tmp/kpg"
 go build -o "$bin" ./cmd/kpg
 
-run="-workers 2 -nodes 500 -churn 4000 -rounds 40"
+run="-workers 2 -nodes 500 -churn 4000 -rounds 400"
 
-# Uninterrupted reference run.
-$bin $run -data-dir "$tmp/a" serve > "$tmp/a.out" 2>&1
-grep '^RESULT' "$tmp/a.out" > "$tmp/a.result"
+# leg <name> <extra flags...>: reference run, crashy run, recovery, compare.
+leg() {
+    name="$1"; shift
+    dir="$tmp/$name"
 
-# Crashy run: SIGKILL once epoch 8 has sealed, well before the final round.
-$bin $run -data-dir "$tmp/b" serve > "$tmp/b1.out" 2>&1 &
-pid=$!
-i=0
-until grep -q '^sealed epoch 8$' "$tmp/b1.out" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 600 ]; then
-        echo "FAIL: server never sealed epoch 8" >&2
-        cat "$tmp/b1.out" >&2
-        kill -9 "$pid" 2>/dev/null || true
+    # Uninterrupted reference run.
+    $bin $run "$@" -data-dir "$dir/a" serve > "$dir.a.out" 2>&1
+    grep '^RESULT' "$dir.a.out" > "$dir.a.result"
+
+    # Crashy run: SIGKILL once epoch 8 has completed, well before the final
+    # round.
+    $bin $run "$@" -data-dir "$dir/b" serve > "$dir.b1.out" 2>&1 &
+    pid=$!
+    i=0
+    until grep -q '^sealed epoch 8$' "$dir.b1.out" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 600 ]; then
+            echo "FAIL($name): server never sealed epoch 8" >&2
+            cat "$dir.b1.out" >&2
+            kill -9 "$pid" 2>/dev/null || true
+            exit 1
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "FAIL($name): server exited before the kill" >&2
+            cat "$dir.b1.out" >&2
+            exit 1
+        fi
+        sleep 0.02
+    done
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    echo "$name: killed -9 after: $(tail -n 1 "$dir.b1.out")"
+
+    # Recover and finish the stream.
+    $bin $run "$@" -data-dir "$dir/b" -recover serve > "$dir.b2.out" 2>&1
+    rec=$(sed -n 's/^recovered "edges" through epoch \([0-9][0-9]*\).*/\1/p' "$dir.b2.out")
+    if [ -z "$rec" ] || [ "$rec" -lt 1 ]; then
+        echo "FAIL($name): restart did not resume from the batch log" >&2
+        cat "$dir.b2.out" >&2
         exit 1
     fi
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "FAIL: server exited before the kill" >&2
-        cat "$tmp/b1.out" >&2
+    echo "$name: recovered through epoch $rec from the log (no source replay)"
+
+    grep '^RESULT' "$dir.b2.out" > "$dir.b.result"
+    if ! cmp -s "$dir.a.result" "$dir.b.result"; then
+        echo "FAIL($name): recovered results differ from uninterrupted run" >&2
+        echo "  uninterrupted: $(cat "$dir.a.result")" >&2
+        echo "  recovered:     $(cat "$dir.b.result")" >&2
         exit 1
     fi
-    sleep 0.02
-done
-kill -9 "$pid" 2>/dev/null || true
-wait "$pid" 2>/dev/null || true
-echo "killed -9 after: $(tail -n 1 "$tmp/b1.out")"
+    echo "$name: OK: $(cat "$dir.b.result") matches uninterrupted run"
+}
 
-# Recover and finish the stream.
-$bin $run -data-dir "$tmp/b" -recover serve > "$tmp/b2.out" 2>&1
-rec=$(sed -n 's/^recovered "edges" through epoch \([0-9][0-9]*\).*/\1/p' "$tmp/b2.out")
-if [ -z "$rec" ] || [ "$rec" -lt 1 ]; then
-    echo "FAIL: restart did not resume from the batch log" >&2
-    cat "$tmp/b2.out" >&2
-    exit 1
-fi
-echo "recovered through epoch $rec from the log (no source replay)"
-
-grep '^RESULT' "$tmp/b2.out" > "$tmp/b.result"
-if ! cmp -s "$tmp/a.result" "$tmp/b.result"; then
-    echo "FAIL: recovered results differ from uninterrupted run" >&2
-    echo "  uninterrupted: $(cat "$tmp/a.result")" >&2
-    echo "  recovered:     $(cat "$tmp/b.result")" >&2
-    exit 1
-fi
-echo "OK: $(cat "$tmp/b.result") matches uninterrupted run"
+mkdir -p "$tmp/buffered" "$tmp/group-commit"
+leg buffered
+leg group-commit -fsync -group-commit-ms 5
+echo "OK: crash-recovery smoke passed (buffered + group-commit)"

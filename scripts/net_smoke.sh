@@ -17,7 +17,8 @@ bin="$tmp/kpg"
 go build -o "$bin" ./cmd/kpg
 
 # Flag validation rejects bad combinations up front.
-for bad in "-recover serve" "-checkpoint-every -1 -data-dir $tmp/d serve" "-listen 127.0.0.1:0 -rounds 3 serve"; do
+for bad in "-recover serve" "-checkpoint-every -1 -data-dir $tmp/d serve" "-listen 127.0.0.1:0 -rounds 3 serve" \
+    "-fsync serve" "-data-dir $tmp/d -group-commit-ms 5 serve" "-checkpoint-bytes 1024 serve" "-sub-lag 100 serve"; do
     if $bin $bad >/dev/null 2>&1; then
         echo "FAIL: 'kpg $bad' was accepted" >&2
         exit 1
