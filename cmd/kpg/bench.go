@@ -190,6 +190,27 @@ func runIngestionSweep(rep *BenchReport, print bool) {
 	}
 }
 
+// runOutOfCore runs the disk-tier probe experiment once (it is already a
+// same-run A/B of two spines over one history) and folds its metrics in.
+// oocore_join_slowdown_x is the spilled-over-resident point-lookup ratio at a
+// 25% resident budget; it gates against an absolute ceiling (-oocore-max),
+// not the baseline — a slowdown recorded as a baseline would let the tier
+// degrade 20% per PR forever.
+func runOutOfCore(rep *BenchReport, print bool) {
+	res, err := experiments.OutOfCoreJoin(48, 1500, 0.25, 4, 4096)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: oocore: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Metrics["oocore_join_slowdown_x"] = res.SlowdownX
+	rep.Metrics["oocore_resident_frac_x"] = float64(res.ResidentBytes+res.CacheBytes) / float64(res.TotalBytes)
+	if print {
+		fmt.Fprintf(os.Stderr, "%-44s %14.2f  (%d run + %d cache of %d bytes, %d cold runs, %d block reads)\n",
+			"oocore_join_slowdown_x", res.SlowdownX, res.ResidentBytes, res.CacheBytes,
+			res.TotalBytes, res.SpilledRuns, res.BlocksRead)
+	}
+}
+
 func bench() {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit the report as JSON (for recording a baseline)")
@@ -198,6 +219,8 @@ func bench() {
 	wideMin := fs.Float64("wide-min", 1.3, "minimum columnar-over-rowstore wide-merge speedup when comparing against a baseline (0 disables)")
 	olMin := fs.Float64("ol-min", 1.2, "minimum adaptive-over-static open-loop p99 gain at the top offered load (0 disables)")
 	gcMin := fs.Float64("gc-min", 1.05, "minimum group-commit-over-per-record durable ingest speedup (0 disables)")
+	oocoreMax := fs.Float64("oocore-max", 3.0, "maximum spilled-over-resident join slowdown at a 25% resident budget (0 disables)")
+	oocoreOnly := fs.Bool("oocore-only", false, "run only the out-of-core probe experiment with its ceiling gate; skip the benchmark set, the sweep, and baseline comparison")
 	sweepOnly := fs.Bool("sweep-only", false, "run only the ingestion-control sweep with its floor gates; skip the benchmark set and baseline comparison")
 	reps := fs.Int("reps", 3, "repetitions per metric (best value wins)")
 	benchScale := fs.Float64("scale", 0.005, "TPC-H scale factor for the bench set")
@@ -212,6 +235,24 @@ func bench() {
 		Metrics: map[string]float64{},
 	}
 	rep.Allocs = map[string]float64{}
+	if *oocoreOnly {
+		runOutOfCore(&rep, !*jsonOut)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if x := rep.Metrics["oocore_join_slowdown_x"]; *oocoreMax > 0 && x > *oocoreMax {
+			fmt.Fprintf(os.Stderr, "%-40s %14.2f  ABOVE ceiling %.2f\n",
+				"oocore_join_slowdown_x", x, *oocoreMax)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: out-of-core ceiling ok")
+		return
+	}
 	if !*sweepOnly {
 		d := tpch.Generate(*benchScale, 42)
 		for _, bc := range benchCases() {
@@ -240,6 +281,7 @@ func bench() {
 		if row > 0 {
 			rep.Metrics["fig6w_colstore_speedup_x"] = col / row
 		}
+		runOutOfCore(&rep, !*jsonOut)
 	}
 	runIngestionSweep(&rep, !*jsonOut)
 
@@ -269,12 +311,25 @@ func bench() {
 			fmt.Fprintf(os.Stderr, "%-40s %14.2f  (floor %.2f) ok\n", name, ratio, min)
 		}
 	}
+	checkCeiling := func(name string, max float64) {
+		ratio, ok := rep.Metrics[name]
+		if !ok || max <= 0 {
+			return
+		}
+		if ratio > max {
+			fmt.Fprintf(os.Stderr, "%-40s %14.2f  ABOVE ceiling %.2f\n", name, ratio, max)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "%-40s %14.2f  (ceiling %.2f) ok\n", name, ratio, max)
+		}
+	}
 	if *baseline == "" && !*sweepOnly {
 		return
 	}
 	checkFloor("fig6w_colstore_speedup_x", *wideMin)
 	checkFloor("openloop_adaptive_p99_gain_x", *olMin)
 	checkFloor("wal_group_commit_speedup_x", *gcMin)
+	checkCeiling("oocore_join_slowdown_x", *oocoreMax)
 	if *baseline == "" {
 		if failed {
 			fmt.Fprintln(os.Stderr, "bench: ratio floor violated")

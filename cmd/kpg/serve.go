@@ -39,6 +39,7 @@ var (
 	serveMaxLag  = flag.Uint64("max-lag", 0, "serve: adaptive batching bound — pending epochs coalesce into one physical seal while completion lags this many seals behind (0 = default)")
 	serveSubLag  = flag.Int("sub-lag", 0, "serve: pinned-delta backlog bound per subscriber before snapshot-reset (requires -listen; 0 = default, negative = unbounded)")
 	serveKick    = flag.Bool("kick-lagging", false, "serve: disconnect subscribers that breach -sub-lag instead of snapshot-resetting them (requires -listen)")
+	serveSpillB  = flag.Int64("spill-bytes", 0, "serve: per-worker resident budget for the edges arrangement — older runs spill to block files under the shard directory when resident bytes exceed this (requires -data-dir; 0 disables)")
 )
 
 // validateServeFlags rejects flag combinations up front, before any server
@@ -73,6 +74,12 @@ func validateServeFlags() error {
 	}
 	if *serveCkptB > 0 && *serveDataDir == "" {
 		return errors.New("-checkpoint-bytes requires -data-dir (there is no log to bound without one)")
+	}
+	if *serveSpillB < 0 {
+		return fmt.Errorf("-spill-bytes must be >= 0 (got %d); use 0 to disable", *serveSpillB)
+	}
+	if *serveSpillB > 0 && *serveDataDir == "" {
+		return errors.New("-spill-bytes requires -data-dir (block files need a manifest to own their lifecycle)")
 	}
 	if *serveListen == "" {
 		var subs []string
@@ -253,9 +260,10 @@ func serveDurable() {
 	fmt.Printf("durable serve: %d workers, data-dir %s\n", w, *serveDataDir)
 
 	edges, err := server.NewSourceOpts(s, "edges", core.U64(), server.SourceOptions[uint64, uint64]{
-		Durable:  true,
-		KeyCodec: wal.U64Codec(),
-		ValCodec: wal.U64Codec(),
+		Durable:    true,
+		KeyCodec:   wal.U64Codec(),
+		ValCodec:   wal.U64Codec(),
+		SpillBytes: *serveSpillB,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -334,6 +342,22 @@ func serveDurable() {
 
 	count, sum := durableResult(s, edges, rounds)
 	fmt.Printf("RESULT count=%d checksum=%016x\n", count, sum)
+
+	if *serveSpillB > 0 {
+		// A final checkpoint collects every dead-listed block file, so at exit
+		// the on-disk file count must equal the manifest's reference count —
+		// the crash-recovery smoke asserts on this line.
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: final checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		files, refs, err := edges.SpillStats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: spill stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SPILL files=%d refs=%d\n", files, refs)
+	}
 }
 
 // serveNet is the network serve path (kpg serve -listen): a server hosting
@@ -362,9 +386,10 @@ func serveNet() {
 	var err error
 	if durable {
 		edges, err = server.NewSourceOpts(s, "edges", core.U64(), server.SourceOptions[uint64, uint64]{
-			Durable:  true,
-			KeyCodec: wal.U64Codec(),
-			ValCodec: wal.U64Codec(),
+			Durable:    true,
+			KeyCodec:   wal.U64Codec(),
+			ValCodec:   wal.U64Codec(),
+			SpillBytes: *serveSpillB,
 		})
 	} else {
 		edges, err = server.NewSource(s, "edges", core.U64())

@@ -1,0 +1,477 @@
+package block
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/wal"
+)
+
+// image is the decoded, resident part of one block file: framing frontiers,
+// totals, MinTimes, and the per-block index. Column data stays on disk
+// behind src until a block is loaded.
+type image[K, V any] struct {
+	path  string
+	src   source
+	size  int64
+	flags uint16
+	depth int
+
+	lower, upper, since lattice.Frontier
+	numKeys             int
+	numVals             int
+	numUpds             int
+	colWidth            int
+	minTimes            []lattice.Time
+	blocks              []blockMeta[K]
+}
+
+// openImage reads and validates the header and index of a block file.
+// Every failure is a *CorruptError (I/O faults excepted); successfully
+// opened images have internally consistent counts, ordered key stats, and
+// uniform time depths, so lazy block loads can trust the index.
+func openImage[K, V any](cfg *codecs[K, V], src source, size int64, path string) (*image[K, V], error) {
+	fail := func(off int64, format string, args ...any) (*image[K, V], error) {
+		err := corrupt(off, format, args...)
+		err.(*CorruptError).Path = path
+		return nil, err
+	}
+	if size < headerLen {
+		return fail(0, "file of %d bytes is shorter than the %d-byte header", size, headerLen)
+	}
+	hdr, err := src.view(0, headerLen)
+	if err != nil {
+		return nil, err
+	}
+	if string(hdr[0:4]) != magic {
+		return fail(0, "bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		return fail(4, "unsupported version %d", v)
+	}
+	if crc := binary.LittleEndian.Uint32(hdr[28:32]); crc != crc32.Checksum(hdr[0:28], crcTable) {
+		return fail(28, "header checksum mismatch")
+	}
+	im := &image[K, V]{path: path, src: src, size: size}
+	im.flags = binary.LittleEndian.Uint16(hdr[6:8])
+	if u64 := im.flags&flagU64Keys != 0; u64 != cfg.u64Keys {
+		return fail(6, "key layout flag %v does not match store key type", u64)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	indexLen := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	if indexOff < headerLen || indexLen < 9 || indexLen > maxFrameLen || indexOff+indexLen != size {
+		return fail(8, "index at [%d,+%d) does not terminate the %d-byte file", indexOff, indexLen, size)
+	}
+
+	frame, err := src.view(indexOff, indexLen)
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, ferr := wal.SplitRecord(frame, maxFrameLen)
+	if ferr != nil {
+		return fail(indexOff, "index frame: %v", ferr)
+	}
+	if len(rest) != 0 {
+		return fail(indexOff, "%d trailing bytes after index frame", len(rest))
+	}
+	d := wal.NewDec(payload)
+	bad := func(what string, derr error) (*image[K, V], error) {
+		return fail(indexOff, "index %s: %v", what, derr)
+	}
+	kind, derr := d.U8()
+	if derr != nil {
+		return bad("kind", derr)
+	}
+	if kind != kindIndex {
+		return fail(indexOff, "index record has kind %d", kind)
+	}
+	if im.lower, derr = d.Frontier(); derr != nil {
+		return bad("lower", derr)
+	}
+	if im.upper, derr = d.Frontier(); derr != nil {
+		return bad("upper", derr)
+	}
+	if im.since, derr = d.Frontier(); derr != nil {
+		return bad("since", derr)
+	}
+	if im.lower.Empty() || im.since.Empty() {
+		return fail(indexOff, "empty lower or since frontier")
+	}
+	im.depth = im.lower.Elements()[0].Depth()
+	for _, f := range []lattice.Frontier{im.lower, im.upper, im.since} {
+		for _, t := range f.Elements() {
+			if t.Depth() != im.depth {
+				return fail(indexOff, "mixed time depths %d and %d in framing", im.depth, t.Depth())
+			}
+		}
+	}
+	if im.numKeys, err = readCount(d); err != nil {
+		return bad("key count", err)
+	}
+	if im.numVals, err = readCount(d); err != nil {
+		return bad("value count", err)
+	}
+	if im.numUpds, err = readCount(d); err != nil {
+		return bad("update count", err)
+	}
+	w, derr := d.U8()
+	if derr != nil {
+		return bad("column width", derr)
+	}
+	im.colWidth = int(w)
+	if columnar := im.flags&flagColumnar != 0; columnar != (im.colWidth > 0) {
+		return fail(indexOff, "columnar flag disagrees with column width %d", im.colWidth)
+	}
+	nMins, err := d.Count("min times")
+	if err != nil {
+		return bad("min-time count", err)
+	}
+	for i := 0; i < nMins; i++ {
+		t, derr := d.Time()
+		if derr != nil {
+			return bad("min time", derr)
+		}
+		if t.Depth() != im.depth {
+			return fail(indexOff, "min time at depth %d in depth-%d file", t.Depth(), im.depth)
+		}
+		im.minTimes = append(im.minTimes, t)
+	}
+	nBlocks, err := d.Count("blocks")
+	if err != nil {
+		return bad("block count", err)
+	}
+	keyBase, valBase, updBase := 0, 0, 0
+	end := int64(headerLen)
+	for i := 0; i < nBlocks; i++ {
+		var m blockMeta[K]
+		if m.nKeys, err = readCount(d); err != nil {
+			return bad("block key count", err)
+		}
+		if m.nVals, err = readCount(d); err != nil {
+			return bad("block value count", err)
+		}
+		if m.nUpds, err = readCount(d); err != nil {
+			return bad("block update count", err)
+		}
+		if m.nKeys < 1 || m.nVals < m.nKeys || m.nUpds < m.nVals {
+			return fail(indexOff, "block %d with %d keys, %d values, %d updates", i, m.nKeys, m.nVals, m.nUpds)
+		}
+		off, derr := d.U64()
+		if derr != nil {
+			return bad("block offset", derr)
+		}
+		length, derr := d.U64()
+		if derr != nil {
+			return bad("block length", derr)
+		}
+		m.off, m.length = int64(off), int64(length)
+		if m.off < end || m.length < 9 || m.length > maxFrameLen || m.off+m.length > indexOff {
+			return fail(indexOff, "block %d frame [%d,+%d) outside data region", i, m.off, m.length)
+		}
+		end = m.off + m.length
+		if m.firstKey, err = readKey(cfg, d); err != nil {
+			return bad("block first key", err)
+		}
+		if m.lastKey, err = readKey(cfg, d); err != nil {
+			return bad("block last key", err)
+		}
+		if cfg.fn.LessK(m.lastKey, m.firstKey) {
+			return fail(indexOff, "block %d key stats out of order", i)
+		}
+		if i > 0 && !cfg.fn.LessK(im.blocks[i-1].lastKey, m.firstKey) {
+			return fail(indexOff, "block %d first key not above block %d last key", i, i-1)
+		}
+		m.keyBase, m.valBase, m.updBase = keyBase, valBase, updBase
+		keyBase += m.nKeys
+		valBase += m.nVals
+		updBase += m.nUpds
+		im.blocks = append(im.blocks, m)
+	}
+	if keyBase != im.numKeys || valBase != im.numVals || updBase != im.numUpds {
+		return fail(indexOff, "block sums (%d keys, %d values, %d updates) disagree with totals (%d, %d, %d)",
+			keyBase, valBase, updBase, im.numKeys, im.numVals, im.numUpds)
+	}
+	if d.Remaining() != 0 {
+		return fail(indexOff, "%d trailing bytes after index body", d.Remaining())
+	}
+	return im, nil
+}
+
+// capHint clamps an as-yet-unvalidated element count to a safe slice
+// capacity: decoded data may legitimately be large (append grows), but a
+// corrupt count must not drive a huge allocation before validation fails.
+func capHint(n int) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
+// readCount reads a u32 element count bounded by maxElems.
+func readCount(d *wal.Dec) (int, error) {
+	n, err := d.U32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxElems {
+		return 0, corrupt(0, "count %d exceeds limit %d", n, maxElems)
+	}
+	return int(n), nil
+}
+
+func readKey[K, V any](cfg *codecs[K, V], d *wal.Dec) (K, error) {
+	if cfg.u64Keys {
+		u, err := d.U64()
+		if err != nil {
+			var zero K
+			return zero, err
+		}
+		return any(u).(K), nil
+	}
+	return wal.DecValue(d, cfg.kc)
+}
+
+// loadedBlock is one decoded block: the batch's columns restricted to the
+// block's key range, with block-local offset arrays.
+type loadedBlock[K, V any] struct {
+	keys   []K
+	keyOff []int32 // len nKeys+1, indices into vals
+	vals   core.ValStore[V]
+	valOff []int32 // len nVals+1, indices into upds
+	upds   []core.TimeDiff
+	bytes  int64 // approximate resident size (cache accounting)
+}
+
+// loadBlock reads and decodes block bi from the image's source. All decoded
+// content is validated against the index entry: counts, key order, and the
+// resident first/last key stats, so a block that decodes is exactly what
+// the index promised.
+func (im *image[K, V]) loadBlock(cfg *codecs[K, V], bi int) (*loadedBlock[K, V], error) {
+	m := &im.blocks[bi]
+	fail := func(format string, args ...any) (*loadedBlock[K, V], error) {
+		err := corrupt(m.off, format, args...)
+		err.(*CorruptError).Path = im.path
+		return nil, err
+	}
+	frame, err := im.src.view(m.off, m.length)
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, ferr := wal.SplitRecord(frame, maxFrameLen)
+	if ferr != nil {
+		return fail("block %d frame: %v", bi, ferr)
+	}
+	if len(rest) != 0 {
+		return fail("%d trailing bytes after block %d frame", len(rest), bi)
+	}
+	d := wal.NewDec(payload)
+	kind, derr := d.U8()
+	if derr != nil {
+		return fail("block %d kind: %v", bi, derr)
+	}
+	if kind != kindBlock {
+		return fail("block %d record has kind %d", bi, kind)
+	}
+
+	// Capacity hints are clamped: a hostile index can claim huge counts
+	// that only fail validation after allocation would have happened.
+	lb := &loadedBlock[K, V]{keys: make([]K, 0, capHint(m.nKeys))}
+	if cfg.u64Keys {
+		prev := uint64(0)
+		for i := 0; i < m.nKeys; i++ {
+			u, derr := d.Uvarint()
+			if derr != nil {
+				return fail("block %d key %d: %v", bi, i, derr)
+			}
+			if i > 0 {
+				if u == 0 {
+					return fail("block %d key %d repeats its predecessor", bi, i)
+				}
+				next := prev + u
+				if next < prev {
+					return fail("block %d key %d overflows", bi, i)
+				}
+				u = next
+			}
+			prev = u
+			lb.keys = append(lb.keys, any(u).(K))
+		}
+	} else {
+		for i := 0; i < m.nKeys; i++ {
+			k, derr := wal.DecValue(d, cfg.kc)
+			if derr != nil {
+				return fail("block %d key %d: %v", bi, i, derr)
+			}
+			if i > 0 && !cfg.fn.LessK(lb.keys[i-1], k) {
+				return fail("block %d key %d out of order", bi, i)
+			}
+			lb.keys = append(lb.keys, k)
+		}
+	}
+	if !cfg.fn.EqK(lb.keys[0], m.firstKey) || !cfg.fn.EqK(lb.keys[m.nKeys-1], m.lastKey) {
+		return fail("block %d keys disagree with index stats", bi)
+	}
+
+	if lb.keyOff, err = readCounts(d, m.nKeys, m.nVals); err != nil {
+		return fail("block %d key offsets: %v", bi, err)
+	}
+
+	if im.colWidth > 0 {
+		if cfg.fn.NewStore == nil {
+			return fail("columnar file but the store has no columnar layout")
+		}
+		cols := make([][]uint64, im.colWidth)
+		for f := range cols {
+			col := make([]uint64, 0, capHint(m.nVals))
+			prev := uint64(0)
+			for i := 0; i < m.nVals; i++ {
+				u, derr := d.Uvarint()
+				if derr != nil {
+					return fail("block %d column %d word %d: %v", bi, f, i, derr)
+				}
+				w := uint64(zag(u))
+				if i > 0 {
+					w = prev + w
+				}
+				prev = w
+				col = append(col, w)
+			}
+			cols[f] = col
+		}
+		proto := cfg.fn.NewStore(0)
+		vs, ok := proto.WithCols(cols)
+		if !ok {
+			return fail("block %d: %d columns do not fit the store layout", bi, im.colWidth)
+		}
+		lb.vals = vs
+	} else {
+		for i := 0; i < m.nVals; i++ {
+			v, derr := wal.DecValue(d, cfg.vc)
+			if derr != nil {
+				return fail("block %d value %d: %v", bi, i, derr)
+			}
+			lb.vals.Append(v)
+		}
+	}
+
+	if lb.valOff, err = readCounts(d, m.nVals, m.nUpds); err != nil {
+		return fail("block %d value offsets: %v", bi, err)
+	}
+	lb.upds = make([]core.TimeDiff, 0, capHint(m.nUpds))
+	for i := 0; i < m.nUpds; i++ {
+		t, derr := d.Time()
+		if derr != nil {
+			return fail("block %d update %d time: %v", bi, i, derr)
+		}
+		if t.Depth() != im.depth {
+			return fail("block %d update %d at depth %d in depth-%d file", bi, i, t.Depth(), im.depth)
+		}
+		u, derr := d.Uvarint()
+		if derr != nil {
+			return fail("block %d update %d diff: %v", bi, i, derr)
+		}
+		lb.upds = append(lb.upds, core.TimeDiff{Time: t, Diff: zag(u)})
+	}
+	if d.Remaining() != 0 {
+		return fail("%d trailing bytes after block %d body", d.Remaining(), bi)
+	}
+	lb.bytes = int64(m.nKeys)*8 + int64(m.nKeys+m.nVals+2)*4 +
+		int64(im.colWidth)*int64(m.nVals)*8 + int64(m.nUpds)*24
+	if im.colWidth == 0 {
+		lb.bytes += int64(m.nVals) * 16
+	}
+	return lb, nil
+}
+
+// readCounts reads n per-group counts (each ≥ 1) and returns the prefix-sum
+// offset array of length n+1; the sum must equal total.
+func readCounts(d *wal.Dec, n, total int) ([]int32, error) {
+	off := make([]int32, n+1)
+	sum := 0
+	for i := 0; i < n; i++ {
+		u, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if u == 0 || u > maxElems {
+			return nil, corrupt(0, "group of %d elements", u)
+		}
+		sum += int(u)
+		if sum > total {
+			return nil, corrupt(0, "group sums past total %d", total)
+		}
+		off[i+1] = int32(sum)
+	}
+	if sum != total {
+		return nil, corrupt(0, "groups sum to %d, want %d", sum, total)
+	}
+	return off, nil
+}
+
+// assemble materializes the whole image as one resident batch (the unspill
+// path: merges consume entire runs). The rebuilt batch's recomputed
+// MinTimes cache must agree with the stored antichain; disagreement means
+// the stored stats lie about the contents and is corruption.
+func (im *image[K, V]) assemble(cfg *codecs[K, V]) (*core.Batch[K, V], error) {
+	b := &core.Batch[K, V]{
+		Lower: im.lower.Clone(),
+		Upper: im.upper.Clone(),
+		Since: im.since.Clone(),
+	}
+	b.Keys = make([]K, 0, capHint(im.numKeys))
+	b.KeyOff = make([]int32, 1, capHint(im.numKeys+1))
+	b.ValOff = make([]int32, 1, capHint(im.numVals+1))
+	b.Upds = make([]core.TimeDiff, 0, capHint(im.numUpds))
+	if im.colWidth > 0 {
+		if cfg.fn.NewStore == nil {
+			err := corrupt(0, "columnar file but the store has no columnar layout")
+			err.(*CorruptError).Path = im.path
+			return nil, err
+		}
+		b.Vals = cfg.fn.NewStore(capHint(im.numVals))
+	}
+	for bi := range im.blocks {
+		m := &im.blocks[bi]
+		lb, err := im.loadBlock(cfg, bi)
+		if err != nil {
+			return nil, err
+		}
+		b.Keys = append(b.Keys, lb.keys...)
+		for i := 1; i <= m.nKeys; i++ {
+			b.KeyOff = append(b.KeyOff, int32(m.valBase)+lb.keyOff[i])
+		}
+		b.Vals.AppendRange(&lb.vals, 0, m.nVals)
+		for i := 1; i <= m.nVals; i++ {
+			b.ValOff = append(b.ValOff, int32(m.updBase)+lb.valOff[i])
+		}
+		b.Upds = append(b.Upds, lb.upds...)
+	}
+	b.CacheMinTimes()
+	if !lattice.NewFrontier(b.MinTimes()...).Equal(lattice.NewFrontier(im.minTimes...)) {
+		err := corrupt(0, "stored min-times %v disagree with contents %v", im.minTimes, b.MinTimes())
+		err.(*CorruptError).Path = im.path
+		return nil, err
+	}
+	return b, nil
+}
+
+// DecodeImage decodes a complete block-file image from memory, returning
+// the batch it stores. Arbitrary input yields either a valid batch or a
+// typed *CorruptError — never a panic and never silently wrong counts (the
+// fuzz contract; FuzzBlockDecode drives this entry point).
+func DecodeImage[K, V any](fn core.Funcs[K, V], kc wal.Codec[K], vc wal.Codec[V],
+	data []byte) (*core.Batch[K, V], error) {
+
+	cfg, err := newCodecs(fn, kc, vc)
+	if err != nil {
+		return nil, err
+	}
+	im, err := openImage(cfg, memSource{data: data}, int64(len(data)), "")
+	if err != nil {
+		return nil, err
+	}
+	return im.assemble(cfg)
+}

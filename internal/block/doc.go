@@ -1,0 +1,41 @@
+// Package block is the cold tier of disk-spilled arrangements: a
+// self-contained on-disk format for sealed batches, and a Store that the
+// spine evicts its oldest geometric runs into (core.SpillStore) and reads
+// them back from through a core.BatchReader serving lazy block loads.
+//
+// # File layout
+//
+//	┌────────────────────────────────────────────────────────────┐
+//	│ header (32 B): magic "KPGB" | version | flags              │
+//	│                indexOff u64 | indexLen u64 | crc32c        │
+//	├────────────────────────────────────────────────────────────┤
+//	│ block 0   u32 len | u32 crc32c | payload   (wal framing)   │
+//	│ block 1   ...                                              │
+//	│   ⋮                                                        │
+//	├────────────────────────────────────────────────────────────┤
+//	│ index     u32 len | u32 crc32c | payload   (wal framing)   │
+//	│   frontiers (lower/upper/since), totals, MinTimes,         │
+//	│   per block: counts, offset/length, first & last key       │
+//	└────────────────────────────────────────────────────────────┘
+//
+// Blocks are key-aligned slices of the batch's columnar image: each key's
+// values and update histories live entirely inside one block, so a point
+// lookup touches exactly one block. The index keeps every block's first and
+// last key resident — min/max key stats — which answers two questions with
+// zero I/O: a seek skips whole blocks whose key range lies below the probe,
+// and a probe that lands on a block boundary discovers a miss without
+// loading anything. Within a block, keys (for uint64 keys) and the uint64
+// word columns of columnar values are delta/varint encoded; offset arrays
+// store per-group counts as varints. Every frame is CRC32-C checked via the
+// wal framing helpers, and every count is bounded and cross-checked against
+// the index totals on decode, so arbitrary bytes yield either a valid batch
+// or a typed *CorruptError — never a panic, never silently wrong counts.
+//
+// The Store wires the format to the spine: Spill writes a batch as a block
+// file (atomic tmp+rename), Unspill re-materializes one for merging, Retire
+// releases a merged-away run — immediately, or onto a dead list until the
+// next checkpoint stops referencing it (Manifest mode) — and OpenRef
+// reopens a run named by a wal.BlockRef manifest record on recovery. Loaded
+// blocks are shared through a small clock-style resident cache. Like spines,
+// a Store is worker-local: no locking.
+package block

@@ -1,0 +1,155 @@
+package block
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/wal"
+)
+
+// frameAsIndex wraps arbitrary bytes as the index payload of an otherwise
+// valid block file: correct magic, version, header CRC, and record framing.
+// The CRCs hide most fuzz mutations from the decoder proper; this wrapper
+// drives the index parser with adversarial payload bytes directly.
+func frameAsIndex(data []byte, flags uint16) []byte {
+	img := make([]byte, headerLen)
+	img = wal.AppendRecord(img, data)
+	copy(img[0:4], magic)
+	binary.LittleEndian.PutUint16(img[4:6], version)
+	binary.LittleEndian.PutUint16(img[6:8], flags)
+	binary.LittleEndian.PutUint64(img[8:16], headerLen)
+	binary.LittleEndian.PutUint64(img[16:24], uint64(len(img)-headerLen))
+	binary.LittleEndian.PutUint32(img[28:32], crc32.Checksum(img[0:28], crcTable))
+	return img
+}
+
+// frameAsBlock wraps arbitrary bytes as the sole block record of a file
+// whose index is valid and self-consistent (fixed small counts and key
+// stats). Everything up to block decode passes, so the fuzzer exercises
+// the block payload parser with raw input.
+func frameAsBlock(data []byte, flags uint16, colWidth byte) []byte {
+	img := make([]byte, headerLen)
+	blockOff := int64(len(img))
+	img = wal.AppendRecord(img, data)
+	blockLen := int64(len(img)) - blockOff
+
+	p := []byte{kindIndex}
+	p = wal.AppendFrontier(p, lattice.MinFrontier(1))
+	p = wal.AppendFrontier(p, lattice.NewFrontier(lattice.Ts(1)))
+	p = wal.AppendFrontier(p, lattice.MinFrontier(1))
+	p = wal.AppendU32(p, 2) // keys
+	p = wal.AppendU32(p, 3) // vals
+	p = wal.AppendU32(p, 4) // upds
+	p = append(p, colWidth)
+	p = wal.AppendU32(p, 1) // one min time
+	p = wal.AppendTime(p, lattice.Ts(0))
+	p = wal.AppendU32(p, 1) // one block
+	p = wal.AppendU32(p, 2)
+	p = wal.AppendU32(p, 3)
+	p = wal.AppendU32(p, 4)
+	p = wal.AppendU64(p, uint64(blockOff))
+	p = wal.AppendU64(p, uint64(blockLen))
+	p = wal.AppendU64(p, 5) // firstKey
+	p = wal.AppendU64(p, 9) // lastKey
+	indexOff := len(img)
+	img = wal.AppendRecord(img, p)
+
+	copy(img[0:4], magic)
+	binary.LittleEndian.PutUint16(img[4:6], version)
+	binary.LittleEndian.PutUint16(img[6:8], flags|flagU64Keys)
+	binary.LittleEndian.PutUint64(img[8:16], uint64(indexOff))
+	binary.LittleEndian.PutUint64(img[16:24], uint64(len(img)-indexOff))
+	binary.LittleEndian.PutUint32(img[28:32], crc32.Checksum(img[0:28], crcTable))
+	return img
+}
+
+// decodeBoth runs one input through the decoder under both value layouts,
+// enforcing the contract: a decoded batch or a typed *CorruptError — never
+// a panic, never silently wrong counts.
+func decodeBoth(t *testing.T, data []byte) {
+	for _, columnar := range []bool{true, false} {
+		fn := fnTup(columnar)
+		got, err := DecodeImage[uint64, tup](fn, nil, tupCodec{}, data)
+		if err != nil {
+			if _, ok := err.(*CorruptError); !ok {
+				t.Fatalf("columnar=%v: untyped decode error %T: %v", columnar, err, err)
+			}
+			continue
+		}
+		// Structural validity: the offset tables must agree with the arrays
+		// (wrong counts here mean the decoder lied about what it read).
+		if len(got.KeyOff) != len(got.Keys)+1 || len(got.ValOff) != got.Vals.Len()+1 ||
+			int(got.KeyOff[len(got.KeyOff)-1]) != got.Vals.Len() ||
+			int(got.ValOff[len(got.ValOff)-1]) != len(got.Upds) {
+			t.Fatalf("columnar=%v: decoded batch structurally inconsistent", columnar)
+		}
+		n := 0
+		got.ForEach(func(uint64, tup, lattice.Time, core.Diff) { n++ })
+		if n != got.Len() {
+			t.Fatalf("columnar=%v: ForEach visited %d of %d updates", columnar, n, got.Len())
+		}
+		// Idempotence: re-encoding what decoded must decode back equal.
+		cfg, err := newCodecs[uint64, tup](fn, nil, tupCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := encodeImage(cfg, got, 7)
+		if err != nil {
+			t.Fatalf("columnar=%v: re-encode of decoded batch failed: %v", columnar, err)
+		}
+		got2, err := DecodeImage[uint64, tup](fn, nil, tupCodec{}, img2)
+		if err != nil {
+			t.Fatalf("columnar=%v: re-decode failed: %v", columnar, err)
+		}
+		a, b := collectReader(got), collectReader(got2)
+		if len(a) != len(b) {
+			t.Fatalf("columnar=%v: round trip changed tuple count %d → %d", columnar, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("columnar=%v: round trip changed tuple %d", columnar, i)
+			}
+		}
+	}
+}
+
+// FuzzBlockDecode drives the block-file decoder with truncated, bit-flipped
+// and arbitrary images (mirroring FuzzWALReplay): arbitrary bytes must
+// yield a decoded batch or a typed *block.CorruptError — never a panic,
+// never silently wrong counts.
+func FuzzBlockDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(1))
+	for _, columnar := range []bool{true, false} {
+		fn := fnTup(columnar)
+		cfg, err := newCodecs[uint64, tup](fn, nil, tupCodec{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid, err := encodeImage(cfg, randBatch(r, fn, 0, 3, 80, 12), 8)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		f.Add(valid[:len(valid)-5])
+		f.Add(valid[:headerLen])
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/3] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("KPGB"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeBoth(t, data)
+		// Re-framed variants: valid CRCs around the raw input, so mutations
+		// reach the index and block parsers instead of dying at checksums.
+		decodeBoth(t, frameAsIndex(data, flagU64Keys|flagColumnar))
+		decodeBoth(t, frameAsIndex(data, flagU64Keys))
+		decodeBoth(t, frameAsBlock(data, flagColumnar, 4))
+		decodeBoth(t, frameAsBlock(data, 0, 0))
+	})
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package block
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; callers fall back to pread.
+func mmapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("block: mmap unsupported on this platform")
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package block
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. Block files are immutable once
+// renamed into place, so a shared read-only mapping is always coherent.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

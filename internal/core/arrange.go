@@ -56,6 +56,21 @@ func (a *TraceAgent[K, V]) NewHandle() *Handle[K, V] {
 // Spine exposes the spine for stats; nil once released.
 func (a *TraceAgent[K, V]) Spine() *Spine[K, V] { return a.spine }
 
+// CompactionFrontier returns the trace's current compaction frontier — the
+// meet of all live readers' logical frontiers, the promise a run-chain
+// checkpoint manifest records. Minimum frontier when no reader constrains
+// compaction yet; panics on a released trace.
+func (a *TraceAgent[K, V]) CompactionFrontier() lattice.Frontier {
+	if a.spine == nil {
+		panic("core: cannot read the frontier of a released trace")
+	}
+	f := a.spine.logicalFrontier()
+	if f.Empty() {
+		return lattice.MinFrontier(a.depth)
+	}
+	return f
+}
+
 // NewAgentForOperator creates a trace agent for an operator that maintains
 // its own output arrangement (the reduce operator's output trace, §5.3.2).
 func NewAgentForOperator[K, V any](fn Funcs[K, V], depth int) *TraceAgent[K, V] {
@@ -155,6 +170,32 @@ func (a *Arranged[K, V]) Restore(batches []*Batch[K, V], since lattice.Frontier)
 	}
 }
 
+// RestoreRuns is Restore for a run chain that mixes resident batches and
+// spilled (cold) runs: cold runs enter the spine as readers without being
+// loaded, so restoring a disk-tiered arrangement costs I/O proportional to
+// the resident tier, not the full history. The spine's spill tier must be
+// attached (via ArrangeOptions.Spill) before calling with cold runs.
+func (a *Arranged[K, V]) RestoreRuns(runs []TraceRun[K, V], since lattice.Frontier) {
+	agent := a.Agent
+	if agent.spine == nil {
+		panic("core: cannot restore a stream-only or released arrangement")
+	}
+	if len(agent.spine.entries) != 0 {
+		panic("core: cannot restore into a non-empty trace")
+	}
+	if a.Trace != nil && !a.Trace.Dropped() {
+		a.Trace.SetLogical(since)
+	}
+	for _, r := range runs {
+		if r.Cold != nil {
+			agent.spine.appendCold(r.Cold)
+		} else {
+			agent.spine.Append(r.Batch)
+		}
+		agent.upper = r.Upper().Clone()
+	}
+}
+
 // ShiftTime appends n zero loop coordinates to t (Enter applied n times).
 func ShiftTime(t lattice.Time, n int) lattice.Time {
 	for i := 0; i < n; i++ {
@@ -211,6 +252,11 @@ type ArrangeOptions struct {
 	// compaction-frontier advances are logged through Arranged.AdvanceSince,
 	// so a restarted process can rebuild the trace from the log alone.
 	Durable any
+	// Spill, when non-nil, attaches a cold storage tier: maintenance evicts
+	// the oldest completed runs to Spill.Store (a SpillStore[K, V], asserted
+	// at Arrange time) whenever the spine's resident bytes exceed
+	// Spill.MaxResidentBytes. Ignored for StreamOnly arrangements.
+	Spill *SpillOptions
 }
 
 // Arrange builds the paper's arrange operator: it exchanges update triples
@@ -232,6 +278,13 @@ func Arrange[K, V any](s *timely.Stream[Update[K, V]], fn Funcs[K, V],
 	if !opt.StreamOnly {
 		agent.spine = NewSpine[K, V](fn, opt.MergeCoef)
 		agent.spine.SetUpperDepth(depth)
+		if opt.Spill != nil {
+			store, ok := opt.Spill.Store.(SpillStore[K, V])
+			if !ok {
+				panic(fmt.Sprintf("core: ArrangeOptions.Spill.Store is %T, not a SpillStore for this arrangement's types", opt.Spill.Store))
+			}
+			agent.spine.SetSpill(store, opt.Spill.MaxResidentBytes)
+		}
 	}
 	if opt.Durable != nil {
 		sink, ok := opt.Durable.(BatchSink[K, V])
@@ -473,20 +526,21 @@ func (a *TraceAgent[K, V]) SnapshotBatch() *Batch[K, V] {
 	if a.spine == nil {
 		panic("core: cannot snapshot a released trace")
 	}
-	visible := a.spine.visible()
+	visible := a.spine.visibleReaders()
 	since := a.spine.logicalFrontier()
 	if since.Empty() {
 		since = lattice.MinFrontier(a.depth)
 	}
-	for _, b := range visible {
-		since = lattice.JoinFrontiers(since, b.Since)
+	for _, r := range visible {
+		_, _, bs := r.Bounds()
+		since = lattice.JoinFrontiers(since, bs)
 	}
 	if since.Empty() {
 		since = lattice.MinFrontier(a.depth)
 	}
 	var upds []Update[K, V]
-	for _, b := range visible {
-		b.ForEach(func(k K, v V, t lattice.Time, d Diff) {
+	for _, r := range visible {
+		r.ForEach(func(k K, v V, t lattice.Time, d Diff) {
 			if rep, ok := lattice.Compact(t, since); ok {
 				upds = append(upds, Update[K, V]{Key: k, Val: v, Time: rep, Diff: d})
 			}
@@ -520,7 +574,7 @@ func ImportOpts[K, V any](g *timely.Graph, agent *TraceAgent[K, V], name string,
 	if opt.Snapshot {
 		history = []*Batch[K, V]{agent.SnapshotBatch()}
 	} else {
-		history = agent.spine.visible()
+		history = agent.spine.visibleBatches()
 	}
 
 	emitted := false

@@ -196,11 +196,13 @@ func TestSpineBatchContiguity(t *testing.T) {
 		s.Append(BuildBatch(fn, upds, lower, upper, lattice.MinFrontier(1)))
 		lower = upper
 		s.Work(r.Intn(100))
-		vis := s.visible()
+		vis := s.visibleReaders()
 		for i := 1; i < len(vis); i++ {
-			if !vis[i-1].Upper.Equal(vis[i].Lower) {
+			_, prevUpper, _ := vis[i-1].Bounds()
+			lower, _, _ := vis[i].Bounds()
+			if !prevUpper.Equal(lower) {
 				t.Fatalf("epoch %d: batch %d upper %v != batch %d lower %v",
-					epoch, i-1, vis[i-1].Upper, i, vis[i].Lower)
+					epoch, i-1, prevUpper, i, lower)
 			}
 		}
 	}

@@ -30,15 +30,56 @@ type Spine[K, V any] struct {
 	depth   int
 	upper   lattice.Frontier // through which batches have been appended
 
+	// cold tier (nil spill = purely resident; see SetSpill)
+	spill       SpillStore[K, V]
+	maxResident int64
+
 	// stats
 	MergesStarted   int
 	MergesCompleted int
 	UpdatesMerged   int
+	RunsSpilled     int
+	RunsUnspilled   int
 }
 
+// spineEntry is one slot of the spine: a completed resident batch, a
+// completed run spilled to the cold tier, or an in-progress merge. Exactly
+// one field is non-nil. Spilling changes only where a run's columns live —
+// a cold entry keeps its length and frontiers resident (served by the
+// reader without I/O), so maintenance decisions, merge structure and fuel
+// consumption are identical to a spine that never spilled.
 type spineEntry[K, V any] struct {
-	batch *Batch[K, V]      // non-nil when completed
+	batch *Batch[K, V]      // non-nil when completed and resident
+	cold  BatchReader[K, V] // non-nil when completed and spilled
 	merge *mergeState[K, V] // non-nil while merging a run of batches
+}
+
+// done reports whether the entry is a completed run (resident or cold).
+func (e *spineEntry[K, V]) done() bool { return e.merge == nil }
+
+// size returns the update count of a completed entry.
+func (e *spineEntry[K, V]) size() int {
+	if e.batch != nil {
+		return e.batch.Len()
+	}
+	return e.cold.Len()
+}
+
+// lowerF and upperF return a completed entry's framing frontiers.
+func (e *spineEntry[K, V]) lowerF() lattice.Frontier {
+	if e.batch != nil {
+		return e.batch.Lower
+	}
+	lower, _, _ := e.cold.Bounds()
+	return lower
+}
+
+func (e *spineEntry[K, V]) upperF() lattice.Frontier {
+	if e.batch != nil {
+		return e.batch.Upper
+	}
+	_, upper, _ := e.cold.Bounds()
+	return upper
 }
 
 // mergeState is one in-progress, fueled k-way merge of a run of time-adjacent
@@ -53,6 +94,9 @@ type mergeState[K, V any] struct {
 	cs      []tupleCursor[K, V]
 	bld     *batchBuilder[K, V]
 	since   lattice.Frontier // compaction frontier captured at merge start
+	// retired holds cold readers whose runs were re-materialized as merge
+	// sources; their on-disk artifacts are released when the merge lands.
+	retired []BatchReader[K, V]
 }
 
 func (m *mergeState[K, V]) remaining() int {
@@ -115,6 +159,7 @@ func (s *Spine[K, V]) Work(fuel int) bool {
 		fuel = s.advanceMerge(idx, fuel)
 	}
 	s.considerMerges()
+	s.maybeSpill()
 	for i := range s.entries {
 		if s.entries[i].merge != nil {
 			return true
@@ -156,6 +201,9 @@ func (s *Spine[K, V]) advanceMerge(idx, fuel int) int {
 		first, last := m.batches[0], m.batches[len(m.batches)-1]
 		merged := m.bld.finish(first.Lower, last.Upper, m.since.Clone())
 		s.entries[idx] = spineEntry[K, V]{batch: merged}
+		for _, r := range m.retired {
+			s.spill.Retire(r)
+		}
 		s.MergesCompleted++
 	}
 	return fuel
@@ -187,24 +235,33 @@ func (s *Spine[K, V]) considerMerges() {
 	phys, constrained := s.physicalFrontier()
 	for i := 0; i+1 < len(s.entries); i++ {
 		e1, e2 := &s.entries[i], &s.entries[i+1]
-		if e1.batch == nil || e2.batch == nil {
+		if !e1.done() || !e2.done() {
 			continue
 		}
-		n1, n2 := e1.batch.Len(), e2.batch.Len()
-		if constrained && !frontierCovered(e2.batch.Upper, phys) {
+		n1, n2 := e1.size(), e2.size()
+		if constrained && !frontierCovered(e2.upperF(), phys) {
 			continue
 		}
 		// Absorbing an empty batch only widens the neighbour's bounds: share
-		// the columns rather than rewriting them.
+		// the columns rather than rewriting them. Empty batches are never
+		// spilled, so the empty side is always resident; a cold full side is
+		// widened by wrapping its reader (contents stay on disk).
 		if n1 == 0 || n2 == 0 {
-			full := e1.batch
+			lower, upper := e1.lowerF(), e2.upperF()
+			full := e1
 			if n1 == 0 {
-				full = e2.batch
+				full = e2
 			}
-			widened := *full
-			widened.Lower = e1.batch.Lower
-			widened.Upper = e2.batch.Upper
-			s.entries[i] = spineEntry[K, V]{batch: &widened}
+			if full.cold != nil {
+				s.entries[i] = spineEntry[K, V]{
+					cold: &widenedReader[K, V]{BatchReader: full.cold, lower: lower, upper: upper},
+				}
+			} else {
+				widened := *full.batch
+				widened.Lower = lower
+				widened.Upper = upper
+				s.entries[i] = spineEntry[K, V]{batch: &widened}
+			}
 			s.entries = append(s.entries[:i+1], s.entries[i+2:]...)
 			i--
 			continue
@@ -216,9 +273,9 @@ func (s *Spine[K, V]) considerMerges() {
 		// behind the newest absorbed batch (interior cut boundaries vanish,
 		// which is legal exactly when no reader may cut there).
 		j := i + 1
-		for j+1 < len(s.entries) && s.entries[j+1].batch != nil &&
-			s.entries[j].batch.Len() <= 2*s.entries[j+1].batch.Len() &&
-			(!constrained || frontierCovered(s.entries[j+1].batch.Upper, phys)) {
+		for j+1 < len(s.entries) && s.entries[j+1].done() &&
+			s.entries[j].size() <= 2*s.entries[j+1].size() &&
+			(!constrained || frontierCovered(s.entries[j+1].upperF(), phys)) {
 			j++
 		}
 		s.startMergeRange(i, j)
@@ -230,6 +287,10 @@ func (s *Spine[K, V]) considerMerges() {
 func (s *Spine[K, V]) startMergeAt(i int) { s.startMergeRange(i, i+1) }
 
 // startMergeRange begins a k-way merge of completed entries i..j inclusive.
+// Cold entries are re-materialized first: merges consume whole runs tuple by
+// tuple, so the merge machinery (tupleCursor, batchBuilder) stays concrete
+// over resident batches; the on-disk artifacts are retired when the merge
+// lands.
 func (s *Spine[K, V]) startMergeRange(i, j int) {
 	m := &mergeState[K, V]{
 		batches: make([]*Batch[K, V], 0, j-i+1),
@@ -239,6 +300,10 @@ func (s *Spine[K, V]) startMergeRange(i, j int) {
 	total := 0
 	for x := i; x <= j; x++ {
 		b := s.entries[x].batch
+		if r := s.entries[x].cold; r != nil {
+			b = s.unspill(r)
+			m.retired = append(m.retired, r)
+		}
 		m.batches = append(m.batches, b)
 		m.cs = append(m.cs, newTupleCursor(b))
 		total += b.Len()
@@ -261,10 +326,10 @@ func (s *Spine[K, V]) Recompact() {
 		phys, constrained := s.physicalFrontier()
 		merged := false
 		for i := 0; i+1 < len(s.entries); i++ {
-			if s.entries[i].batch == nil || s.entries[i+1].batch == nil {
+			if !s.entries[i].done() || !s.entries[i+1].done() {
 				continue
 			}
-			if constrained && !frontierCovered(s.entries[i+1].batch.Upper, phys) {
+			if constrained && !frontierCovered(s.entries[i+1].upperF(), phys) {
 				continue
 			}
 			s.startMergeAt(i)
@@ -277,12 +342,19 @@ func (s *Spine[K, V]) Recompact() {
 		for s.Work(1 << 30) {
 		}
 	}
-	if len(s.entries) == 1 && s.entries[0].batch != nil {
-		b := s.entries[0].batch
+	if len(s.entries) == 1 && s.entries[0].done() {
+		e := &s.entries[0]
+		upper := e.upperF()
+		var since lattice.Frontier
+		if e.batch != nil {
+			since = e.batch.Since
+		} else {
+			_, _, since = e.cold.Bounds()
+		}
 		phys, constrained := s.physicalFrontier()
-		if !b.Since.Equal(s.logicalFrontier()) &&
-			(!constrained || frontierCovered(b.Upper, phys)) {
-			empty := EmptyBatch[K, V](b.Upper, b.Upper, b.Since)
+		if !since.Equal(s.logicalFrontier()) &&
+			(!constrained || frontierCovered(upper, phys)) {
+			empty := EmptyBatch[K, V](upper, upper, since)
 			s.entries = append(s.entries, spineEntry[K, V]{batch: empty})
 			s.startMergeAt(0)
 			for s.Work(1 << 30) {
@@ -330,28 +402,35 @@ func (s *Spine[K, V]) physicalFrontier() (lattice.Frontier, bool) {
 	return f, constrained
 }
 
-// visible returns the batches a full-trace cursor navigates: completed
-// batches plus the sources of in-progress merges, oldest first.
-func (s *Spine[K, V]) visible() []*Batch[K, V] {
-	out := make([]*Batch[K, V], 0, len(s.entries)+2)
+// visibleReaders returns the runs a full-trace cursor navigates: completed
+// runs (resident batches or cold readers) plus the sources of in-progress
+// merges, oldest first.
+func (s *Spine[K, V]) visibleReaders() []BatchReader[K, V] {
+	out := make([]BatchReader[K, V], 0, len(s.entries)+2)
 	for i := range s.entries {
-		if m := s.entries[i].merge; m != nil {
-			out = append(out, m.batches...)
-		} else {
-			out = append(out, s.entries[i].batch)
+		e := &s.entries[i]
+		switch {
+		case e.merge != nil:
+			for _, b := range e.merge.batches {
+				out = append(out, b)
+			}
+		case e.cold != nil:
+			out = append(out, e.cold)
+		default:
+			out = append(out, e.batch)
 		}
 	}
 	return out
 }
 
-// BatchCount returns the number of visible batches (for tests and stats).
-func (s *Spine[K, V]) BatchCount() int { return len(s.visible()) }
+// BatchCount returns the number of visible runs (for tests and stats).
+func (s *Spine[K, V]) BatchCount() int { return len(s.visibleReaders()) }
 
-// UpdateCount returns the total updates across visible batches.
+// UpdateCount returns the total updates across visible runs.
 func (s *Spine[K, V]) UpdateCount() int {
 	n := 0
-	for _, b := range s.visible() {
-		n += b.Len()
+	for _, r := range s.visibleReaders() {
+		n += r.Len()
 	}
 	return n
 }
@@ -422,21 +501,22 @@ func (h *Handle[K, V]) Spine() *Spine[K, V] { return h.spine }
 
 // Cursor returns a cursor over the full trace contents.
 func (h *Handle[K, V]) Cursor() *TraceCursor[K, V] {
-	return newTraceCursor(h.spine.fn, h.spine.visible())
+	return newTraceCursor(h.spine.fn, h.spine.visibleReaders())
 }
 
 // CursorThrough returns a cursor over exactly the batches with upper ≤ f.
 // The cut must fall on a batch boundary at or beyond the handle's physical
 // frontier; it panics otherwise (an operator logic error).
 func (h *Handle[K, V]) CursorThrough(f lattice.Frontier) *TraceCursor[K, V] {
-	var sel []*Batch[K, V]
-	for _, b := range h.spine.visible() {
-		if frontierCovered(b.Upper, f) {
-			sel = append(sel, b)
+	var sel []BatchReader[K, V]
+	for _, r := range h.spine.visibleReaders() {
+		lower, upper, _ := r.Bounds()
+		if frontierCovered(upper, f) {
+			sel = append(sel, r)
 		} else {
-			if frontierCovered(b.Lower, f) && !b.Lower.Equal(f) {
+			if frontierCovered(lower, f) && !lower.Equal(f) {
 				panic(fmt.Sprintf("core: CursorThrough(%v) cuts inside batch [%v, %v)",
-					f, b.Lower, b.Upper))
+					f, lower, upper))
 			}
 			break
 		}
@@ -444,38 +524,91 @@ func (h *Handle[K, V]) CursorThrough(f lattice.Frontier) *TraceCursor[K, V] {
 	return newTraceCursor(h.spine.fn, sel)
 }
 
-// TraceCursor navigates the union of a set of batches in key order, with
+// TraceCursor navigates the union of a set of runs in key order, with
 // forward-only galloping seeks (the alternating-seek pattern of §5.3.1).
+// Runs are BatchReaders; resident batches are additionally kept in a
+// parallel concrete slice so the hot paths (the common, fully resident
+// case) run the exact slice-indexed loops they always did, paying interface
+// dispatch only on cold (spilled) runs.
 type TraceCursor[K, V any] struct {
 	fn      Funcs[K, V]
-	batches []*Batch[K, V]
-	pos     []int        // per batch: current key index
-	rngs    []valueRange // scratch for ForUpdatesOrdered
+	batches []BatchReader[K, V]
+	hot     []*Batch[K, V]     // hot[i] non-nil iff batches[i] is resident
+	bulk    []KeyUpdater[K, V] // bulk[i] non-nil iff cold batches[i] bulk-iterates
+	pos     []int              // per run: current key index
+	rngs    []valueRange       // scratch for ForUpdatesOrdered
 }
 
-// valueRange is one batch's value range for the key under an ordered merge.
+// valueRange is one run's value range for the key under an ordered merge.
 type valueRange struct {
 	batch  int
 	vi, hi int
 }
 
-func newTraceCursor[K, V any](fn Funcs[K, V], batches []*Batch[K, V]) *TraceCursor[K, V] {
-	nonEmpty := batches[:0:0]
-	for _, b := range batches {
-		if !b.Empty() {
-			nonEmpty = append(nonEmpty, b)
+// KeyUpdater is an optional BatchReader extension: visit every (val, time,
+// diff) of the key at index ki in one call. A cold run whose storage keeps a
+// key's values and updates together (block-aligned layouts) can serve a
+// whole key with a single position lookup and tight local loops, where the
+// generic path would re-resolve the position on every ValView/UpdRange/Upd
+// interface call. Purely a fast path: it must visit exactly what the
+// generic loop over ValRange/ValView/UpdRange/Upd would.
+type KeyUpdater[K, V any] interface {
+	ForKeyUpdates(ki int, f func(v V, t lattice.Time, d Diff))
+}
+
+func newTraceCursor[K, V any](fn Funcs[K, V], readers []BatchReader[K, V]) *TraceCursor[K, V] {
+	nonEmpty := readers[:0:0]
+	for _, r := range readers {
+		if r.Len() > 0 {
+			nonEmpty = append(nonEmpty, r)
 		}
 	}
-	return &TraceCursor[K, V]{fn: fn, batches: nonEmpty, pos: make([]int, len(nonEmpty))}
+	hot := make([]*Batch[K, V], len(nonEmpty))
+	bulk := make([]KeyUpdater[K, V], len(nonEmpty))
+	for i, r := range nonEmpty {
+		if b, ok := r.(*Batch[K, V]); ok {
+			hot[i] = b
+		} else if ku, ok := r.(KeyUpdater[K, V]); ok {
+			bulk[i] = ku
+		}
+	}
+	return &TraceCursor[K, V]{
+		fn: fn, batches: nonEmpty, hot: hot, bulk: bulk, pos: make([]int, len(nonEmpty)),
+	}
+}
+
+// numKeys returns run i's distinct-key count (resident metadata, no I/O).
+func (c *TraceCursor[K, V]) numKeys(i int) int {
+	if hb := c.hot[i]; hb != nil {
+		return len(hb.Keys)
+	}
+	return c.batches[i].NumKeys()
+}
+
+// key returns run i's key ki (block-boundary stats keep gap probes free of
+// I/O on cold runs).
+func (c *TraceCursor[K, V]) key(i, ki int) K {
+	if hb := c.hot[i]; hb != nil {
+		return hb.Keys[ki]
+	}
+	return c.batches[i].Key(ki)
+}
+
+// view returns run i's value vi as a (store, index) borrow.
+func (c *TraceCursor[K, V]) view(i, vi int) (*ValStore[V], int) {
+	if hb := c.hot[i]; hb != nil {
+		return &hb.Vals, vi
+	}
+	return c.batches[i].ValView(vi)
 }
 
 // PeekKey returns the smallest key at or after the cursor position, if any.
 func (c *TraceCursor[K, V]) PeekKey() (K, bool) {
 	var best K
 	found := false
-	for i, b := range c.batches {
-		if c.pos[i] < len(b.Keys) {
-			k := b.Keys[c.pos[i]]
+	for i := range c.batches {
+		if c.pos[i] < c.numKeys(i) {
+			k := c.key(i, c.pos[i])
 			if !found || c.fn.LessK(k, best) {
 				best, found = k, true
 			}
@@ -485,12 +618,20 @@ func (c *TraceCursor[K, V]) PeekKey() (K, bool) {
 }
 
 // SeekKey advances every constituent cursor to the first key ≥ k, returning
-// whether any batch contains k exactly. Seeks are forward-only.
+// whether any run contains k exactly. Seeks are forward-only.
 func (c *TraceCursor[K, V]) SeekKey(k K) bool {
 	found := false
-	for i, b := range c.batches {
-		c.pos[i] = b.SeekKey(c.fn, k, c.pos[i])
-		if c.pos[i] < len(b.Keys) && c.fn.EqK(b.Keys[c.pos[i]], k) {
+	for i := range c.batches {
+		if hb := c.hot[i]; hb != nil {
+			c.pos[i] = hb.SeekKey(c.fn, k, c.pos[i])
+			if c.pos[i] < len(hb.Keys) && c.fn.EqK(hb.Keys[c.pos[i]], k) {
+				found = true
+			}
+			continue
+		}
+		r := c.batches[i]
+		c.pos[i] = r.SeekKey(c.fn, k, c.pos[i])
+		if c.pos[i] < r.NumKeys() && c.fn.EqK(r.Key(c.pos[i]), k) {
 			found = true
 		}
 	}
@@ -498,20 +639,40 @@ func (c *TraceCursor[K, V]) SeekKey(k K) bool {
 }
 
 // ForUpdates invokes f with every (val, time, diff) of key k across all
-// batches. The cursor must be positioned at k via SeekKey. Values
-// materialize once per value group, not once per update.
+// runs. The cursor must be positioned at k via SeekKey. Values materialize
+// once per value group, not once per update.
 func (c *TraceCursor[K, V]) ForUpdates(k K, f func(v V, t lattice.Time, d Diff)) {
-	for i, b := range c.batches {
+	for i, r := range c.batches {
 		ki := c.pos[i]
-		if ki >= len(b.Keys) || !c.fn.EqK(b.Keys[ki], k) {
+		if hb := c.hot[i]; hb != nil {
+			if ki >= len(hb.Keys) || !c.fn.EqK(hb.Keys[ki], k) {
+				continue
+			}
+			lo, hi := hb.ValRange(ki)
+			for vi := lo; vi < hi; vi++ {
+				v := hb.Vals.At(vi)
+				ul, uh := hb.UpdRange(vi)
+				for ui := ul; ui < uh; ui++ {
+					f(v, hb.Upds[ui].Time, hb.Upds[ui].Diff)
+				}
+			}
 			continue
 		}
-		lo, hi := b.ValRange(ki)
+		if ki >= r.NumKeys() || !c.fn.EqK(r.Key(ki), k) {
+			continue
+		}
+		if ku := c.bulk[i]; ku != nil {
+			ku.ForKeyUpdates(ki, f)
+			continue
+		}
+		lo, hi := r.ValRange(ki)
 		for vi := lo; vi < hi; vi++ {
-			v := b.Vals.At(vi)
-			ul, uh := b.UpdRange(vi)
+			s, si := r.ValView(vi)
+			v := s.At(si)
+			ul, uh := r.UpdRange(vi)
 			for ui := ul; ui < uh; ui++ {
-				f(v, b.Upds[ui].Time, b.Upds[ui].Diff)
+				td := r.Upd(ui)
+				f(v, td.Time, td.Diff)
 			}
 		}
 	}
@@ -540,37 +701,50 @@ func (c *TraceCursor[K, V]) ForUpdatesOrderedView(k K,
 	f func(s *ValStore[V], vi int, t lattice.Time, d Diff)) {
 
 	c.rngs = c.rngs[:0]
-	for i, b := range c.batches {
+	for i := range c.batches {
 		ki := c.pos[i]
-		if ki >= len(b.Keys) || !c.fn.EqK(b.Keys[ki], k) {
+		if ki >= c.numKeys(i) || !c.fn.EqK(c.key(i, ki), k) {
 			continue
 		}
-		lo, hi := b.ValRange(ki)
+		lo, hi := c.batches[i].ValRange(ki)
 		if lo < hi {
 			c.rngs = append(c.rngs, valueRange{batch: i, vi: lo, hi: hi})
 		}
 	}
 	if len(c.rngs) == 1 {
-		// Single batch: its run is already ordered; emit directly.
+		// Single run: its values are already ordered; emit directly.
 		r := c.rngs[0]
+		if hb := c.hot[r.batch]; hb != nil {
+			for vi := r.vi; vi < r.hi; vi++ {
+				ul, uh := hb.UpdRange(vi)
+				for ui := ul; ui < uh; ui++ {
+					f(&hb.Vals, vi, hb.Upds[ui].Time, hb.Upds[ui].Diff)
+				}
+			}
+			return
+		}
 		b := c.batches[r.batch]
 		for vi := r.vi; vi < r.hi; vi++ {
+			s, si := b.ValView(vi)
 			ul, uh := b.UpdRange(vi)
 			for ui := ul; ui < uh; ui++ {
-				f(&b.Vals, vi, b.Upds[ui].Time, b.Upds[ui].Diff)
+				td := b.Upd(ui)
+				f(s, si, td.Time, td.Diff)
 			}
 		}
 		return
 	}
 	for {
 		min := -1
+		var minS *ValStore[V]
+		var minI int
 		for i := range c.rngs {
 			if c.rngs[i].vi >= c.rngs[i].hi {
 				continue
 			}
-			if min < 0 || c.batches[c.rngs[i].batch].Vals.Less(c.fn.LessV,
-				c.rngs[i].vi, &c.batches[c.rngs[min].batch].Vals, c.rngs[min].vi) {
-				min = i
+			s, si := c.view(c.rngs[i].batch, c.rngs[i].vi)
+			if min < 0 || s.Less(c.fn.LessV, si, minS, minI) {
+				min, minS, minI = i, s, si
 			}
 		}
 		if min < 0 {
@@ -580,7 +754,8 @@ func (c *TraceCursor[K, V]) ForUpdatesOrderedView(k K,
 		b := c.batches[r.batch]
 		ul, uh := b.UpdRange(r.vi)
 		for ui := ul; ui < uh; ui++ {
-			f(&b.Vals, r.vi, b.Upds[ui].Time, b.Upds[ui].Diff)
+			td := b.Upd(ui)
+			f(minS, minI, td.Time, td.Diff)
 		}
 		r.vi++
 	}
@@ -588,8 +763,8 @@ func (c *TraceCursor[K, V]) ForUpdatesOrderedView(k K,
 
 // SkipKey advances past key k (used when iterating keys in order).
 func (c *TraceCursor[K, V]) SkipKey(k K) {
-	for i, b := range c.batches {
-		if c.pos[i] < len(b.Keys) && c.fn.EqK(b.Keys[c.pos[i]], k) {
+	for i := range c.batches {
+		if c.pos[i] < c.numKeys(i) && c.fn.EqK(c.key(i, c.pos[i]), k) {
 			c.pos[i]++
 		}
 	}

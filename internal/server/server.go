@@ -37,10 +37,12 @@ package server
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/dd"
 	"repro/internal/lattice"
@@ -272,6 +274,7 @@ type Source[K, V any] struct {
 	durable bool
 	logs    []*wal.ShardLog[K, V]
 	states  []*wal.ShardState[K, V]
+	stores  []*block.Store[K, V] // per-worker cold tiers; nil without spill
 
 	mu      sync.Mutex
 	epoch   uint64
@@ -287,6 +290,12 @@ type SourceOptions[K, V any] struct {
 	// KeyCodec and ValCodec serialize the source's keys and values.
 	KeyCodec wal.Codec[K]
 	ValCodec wal.Codec[V]
+	// SpillBytes, when positive, attaches a disk tier to the arrangement:
+	// each worker's spine evicts its oldest runs to block files under
+	// <shard>/blocks/ whenever resident bytes exceed this budget, and
+	// checkpoints reference spilled runs by name instead of rewriting them.
+	// Requires Durable (the manifest and recovery GC own the files).
+	SpillBytes int64
 }
 
 // NewSource registers a named collection on the server and begins
@@ -312,6 +321,10 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		arr:    make([]*core.Arranged[K, V], peers),
 		probes: make([]*timely.Probe, peers),
 	}
+	if opt.SpillBytes > 0 && !opt.Durable {
+		return nil, fmt.Errorf("server: source %q requests spilling without durability; "+
+			"block files need a manifest to own their lifecycle", name)
+	}
 	if opt.Durable {
 		if s.opts.DataDir == "" {
 			return nil, fmt.Errorf("server: durable source %q requires a server DataDir", name)
@@ -331,6 +344,7 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		src.pending = s.opts.Recover
 		src.logs = make([]*wal.ShardLog[K, V], peers)
 		src.states = make([]*wal.ShardState[K, V], peers)
+		src.stores = make([]*block.Store[K, V], peers)
 	}
 
 	// Reserve the name before building anything: a duplicate must never
@@ -352,14 +366,33 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		i := w.Index()
 		var aopt core.ArrangeOptions
 		if src.durable {
-			lg, st, err := wal.OpenShard(wal.ShardDir(s.opts.DataDir, name, i),
-				opt.KeyCodec, opt.ValCodec,
+			shard := wal.ShardDir(s.opts.DataDir, name, i)
+			lg, st, err := wal.OpenShard(shard, opt.KeyCodec, opt.ValCodec,
 				wal.Options{Fsync: s.opts.Fsync, Commit: s.gc, Fresh: !s.opts.Recover})
 			if err != nil {
 				openErrs[i] = err
 			} else {
 				src.logs[i], src.states[i] = lg, st
 				aopt.Durable = lg
+			}
+			if err == nil && opt.SpillBytes > 0 {
+				bs, berr := block.Open(filepath.Join(shard, "blocks"), fn,
+					opt.KeyCodec, opt.ValCodec, block.StoreOptions{
+						Manifest: true,
+						Fresh:    !s.opts.Recover,
+						Fsync:    s.opts.Fsync,
+						Mmap:     true,
+					})
+				if berr != nil {
+					openErrs[i] = berr
+				} else {
+					src.stores[i] = bs
+					aopt.Spill = &core.SpillOptions{
+						Dir:              bs.Dir(),
+						MaxResidentBytes: opt.SpillBytes,
+						Store:            bs,
+					}
+				}
 			}
 		}
 		in, c := dd.NewInput[K, V](g)
@@ -649,12 +682,67 @@ func (src *Source[K, V]) Restore() (uint64, error) {
 	perr := make([]error, len(src.logs))
 	p := src.s.c.PostEach(func(w *timely.Worker) {
 		i := w.Index()
-		clamped := wal.ClampBatches(src.fn, src.states[i].Batches, cut)
-		src.arr[i].Restore(clamped, since)
+		// Clamp the recovered run chain to the cut. Spilled runs behind the
+		// cut pass through as references (no I/O); only a straddling run is
+		// materialized and rebuilt resident.
+		load := func(ref *wal.BlockRef) (*core.Batch[K, V], error) {
+			if src.stores[i] == nil {
+				return nil, fmt.Errorf("manifest references block file %s but the source has no spill tier", ref.Name)
+			}
+			r, err := src.stores[i].OpenRef(ref)
+			if err != nil {
+				return nil, err
+			}
+			defer src.stores[i].Release(r)
+			return src.stores[i].Unspill(r)
+		}
+		clamped, err := wal.ClampRuns(src.fn, src.states[i].Runs, cut, load)
+		if err != nil {
+			perr[i] = err
+			return
+		}
+		runs := make([]core.TraceRun[K, V], 0, len(clamped))
+		referenced := map[string]bool{}
+		for _, r := range clamped {
+			if r.Ref == nil {
+				runs = append(runs, core.TraceRun[K, V]{Batch: r.Batch})
+				continue
+			}
+			if src.stores[i] == nil {
+				perr[i] = fmt.Errorf("manifest references block file %s but the source has no spill tier", r.Ref.Name)
+				return
+			}
+			cold, oerr := src.stores[i].OpenRef(r.Ref)
+			if oerr != nil {
+				perr[i] = fmt.Errorf("reopening spilled run %s: %w", r.Ref.Name, oerr)
+				return
+			}
+			runs = append(runs, core.TraceRun[K, V]{Cold: cold})
+			referenced[r.Ref.Name] = true
+		}
+		src.arr[i].RestoreRuns(runs, since)
 		// Rewrite the log to the restored prefix: batches beyond the cut
 		// are discarded on disk too, so the chain stays contiguous when
-		// live appends resume from the cut.
-		perr[i] = src.logs[i].Rotate(since, clamped)
+		// live appends resume from the cut. Block files the new manifest no
+		// longer references — orphaned by a crash between spill and
+		// checkpoint, or clamped away — are collected right after.
+		perr[i] = src.logs[i].RotateRuns(since, clamped)
+		if perr[i] == nil && src.stores[i] != nil {
+			// Spine maintenance during RestoreRuns may itself have spilled
+			// fresh runs under the restore-time budget; they are referenced by
+			// the live trace, not the manifest, and must survive the sweep.
+			for _, r := range src.arr[i].Agent.Runs() {
+				if r.Cold == nil {
+					continue
+				}
+				if ref, ok := block.Ref[K, V](r.Cold); ok {
+					referenced[ref.Name] = true
+				}
+			}
+			if _, gerr := src.stores[i].GC(referenced); gerr != nil {
+				perr[i] = gerr
+			}
+		}
 	})
 	p.Wait()
 	if p.Aborted() {
@@ -720,6 +808,10 @@ func (src *Source[K, V]) Checkpoint() error {
 	perr := make([]error, len(src.logs))
 	p := src.s.c.PostEach(func(w *timely.Worker) {
 		i := w.Index()
+		if src.stores[i] != nil {
+			perr[i] = src.checkpointRuns(i)
+			return
+		}
 		snap := src.arr[i].Agent.SnapshotBatch()
 		perr[i] = src.logs[i].Rotate(snap.Since.Clone(), []*core.Batch[K, V]{snap})
 	})
@@ -728,6 +820,75 @@ func (src *Source[K, V]) Checkpoint() error {
 		return ErrClosed
 	}
 	return errors.Join(perr...)
+}
+
+// checkpointRuns rotates worker i's shard log from the trace's run chain:
+// resident runs are rewritten as batch records, spilled runs become block
+// references — the checkpoint never re-reads the cold tier, so its I/O is
+// proportional to the resident tier. Once the new generation is durable, no
+// manifest names the runs retired by earlier merges, so their dead-listed
+// files are collected. Runs on worker i's goroutine.
+func (src *Source[K, V]) checkpointRuns(i int) error {
+	runs := src.arr[i].Agent.Runs()
+	walRuns := make([]wal.Run[K, V], 0, len(runs))
+	for _, r := range runs {
+		if r.Cold == nil {
+			walRuns = append(walRuns, wal.Run[K, V]{Batch: r.Batch})
+			continue
+		}
+		ref, ok := block.Ref[K, V](r.Cold)
+		if !ok {
+			return fmt.Errorf("server: source %q holds a cold run of unknown origin", src.nm)
+		}
+		walRuns = append(walRuns, wal.Run[K, V]{Ref: ref})
+	}
+	since := src.arr[i].Agent.CompactionFrontier()
+	if err := src.logs[i].RotateRuns(since.Clone(), walRuns); err != nil {
+		return err
+	}
+	src.stores[i].GCDead()
+	return nil
+}
+
+// SpillStats reports the cold tier's state summed across workers: block
+// files currently on disk and spilled runs the live traces reference. Both
+// are zero for a source without SpillBytes. After a quiescent checkpoint the
+// two agree (every file is named by exactly one live run); files may exceed
+// refs transiently between a merge retiring a run and the next checkpoint's
+// dead-file collection.
+func (src *Source[K, V]) SpillStats() (files, refs int, err error) {
+	if len(src.stores) == 0 {
+		return 0, 0, nil
+	}
+	perr := make([]error, len(src.stores))
+	pf := make([]int, len(src.stores))
+	pr := make([]int, len(src.stores))
+	p := src.s.c.PostEach(func(w *timely.Worker) {
+		i := w.Index()
+		if src.stores[i] == nil {
+			return
+		}
+		names, lerr := src.stores[i].LiveFiles()
+		if lerr != nil {
+			perr[i] = lerr
+			return
+		}
+		pf[i] = len(names)
+		for _, r := range src.arr[i].Agent.Runs() {
+			if r.Cold != nil {
+				pr[i]++
+			}
+		}
+	})
+	p.Wait()
+	if p.Aborted() {
+		return 0, 0, ErrClosed
+	}
+	for i := range pf {
+		files += pf[i]
+		refs += pr[i]
+	}
+	return files, refs, errors.Join(perr...)
 }
 
 // logBytes is the type-erased hook behind Server.LogBytes.

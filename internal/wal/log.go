@@ -36,10 +36,15 @@ type Options struct {
 // contiguous chain of logged batches, the last logged compaction frontier,
 // and the frontier through which the shard had sealed.
 type ShardState[K, V any] struct {
-	Batches []*core.Batch[K, V] // contiguous lower/upper chain, oldest first
-	Since   lattice.Frontier    // last logged compaction-frontier advance
-	Upper   lattice.Frontier    // upper of the last logged batch
-	Torn    bool                // a torn/corrupt tail was discarded on replay
+	Batches []*core.Batch[K, V] // decoded batch records only, oldest first
+	// Runs is the full recovered chain in order, including spilled runs
+	// recovered as block references. For a log without references it
+	// parallels Batches; restore paths that understand the disk tier use
+	// Runs, legacy paths use Batches.
+	Runs  []Run[K, V]
+	Since lattice.Frontier // last logged compaction-frontier advance
+	Upper lattice.Frontier // upper of the last logged batch
+	Torn  bool             // a torn/corrupt tail was discarded on replay
 }
 
 // ShardLog is the append-only log of one worker's shard of one arrangement.
@@ -179,12 +184,24 @@ func replayBytes[K, V any](kc Codec[K], vc Codec[V],
 			if derr != nil {
 				return &CorruptError{Offset: off, Reason: derr.Error()}
 			}
-			if len(st.Batches) > 0 && !b.Lower.Equal(st.Upper) {
+			if len(st.Runs) > 0 && !b.Lower.Equal(st.Upper) {
 				return &CorruptError{Offset: off, Reason: fmt.Sprintf(
 					"batch lower %v breaks chain at %v", b.Lower, st.Upper)}
 			}
 			st.Batches = append(st.Batches, b)
+			st.Runs = append(st.Runs, Run[K, V]{Batch: b})
 			st.Upper = b.Upper.Clone()
+		case recBlockRef:
+			ref, derr := decodeBlockRef(c)
+			if derr != nil {
+				return &CorruptError{Offset: off, Reason: derr.Error()}
+			}
+			if len(st.Runs) > 0 && !ref.Lower.Equal(st.Upper) {
+				return &CorruptError{Offset: off, Reason: fmt.Sprintf(
+					"block ref lower %v breaks chain at %v", ref.Lower, st.Upper)}
+			}
+			st.Runs = append(st.Runs, Run[K, V]{Ref: ref})
+			st.Upper = ref.Upper.Clone()
 		case recSince:
 			f, derr := c.frontier()
 			if derr != nil {
@@ -276,7 +293,6 @@ func (l *ShardLog[K, V]) AdvanceSince(f lattice.Frontier) error {
 // appends extend the new generation, so the log stays proportional to the
 // live collection plus the tail sealed since the last checkpoint.
 func (l *ShardLog[K, V]) Rotate(since lattice.Frontier, batches []*core.Batch[K, V]) error {
-	next := l.gen + 1
 	var data []byte
 	l.pbuf = append(l.pbuf[:0], recSince)
 	l.pbuf = appendFrontier(l.pbuf, since)
@@ -286,7 +302,14 @@ func (l *ShardLog[K, V]) Rotate(since lattice.Frontier, batches []*core.Batch[K,
 		l.pbuf = appendBatch(l.pbuf, l.kc, l.vc, b)
 		data = appendRecord(data, l.pbuf)
 	}
+	return l.installGeneration(data)
+}
 
+// installGeneration writes data as the next generation, atomically renames
+// it into place, and deletes the superseded generation (the shared tail of
+// Rotate and RotateRuns).
+func (l *ShardLog[K, V]) installGeneration(data []byte) error {
+	next := l.gen + 1
 	tmp := filepath.Join(l.dir, fmt.Sprintf("gen-%08d.tmp", next))
 	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

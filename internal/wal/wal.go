@@ -29,7 +29,13 @@
 // Record framing is length-prefixed and CRC-checksummed:
 //
 //	u32 payload length | u32 CRC32-C(payload) | payload
-//	payload = u8 kind | body      (kind 1 = batch, kind 2 = since)
+//	payload = u8 kind | body      (kind 1 = batch, kind 2 = since,
+//	                               kind 3 = block reference)
+//
+// Kind 3 records make a generation a manifest for disk-tiered traces: a
+// spilled run's columns already live in a CRC-framed block file (see
+// internal/block), so the checkpoint references it by name instead of
+// rewriting it into the log.
 //
 // A torn tail — the expected artifact of a crash mid-append — fails the
 // length or CRC check and is truncated away, recovering the longest valid
@@ -47,8 +53,9 @@ import (
 
 // Record kinds.
 const (
-	recBatch byte = 1 // one sealed (or snapshot) batch
-	recSince byte = 2 // a compaction-frontier advance
+	recBatch    byte = 1 // one sealed (or snapshot) batch
+	recSince    byte = 2 // a compaction-frontier advance
+	recBlockRef byte = 3 // a spilled run, referenced by block-file name
 )
 
 // maxRecordLen bounds a single record's payload; longer length prefixes are

@@ -59,6 +59,32 @@ func ReadRecord(r io.Reader, maxLen uint32) ([]byte, error) {
 	return payload, nil
 }
 
+// SplitRecord parses one framed record from the front of data, verifying
+// length and checksum, and returns the payload plus the remaining bytes.
+// The payload aliases data (no copy). A short header/payload, an oversized
+// length, or a checksum mismatch returns a *FrameError — unlike log replay,
+// a caller of SplitRecord (e.g. the block-file decoder) reads an artifact
+// that was written atomically, so damage anywhere is corruption, not a torn
+// tail.
+func SplitRecord(data []byte, maxLen uint32) (payload, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, &FrameError{Reason: fmt.Sprintf("short record header: %d bytes", len(data))}
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxLen {
+		return nil, nil, &FrameError{Reason: fmt.Sprintf("record length %d exceeds limit %d", n, maxLen)}
+	}
+	if uint64(n) > uint64(len(data)-8) {
+		return nil, nil, &FrameError{Reason: fmt.Sprintf("record length %d exceeds remaining %d bytes", n, len(data)-8)}
+	}
+	payload = data[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, nil, &FrameError{Reason: "payload checksum mismatch"}
+	}
+	return payload, data[8+n:], nil
+}
+
 // AppendU32 appends a little-endian uint32.
 func AppendU32(dst []byte, v uint32) []byte { return appendU32(dst, v) }
 
@@ -70,6 +96,9 @@ func AppendString(dst []byte, s string) []byte {
 	dst = appendU32(dst, uint32(len(s)))
 	return append(dst, s...)
 }
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
 
 // AppendTime appends a logical time (depth, then coordinates).
 func AppendTime(dst []byte, t lattice.Time) []byte { return appendTime(dst, t) }
@@ -115,6 +144,16 @@ func (d *Dec) String() (string, error) {
 	s := string(d.c.buf[d.c.off : d.c.off+int(n)])
 	d.c.off += int(n)
 	return s, nil
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.c.buf[d.c.off:])
+	if n <= 0 {
+		return 0, d.c.fail("bad uvarint")
+	}
+	d.c.off += n
+	return v, nil
 }
 
 // Time reads a logical time.

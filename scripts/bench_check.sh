@@ -11,6 +11,10 @@
 #                           load of the open-loop sweep
 #   GC_MIN   (default 1.05) wal_group_commit_speedup_x   group commit over
 #                           per-record fsync, durable ingest
+# and one slowdown ratio gates on a ceiling:
+#   OOCORE_MAX (default 3.0) oocore_join_slowdown_x      point-lookup probes
+#                           against a spilled spine (disk tier) over the
+#                           fully resident twin
 # Metrics present in the current run but absent from the baseline are
 # tolerated — new metrics land before their baseline is re-recorded — while
 # baseline metrics missing from the run still fail. Baselines are
@@ -24,9 +28,12 @@ cd "$(dirname "$0")/.."
 WIDE_MIN="${WIDE_MIN:-1.3}"
 OL_MIN="${OL_MIN:-1.2}"
 GC_MIN="${GC_MIN:-1.05}"
+OOCORE_MAX="${OOCORE_MAX:-3.0}"
 if [ -n "${BENCH_JSON:-}" ]; then
     exec go run ./cmd/kpg bench -json -baseline BENCH_baseline.json \
-        -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" "$@" > "$BENCH_JSON"
+        -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" \
+        -oocore-max "$OOCORE_MAX" "$@" > "$BENCH_JSON"
 fi
 exec go run ./cmd/kpg bench -baseline BENCH_baseline.json \
-    -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" "$@"
+    -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" \
+    -oocore-max "$OOCORE_MAX" "$@"

@@ -5,13 +5,20 @@
 # uninterrupted run's. Also asserts the restart actually resumed from the
 # batch log (recovered epoch >= 1) rather than replaying from scratch.
 #
-# Two legs share the harness:
+# Three legs share the harness:
 #   default       buffered appends (no fsync), the original coverage;
 #   group-commit  -fsync -group-commit-ms 5, so the SIGKILL lands between
 #                 group fsyncs — the process dies with appends the committer
 #                 has not yet synced, and recovery must still converge (the
 #                 page cache survives a process crash; group commit only
-#                 widens the machine-crash window, never the process one).
+#                 widens the machine-crash window, never the process one);
+#   spill         -spill-bytes 2048, so maintenance merges continuously
+#                 evict runs to block files and the SIGKILL lands with
+#                 spilled runs on disk, most of them unreferenced by the
+#                 last manifest. Recovery must converge to the exact RESULT
+#                 and leave zero orphans: the final `SPILL files=N refs=M`
+#                 line must have files == refs > 0, and the on-disk *.blk
+#                 census must equal N.
 #
 # "sealed epoch N" prints on completion, not submission, so the kill point
 # guarantees epoch N's batches are in the log before the signal lands.
@@ -58,6 +65,17 @@ leg() {
     wait "$pid" 2>/dev/null || true
     echo "$name: killed -9 after: $(tail -n 1 "$dir.b1.out")"
 
+    # The spill leg is only meaningful if the kill actually left block files
+    # behind for recovery to adopt or collect.
+    if [ "$name" = "spill" ]; then
+        ncrash=$(find "$dir/b" -name '*.blk' | wc -l)
+        if [ "$ncrash" -eq 0 ]; then
+            echo "FAIL($name): no block files on disk at kill time" >&2
+            exit 1
+        fi
+        echo "$name: $ncrash block files on disk at kill time"
+    fi
+
     # Recover and finish the stream.
     $bin $run "$@" -data-dir "$dir/b" -recover serve > "$dir.b2.out" 2>&1
     rec=$(sed -n 's/^recovered "edges" through epoch \([0-9][0-9]*\).*/\1/p' "$dir.b2.out")
@@ -76,9 +94,34 @@ leg() {
         exit 1
     fi
     echo "$name: OK: $(cat "$dir.b.result") matches uninterrupted run"
+
+    # Spill leg: the recovered server's final checkpoint must leave exactly
+    # the manifest-referenced block files on disk — no orphans from either
+    # the crash or the recovery's own re-spilling.
+    if [ "$name" = "spill" ]; then
+        files=$(sed -n 's/^SPILL files=\([0-9][0-9]*\) refs=[0-9][0-9]*$/\1/p' "$dir.b2.out")
+        refs=$(sed -n 's/^SPILL files=[0-9][0-9]* refs=\([0-9][0-9]*\)$/\1/p' "$dir.b2.out")
+        if [ -z "$files" ] || [ -z "$refs" ]; then
+            echo "FAIL($name): recovered run printed no SPILL line" >&2
+            cat "$dir.b2.out" >&2
+            exit 1
+        fi
+        if [ "$files" -eq 0 ] || [ "$files" != "$refs" ]; then
+            echo "FAIL($name): SPILL files=$files refs=$refs (want equal, nonzero)" >&2
+            exit 1
+        fi
+        ondisk=$(find "$dir/b" -name '*.blk' | wc -l)
+        if [ "$ondisk" -ne "$files" ]; then
+            echo "FAIL($name): $ondisk *.blk files on disk, manifest owns $files (orphans)" >&2
+            find "$dir/b" -name '*.blk' >&2
+            exit 1
+        fi
+        echo "$name: no orphans: $files block files, all manifest-referenced"
+    fi
 }
 
-mkdir -p "$tmp/buffered" "$tmp/group-commit"
+mkdir -p "$tmp/buffered" "$tmp/group-commit" "$tmp/spill"
 leg buffered
 leg group-commit -fsync -group-commit-ms 5
-echo "OK: crash-recovery smoke passed (buffered + group-commit)"
+leg spill -spill-bytes 2048
+echo "OK: crash-recovery smoke passed (buffered + group-commit + spill)"
