@@ -190,6 +190,29 @@ func runIngestionSweep(rep *BenchReport, print bool) {
 	}
 }
 
+// runPlanShare runs the shared sub-plan install experiment once (it is
+// already a same-run cold/warm comparison) and folds its metrics in.
+// plan_shared_subplan_speedup_x — cold Datalog TC install-to-complete over a
+// follow-up query resolving the same fixpoint from the registry — gates
+// against an absolute floor (-plan-min); the planning-time and install-time
+// metrics are informational (_ns).
+func runPlanShare(rep *BenchReport, print bool) {
+	res, err := experiments.SharedSubplanSpeedup(2, 400, 900, 5)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: planshare: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Metrics["plan_shared_subplan_speedup_x"] = res.SpeedupX
+	rep.Metrics["plan_planning_time_ns"] = float64(res.PlanNs)
+	rep.Metrics["plan_cold_install_ns"] = float64(res.Cold.Nanoseconds())
+	rep.Metrics["plan_warm_install_ns"] = float64(res.Warm.Nanoseconds())
+	if print {
+		fmt.Fprintf(os.Stderr, "%-44s %14.2f  (cold %s, warm %s, planned in %dns, %d arrangement)\n",
+			"plan_shared_subplan_speedup_x", res.SpeedupX, res.Cold, res.Warm,
+			res.PlanNs, res.Stats.Installs)
+	}
+}
+
 // runOutOfCore runs the disk-tier probe experiment once (it is already a
 // same-run A/B of two spines over one history) and folds its metrics in.
 // oocore_join_slowdown_x is the spilled-over-resident point-lookup ratio at a
@@ -220,6 +243,7 @@ func bench() {
 	olMin := fs.Float64("ol-min", 1.2, "minimum adaptive-over-static open-loop p99 gain at the top offered load (0 disables)")
 	gcMin := fs.Float64("gc-min", 1.05, "minimum group-commit-over-per-record durable ingest speedup (0 disables)")
 	oocoreMax := fs.Float64("oocore-max", 3.0, "maximum spilled-over-resident join slowdown at a 25% resident budget (0 disables)")
+	planMin := fs.Float64("plan-min", 1.5, "minimum cold-over-warm shared sub-plan install speedup (0 disables)")
 	oocoreOnly := fs.Bool("oocore-only", false, "run only the out-of-core probe experiment with its ceiling gate; skip the benchmark set, the sweep, and baseline comparison")
 	sweepOnly := fs.Bool("sweep-only", false, "run only the ingestion-control sweep with its floor gates; skip the benchmark set and baseline comparison")
 	reps := fs.Int("reps", 3, "repetitions per metric (best value wins)")
@@ -282,6 +306,7 @@ func bench() {
 			rep.Metrics["fig6w_colstore_speedup_x"] = col / row
 		}
 		runOutOfCore(&rep, !*jsonOut)
+		runPlanShare(&rep, !*jsonOut)
 	}
 	runIngestionSweep(&rep, !*jsonOut)
 
@@ -330,6 +355,7 @@ func bench() {
 	checkFloor("openloop_adaptive_p99_gain_x", *olMin)
 	checkFloor("wal_group_commit_speedup_x", *gcMin)
 	checkCeiling("oocore_join_slowdown_x", *oocoreMax)
+	checkFloor("plan_shared_subplan_speedup_x", *planMin)
 	if *baseline == "" {
 		if failed {
 			fmt.Fprintln(os.Stderr, "bench: ratio floor violated")

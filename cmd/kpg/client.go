@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	knet "repro/internal/net"
+	"repro/internal/plan"
 )
 
 var (
@@ -18,8 +19,14 @@ var (
 
 const clientUsage = `usage: kpg client <verb> [args]  (server chosen with -addr)
 
-  install <name> <query...>   install a named query, e.g.
+  install <name> <query...>   install a named query from the pipeline
+                              grammar, e.g.
                                 kpg client install big 'edges | keymod 2 0 | count'
+  install <name> -datalog <program>
+                              compile a Datalog program client-side and ship
+                              the plan (requires a protocol v3 server), e.g.
+                                kpg client install tc -datalog \
+                                  'tc(x,y) :- edges(x,y). tc(x,z) :- tc(x,y), edges(y,z).'
   uninstall <name>            remove a query (its watchers' streams end)
   update <source> <k:v[:d]>…  apply deltas at the current epoch (d defaults to 1)
   advance <source>            seal the current epoch (publishes results)
@@ -53,6 +60,26 @@ func client() {
 		if len(args) < 2 {
 			fmt.Fprint(os.Stderr, clientUsage)
 			os.Exit(2)
+		}
+		if args[1] == "-datalog" {
+			if len(args) < 3 {
+				fmt.Fprint(os.Stderr, clientUsage)
+				os.Exit(2)
+			}
+			src := strings.Join(args[2:], " ")
+			prog, err := plan.ParseDatalog(src)
+			if err != nil {
+				fail(err)
+			}
+			root, info, err := plan.Compile(prog)
+			if err != nil {
+				fail(err)
+			}
+			if err := c.InstallPlan(args[0], src, root); err != nil {
+				fail(err)
+			}
+			fmt.Printf("installed %q from datalog (planned in %dns)\n", args[0], info.PlanNs)
+			return
 		}
 		query := strings.Join(args[1:], " ")
 		if err := c.Install(args[0], query); err != nil {

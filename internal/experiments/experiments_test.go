@@ -154,3 +154,19 @@ func TestMergeLevelsSmoke(t *testing.T) {
 		t.Fatalf("want 3 levels")
 	}
 }
+
+func TestSharedSubplanSpeedupSmoke(t *testing.T) {
+	res, err := SharedSubplanSpeedup(2, 120, 260, 3)
+	if err != nil {
+		t.Fatalf("SharedSubplanSpeedup: %v", err)
+	}
+	if res.Cold <= 0 || res.Warm <= 0 || res.SpeedupX <= 0 {
+		t.Fatalf("degenerate timings: %+v", res)
+	}
+	if res.Stats.Installs != 1 || res.Stats.Hits != 3 {
+		t.Fatalf("registry stats %+v, want 1 install and 3 hits", res.Stats)
+	}
+	if res.PlanNs <= 0 {
+		t.Fatalf("planning time %d, want > 0", res.PlanNs)
+	}
+}

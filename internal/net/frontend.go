@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dd"
 	"repro/internal/lattice"
+	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/timely"
 	"repro/internal/wal"
@@ -34,7 +36,28 @@ type Frontend struct {
 	ln       net.Listener
 	closed   bool
 
+	// The shared sub-plan registry: every stateful sub-plan a query installs
+	// becomes a refcounted derived arrangement keyed by its canonical form
+	// (plan.Node.Key), so a second query containing the same sub-plan — from
+	// any client, in either surface syntax — imports the existing arrangement
+	// instead of building its own. instMu serializes installs and uninstalls
+	// end to end: concurrent installs of the same sub-plan must observe each
+	// other, not race to build it twice.
+	instMu      sync.Mutex
+	shared      map[string]*sharedEntry
+	sharedOrder []*sharedEntry // install order: children strictly before parents
+	installs    int            // derived arrangements built
+	hits        int            // sub-plan resolutions served from the registry
+
 	wg sync.WaitGroup // accept loop, connection handlers, query pumps
+}
+
+// sharedEntry is one installed shared sub-plan: a derived arrangement plus
+// the number of installed queries currently resolving through it.
+type sharedEntry struct {
+	key  string
+	d    *server.Derived[uint64, uint64]
+	refs int
 }
 
 // FrontendOptions tunes the frontend's ingestion control loop and its
@@ -67,6 +90,7 @@ type netQuery struct {
 	name, text string
 	q          *server.Query
 	hub        *hub
+	held       []*sharedEntry // registry references released at uninstall
 }
 
 // ErrFrontendClosed reports an operation against a closed frontend.
@@ -92,6 +116,7 @@ func NewFrontendOpts(srv *server.Server, opt FrontendOptions) *Frontend {
 		batchers: make(map[string]*server.Batcher[uint64, uint64]),
 		queries:  make(map[string]*netQuery),
 		conns:    make(map[net.Conn]struct{}),
+		shared:   make(map[string]*sharedEntry),
 	}
 }
 
@@ -115,17 +140,32 @@ func (fe *Frontend) RegisterSource(src *server.Source[uint64, uint64]) error {
 	return nil
 }
 
-// Install parses a query text, installs its dataflow against the shared
-// arrangements (snapshot import plus live batches), and begins collecting
-// its per-epoch result deltas for subscribers.
+// Install parses a pipeline query text (the v2 grammar), desugars it to the
+// plan IR, and installs it — the same path InstallPlan takes, so a pipeline
+// and a Datalog program with identical sub-plans share arrangements.
 func (fe *Frontend) Install(name, text string) error {
-	if name == "" {
-		return fmt.Errorf("net: query name must be non-empty")
-	}
-	pl, err := ParseQuery(text)
+	root, err := ParseQuery(text)
 	if err != nil {
 		return err
 	}
+	return fe.InstallPlan(name, text, root)
+}
+
+// InstallPlan installs a relational plan under the given name: its stateful
+// sub-plans are materialized as shared derived arrangements (reusing any
+// already installed by other queries), the remaining stateless glue is built
+// as the query's own dataflow over snapshot imports, and its per-epoch result
+// deltas begin collecting for subscribers. The text is only for listings.
+func (fe *Frontend) InstallPlan(name, text string, root *plan.Node) error {
+	if name == "" {
+		return fmt.Errorf("net: query name must be non-empty")
+	}
+	if err := root.Validate(); err != nil {
+		return err
+	}
+	fe.instMu.Lock()
+	defer fe.instMu.Unlock()
+
 	fe.mu.Lock()
 	if fe.closed {
 		fe.mu.Unlock()
@@ -136,20 +176,36 @@ func (fe *Frontend) Install(name, text string) error {
 		srcs[n] = s
 	}
 	fe.mu.Unlock()
-	for _, s := range pl.sources(nil) {
+	for _, s := range root.Sources() {
 		if srcs[s] == nil {
 			return fmt.Errorf("net: query %q reads unknown source %q", name, s)
 		}
 	}
 
+	// Materialize the plan's stateful sub-plans bottom-up: each resolves to
+	// an existing registry entry or installs a new derived arrangement whose
+	// own build imports the entries below it.
+	var held []*sharedEntry
+	for _, p := range plan.SharedParts(root) {
+		e, err := fe.ensurePart(p, srcs)
+		if err != nil {
+			fe.releaseLocked(held)
+			return err
+		}
+		held = append(held, e)
+	}
+	resolve := fe.resolveSnapshot()
+
 	h := newHub(fe.hubOpt)
+	berrs := make([]error, fe.srv.Workers())
 	q, err := fe.srv.Install(name, func(w *timely.Worker, g *timely.Graph) server.Built {
-		b := &builder{g: g, sources: srcs}
-		out := pl.build(b)
+		out, imports, err := buildInto(root, g, srcs, resolve)
+		if err != nil {
+			berrs[w.Index()] = err
+		}
 		dd.Inspect(out, func(k, v uint64, t lattice.Time, d core.Diff) {
 			h.add(t.Epoch(), k, v, int64(d))
 		})
-		imports := b.imports
 		return server.Built{Probe: dd.Probe(out), Teardown: func() {
 			for _, a := range imports {
 				if a.Cancel != nil {
@@ -158,16 +214,24 @@ func (fe *Frontend) Install(name, text string) error {
 			}
 		}}
 	})
+	if err == nil {
+		if berr := errors.Join(berrs...); berr != nil {
+			q.Uninstall()
+			err = berr
+		}
+	}
 	if err != nil {
+		fe.releaseLocked(held)
 		return err
 	}
-	nq := &netQuery{name: name, text: text, q: q, hub: h}
+	nq := &netQuery{name: name, text: text, q: q, hub: h, held: held}
 
 	fe.mu.Lock()
 	if fe.closed {
 		fe.mu.Unlock()
 		h.close()
 		q.Uninstall()
+		fe.releaseLocked(held)
 		return ErrFrontendClosed
 	}
 	fe.queries[name] = nq
@@ -175,6 +239,160 @@ func (fe *Frontend) Install(name, text string) error {
 	fe.mu.Unlock()
 	go fe.pump(nq)
 	return nil
+}
+
+// ensurePart resolves one stateful sub-plan to its registry entry, taking a
+// reference: a registry hit reuses the installed derived arrangement, a miss
+// installs one (its children are already registered — SharedParts orders
+// children first). Caller holds instMu.
+func (fe *Frontend) ensurePart(p *plan.Node, srcs map[string]*server.Source[uint64, uint64]) (*sharedEntry, error) {
+	key := p.Key()
+	if e := fe.shared[key]; e != nil {
+		e.refs++
+		fe.hits++
+		return e, nil
+	}
+	resolve := fe.resolveSnapshot()
+	berrs := make([]error, fe.srv.Workers())
+	d, err := server.InstallDerived(fe.srv, partName(key), core.U64(),
+		func(w *timely.Worker, g *timely.Graph) (dd.Collection[uint64, uint64], func()) {
+			out, imports, err := buildInto(p, g, srcs, resolve)
+			if err != nil {
+				berrs[w.Index()] = err
+			}
+			return out, func() {
+				for _, a := range imports {
+					if a.Cancel != nil {
+						a.Cancel()
+					}
+				}
+			}
+		})
+	if err == nil {
+		if berr := errors.Join(berrs...); berr != nil {
+			d.Uninstall()
+			err = berr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &sharedEntry{key: key, d: d, refs: 1}
+	fe.shared[key] = e
+	fe.sharedOrder = append(fe.sharedOrder, e)
+	fe.installs++
+	return e, nil
+}
+
+// resolveSnapshot captures the registry for use inside build closures (which
+// run on worker goroutines while instMu is held by the installer).
+func (fe *Frontend) resolveSnapshot() map[string]*server.Derived[uint64, uint64] {
+	resolve := make(map[string]*server.Derived[uint64, uint64], len(fe.shared))
+	for k, e := range fe.shared {
+		resolve[k] = e.d
+	}
+	return resolve
+}
+
+// releaseLocked drops one reference from each held entry, then uninstalls
+// every zero-reference entry in reverse install order — parents before the
+// children they import, so no live dataflow loses a producer. Caller holds
+// instMu.
+func (fe *Frontend) releaseLocked(held []*sharedEntry) {
+	for _, e := range held {
+		e.refs--
+	}
+	for i := len(fe.sharedOrder) - 1; i >= 0; i-- {
+		e := fe.sharedOrder[i]
+		if e.refs > 0 {
+			continue
+		}
+		delete(fe.shared, e.key)
+		fe.sharedOrder = append(fe.sharedOrder[:i], fe.sharedOrder[i+1:]...)
+		e.d.Uninstall()
+	}
+}
+
+// buildInto builds root onto g, importing base relations from srcs and
+// already-installed sub-plans from resolve; it returns the imports for
+// teardown. On error the returned collection is a valid (empty, closed)
+// input, so the enclosing dataflow stays well-formed while the error
+// propagates — with a validated plan and resolvable sources no error is
+// reachable, but a network-facing server degrades rather than panics.
+func buildInto(root *plan.Node, g *timely.Graph,
+	srcs map[string]*server.Source[uint64, uint64],
+	resolve map[string]*server.Derived[uint64, uint64],
+) (dd.Collection[uint64, uint64], []*core.Arranged[uint64, uint64], error) {
+
+	var imports []*core.Arranged[uint64, uint64]
+	env := plan.Env{
+		Source: func(rel string) (*core.Arranged[uint64, uint64], error) {
+			src := srcs[rel]
+			if src == nil {
+				return nil, fmt.Errorf("net: unknown source %q", rel)
+			}
+			a := src.ImportInto(g)
+			imports = append(imports, a)
+			return a, nil
+		},
+		Shared: func(key string) *core.Arranged[uint64, uint64] {
+			d := resolve[key]
+			if d == nil {
+				return nil
+			}
+			a := d.ImportInto(g)
+			imports = append(imports, a)
+			return a
+		},
+	}
+	out, err := plan.Build(root, env)
+	if err != nil {
+		in, c := dd.NewInput[uint64, uint64](g)
+		in.Close()
+		return c, imports, err
+	}
+	return out, imports, nil
+}
+
+// partName derives the server-side query name for a shared sub-plan from its
+// canonical key.
+func partName(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("plan-%016x", h.Sum64())
+}
+
+// SharedStats reports the shared sub-plan registry's state: live entries,
+// derived arrangements installed so far, and sub-plan resolutions served by
+// an existing installation instead of a rebuild. Tests and benchmarks assert
+// sharing on it: two queries with a common sub-plan must show one install
+// plus one hit, not two installs.
+type SharedStats struct {
+	Entries  int
+	Installs int
+	Hits     int
+}
+
+// SharedStats returns the current registry counters.
+func (fe *Frontend) SharedStats() SharedStats {
+	fe.instMu.Lock()
+	defer fe.instMu.Unlock()
+	return SharedStats{Entries: len(fe.shared), Installs: fe.installs, Hits: fe.hits}
+}
+
+// WaitComplete blocks until the named query's results reflect every sealed
+// epoch up to and including epoch on all workers, returning false if the
+// query is not installed or the server closes first. In-process callers
+// (benchmarks, the serve path) use it to time install-to-complete without a
+// network subscription.
+func (fe *Frontend) WaitComplete(query string, epoch uint64) bool {
+	fe.mu.Lock()
+	nq := fe.queries[query]
+	fe.mu.Unlock()
+	if nq == nil {
+		return false
+	}
+	return fe.srv.WaitFor(func() bool { return nq.q.Done(epoch) })
 }
 
 // pump publishes epochs to the query's hub as the probe passes them. It is
@@ -211,6 +429,9 @@ func (fe *Frontend) Uninstall(name string) error {
 	nq.hub.close()
 	fe.srv.Wake() // unpark the pump
 	nq.q.Uninstall()
+	fe.instMu.Lock()
+	fe.releaseLocked(nq.held)
+	fe.instMu.Unlock()
 	return nil
 }
 
@@ -353,6 +574,14 @@ func (fe *Frontend) Close() {
 	for _, nq := range queries {
 		nq.q.Uninstall()
 	}
+	// With every shell query gone, drain the registry parents-first.
+	fe.instMu.Lock()
+	for i := len(fe.sharedOrder) - 1; i >= 0; i-- {
+		fe.sharedOrder[i].d.Uninstall()
+	}
+	fe.shared = make(map[string]*sharedEntry)
+	fe.sharedOrder = nil
+	fe.instMu.Unlock()
 	for _, b := range batchers {
 		b.Flush() // seal anything coalesced so nothing is silently pending
 		b.Close()
@@ -396,12 +625,20 @@ func (fe *Frontend) handleConn(conn net.Conn) {
 		write(encodeErr("net: expected hello"))
 		return
 	}
-	if req.magic != Magic || req.version != Version {
-		write(encodeErr(fmt.Sprintf("net: protocol mismatch (want magic %08x version %d)",
-			Magic, Version)))
+	if req.magic != Magic || req.version < MinVersion || req.version > Version {
+		write(encodeErr(fmt.Sprintf("net: protocol mismatch (want magic %08x version %d-%d)",
+			Magic, MinVersion, Version)))
 		return
 	}
-	if err := write(encodeOK(uint64(fe.srv.Workers()))); err != nil {
+	// The session speaks the client's version. A v2 hello reply keeps its
+	// exact historical shape (the worker count alone); v3 echoes the
+	// negotiated version in the reply's high half.
+	version := req.version
+	reply := uint64(fe.srv.Workers())
+	if version >= 3 {
+		reply |= uint64(version) << 32
+	}
+	if err := write(encodeOK(reply)); err != nil {
 		return
 	}
 
@@ -424,6 +661,16 @@ func (fe *Frontend) handleConn(conn net.Conn) {
 			}
 		case reqInstall:
 			if fe.reply(write, 0, fe.Install(req.name, req.text)) != nil {
+				return
+			}
+		case reqInstallPlan:
+			if version < 3 {
+				if write(encodeErr("net: install-plan requires a protocol v3 session")) != nil {
+					return
+				}
+				continue
+			}
+			if fe.reply(write, 0, fe.installPlanBytes(req.name, req.text, req.blob)) != nil {
 				return
 			}
 		case reqUninstall:
@@ -475,6 +722,16 @@ func (fe *Frontend) handleConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// installPlanBytes decodes a wire-encoded plan and installs it. Decode never
+// panics and validates the plan, so arbitrary bytes yield a clean respErr.
+func (fe *Frontend) installPlanBytes(name, text string, blob []byte) error {
+	root, err := plan.Decode(blob)
+	if err != nil {
+		return err
+	}
+	return fe.InstallPlan(name, text, root)
 }
 
 // reply writes respOK (with a value) or respErr; its return value is only

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -27,6 +28,9 @@ func FuzzFrameDecode(f *testing.F) {
 		{kind: reqSync, name: "edges"},
 		{kind: reqList},
 		{kind: reqSubscribe, names: []string{"a", "b"}},
+		{kind: reqInstallPlan, name: "p", text: "tc",
+			blob: plan.Encode(plan.Scan("edges").JoinRight(plan.Scan("edges")).Count())},
+		{kind: reqInstallPlan, name: "p", text: "t", blob: []byte("not a plan")},
 	}
 	for _, r := range reqs {
 		f.Add(encodeRequest(r))
@@ -55,9 +59,15 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		// Decoders over the raw bytes directly (bit-flipped payloads that
 		// never had a valid frame).
-		if req, err := decodeRequest(data); err == nil && req.kind == reqInstall {
-			// Parsed install requests feed the query parser.
-			ParseQuery(req.text)
+		if req, err := decodeRequest(data); err == nil {
+			switch req.kind {
+			case reqInstall:
+				// Parsed install requests feed the query parser.
+				ParseQuery(req.text)
+			case reqInstallPlan:
+				// Parsed install-plan requests feed the plan decoder.
+				plan.Decode(req.blob)
+			}
 		}
 		decodeResponse(data)
 		ParseQuery(string(data))

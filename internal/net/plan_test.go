@@ -1,0 +1,481 @@
+package net
+
+import (
+	"errors"
+	stdnet "net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/graspan"
+	"repro/internal/lattice"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/timely"
+)
+
+// The Datalog forms of the reference recursive queries. The recursive SG
+// rule carries the x != y constraint exactly as the hand-built dataflow
+// filters it, so the two compute literally the same relation.
+const (
+	tcProg = `tc(x, y) :- edges(x, y).
+	          tc(x, z) :- tc(x, y), edges(y, z).`
+	sgProg = `sg(x, y) :- edges(p, x), edges(p, y), x != y.
+	          sg(x, y) :- edges(px, x), edges(py, y), sg(px, py), x != y.`
+)
+
+// startFrontendSources launches a server with the named sources behind a
+// frontend (startFrontend hard-codes a single "edges" source).
+func startFrontendSources(t *testing.T, workers int, names ...string) (*Frontend, string) {
+	t.Helper()
+	srv := server.New(workers)
+	fe := NewFrontend(srv)
+	for _, n := range names {
+		src, err := server.NewSource(srv, n, core.U64())
+		if err != nil {
+			srv.Close()
+			t.Fatalf("NewSource %q: %v", n, err)
+		}
+		if err := fe.RegisterSource(src); err != nil {
+			t.Fatalf("RegisterSource %q: %v", n, err)
+		}
+	}
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() {
+		fe.Close()
+		srv.Close()
+	})
+	return fe, ln.Addr().String()
+}
+
+// installDatalog compiles a Datalog program client-side — exactly what the
+// CLI's install -datalog path does — and ships the plan over the wire.
+func installDatalog(t *testing.T, c *Client, name, src string) {
+	t.Helper()
+	prog, err := plan.ParseDatalog(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", name, err)
+	}
+	root, _, err := plan.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile %q: %v", name, err)
+	}
+	if err := c.InstallPlan(name, src, root); err != nil {
+		t.Fatalf("install plan %q: %v", name, err)
+	}
+}
+
+// pushEdges feeds an edge list to a source as one sealed epoch and waits for
+// it to be reflected on all workers.
+func pushEdges(t *testing.T, c *Client, source string, edges []graphs.Edge) uint64 {
+	t.Helper()
+	upds := make([]Delta, len(edges))
+	for i, e := range edges {
+		upds[i] = Delta{Key: e.Src, Val: e.Dst, Diff: 1}
+	}
+	if err := c.Update(source, upds); err != nil {
+		t.Fatalf("update %s: %v", source, err)
+	}
+	sealed, err := c.Advance(source)
+	if err != nil {
+		t.Fatalf("advance %s: %v", source, err)
+	}
+	if err := c.Sync(source); err != nil {
+		t.Fatalf("sync %s: %v", source, err)
+	}
+	return sealed
+}
+
+// setOf converts a folded stream state to a set, requiring every surviving
+// record to have multiplicity one (the recursive queries are distinct
+// relations; anything else means the wire result is not the reference one).
+func setOf(t *testing.T, what string, st *state) map[[2]uint64]bool {
+	t.Helper()
+	out := make(map[[2]uint64]bool, len(st.acc))
+	for k, d := range st.acc {
+		if d != 1 {
+			t.Fatalf("%s: record %v has multiplicity %d, want 1", what, k, d)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func sameSet(t *testing.T, what string, got, want map[[2]uint64]bool) {
+	t.Helper()
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("%s: missing %v (got %d records, want %d)", what, p, len(got), len(want))
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Fatalf("%s: spurious %v", what, p)
+		}
+	}
+}
+
+// runHandBuilt evaluates a hand-built dataflow over a static edge set and
+// returns its output as a set (mirrors the datalog package's own test
+// harness, so the wire comparison is against the genuine reference).
+func runHandBuilt(t *testing.T, workers int, edges []graphs.Edge,
+	build func(ec dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64]) map[[2]uint64]bool {
+
+	t.Helper()
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(workers, func(w *timely.Worker) {
+		var in *dd.InputCollection[uint64, uint64]
+		w.Dataflow(func(g *timely.Graph) {
+			ein, ec := dd.NewInput[uint64, uint64](g)
+			in = ein
+			dd.Capture(build(ec), cap)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(in, edges)
+		}
+		in.Close()
+		w.Drain()
+	})
+	out := map[[2]uint64]bool{}
+	for kv, d := range cap.At(lattice.Ts(0)) {
+		if d != 1 {
+			t.Fatalf("hand-built: non-unit multiplicity %d for %v", d, kv)
+		}
+		out[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	return out
+}
+
+// TestDatalogOverWireMatchesHandBuilt is the acceptance cross-check: TC and
+// SG expressed as Datalog, compiled client-side, installed over the wire,
+// and streamed back must be bit-identical to the internal/datalog hand-built
+// dataflows (and both must match the brute-force oracles).
+func TestDatalogOverWireMatchesHandBuilt(t *testing.T) {
+	edges := graphs.Random(25, 40, 5)
+	cases := []struct {
+		name   string
+		prog   string
+		build  func(dd.Collection[uint64, uint64]) dd.Collection[uint64, uint64]
+		oracle map[[2]uint64]bool
+	}{
+		{"tc", tcProg, datalog.TC, datalog.TCOracle(edges)},
+		{"sg", sgProg, datalog.SG, datalog.SGOracle(edges)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hand := runHandBuilt(t, 2, edges, tc.build)
+			sameSet(t, tc.name+": hand-built vs oracle", hand, tc.oracle)
+
+			_, _, addr := startFrontend(t, 2)
+			ctl, err := Dial(addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer ctl.Close()
+			installDatalog(t, ctl, tc.name, tc.prog)
+
+			watcher, err := Dial(addr)
+			if err != nil {
+				t.Fatalf("dial watcher: %v", err)
+			}
+			defer watcher.Close()
+			if err := watcher.Subscribe(tc.name); err != nil {
+				t.Fatalf("subscribe: %v", err)
+			}
+			sealed := pushEdges(t, ctl, "edges", edges)
+			st := watchUntil(t, watcher, sealed)
+			sameSet(t, tc.name+": wire vs hand-built", setOf(t, tc.name, st), hand)
+		})
+	}
+}
+
+// TestDatalogQueriesShareFixpoint is the sharing acceptance: two remote
+// clients install queries whose plans contain the same TC fixpoint — the
+// full relation and a `?- tc(1, y)` restriction — and the registry must
+// build exactly one derived arrangement, serve the second query from it, and
+// sweep it only when the last holder uninstalls.
+func TestDatalogQueriesShareFixpoint(t *testing.T) {
+	fe, _, addr := startFrontend(t, 2)
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial a: %v", err)
+	}
+	defer a.Close()
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial b: %v", err)
+	}
+	defer b.Close()
+
+	installDatalog(t, a, "tc-all", tcProg)
+	if st := fe.SharedStats(); st != (SharedStats{Entries: 1, Installs: 1, Hits: 0}) {
+		t.Fatalf("after first install: stats %+v, want {1 1 0}", st)
+	}
+	installDatalog(t, b, "tc-from-1", tcProg+"\n?- tc(1, y).")
+	if st := fe.SharedStats(); st != (SharedStats{Entries: 1, Installs: 1, Hits: 1}) {
+		t.Fatalf("after second install: stats %+v, want {1 1 1}", st)
+	}
+
+	// Both queries answer correctly through the one shared arrangement.
+	watcher, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial watcher: %v", err)
+	}
+	defer watcher.Close()
+	if err := watcher.Subscribe("tc-all", "tc-from-1"); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	edges := graphs.Chain(8)
+	sealed := pushEdges(t, a, "edges", edges)
+	all, from1 := newState(), newState()
+	for (!all.sawFront || all.frontier < sealed) ||
+		(!from1.sawFront || from1.frontier < sealed) {
+		ev, err := watcher.Next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		switch ev.Query {
+		case "tc-all":
+			all.apply(ev)
+		case "tc-from-1":
+			from1.apply(ev)
+		}
+	}
+	oracle := datalog.TCOracle(edges)
+	sameSet(t, "tc-all", setOf(t, "tc-all", all), oracle)
+	want1 := map[[2]uint64]bool{}
+	for p := range oracle {
+		if p[0] == 1 {
+			want1[p] = true
+		}
+	}
+	sameSet(t, "tc-from-1", setOf(t, "tc-from-1", from1), want1)
+
+	// Uninstalling one holder keeps the shared entry; the last sweep clears it.
+	if err := a.Uninstall("tc-all"); err != nil {
+		t.Fatalf("uninstall tc-all: %v", err)
+	}
+	if st := fe.SharedStats(); st.Entries != 1 {
+		t.Fatalf("after first uninstall: stats %+v, want one live entry", st)
+	}
+	if err := b.Uninstall("tc-from-1"); err != nil {
+		t.Fatalf("uninstall tc-from-1: %v", err)
+	}
+	if st := fe.SharedStats(); st != (SharedStats{Entries: 0, Installs: 1, Hits: 1}) {
+		t.Fatalf("after last uninstall: stats %+v, want {0 1 1}", st)
+	}
+}
+
+// TestPipelineAndPlanShareArrangements: a v2 pipeline text and a v3 plan
+// describing the same computation desugar to one canonical form and
+// therefore one arrangement.
+func TestPipelineAndPlanShareArrangements(t *testing.T) {
+	fe, _, addr := startFrontend(t, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.Install("counts-v2", "edges | count"); err != nil {
+		t.Fatalf("install grammar: %v", err)
+	}
+	if err := c.InstallPlan("counts-v3", "count(edges)", plan.Scan("edges").Count()); err != nil {
+		t.Fatalf("install plan: %v", err)
+	}
+	if st := fe.SharedStats(); st != (SharedStats{Entries: 1, Installs: 1, Hits: 1}) {
+		t.Fatalf("stats %+v, want {1 1 1}: pipeline and plan must share", st)
+	}
+
+	watcher, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial watcher: %v", err)
+	}
+	defer watcher.Close()
+	if err := watcher.Subscribe("counts-v2", "counts-v3"); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	sealed := pushEdges(t, c, "edges", []graphs.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}})
+	v2, v3 := newState(), newState()
+	for (!v2.sawFront || v2.frontier < sealed) ||
+		(!v3.sawFront || v3.frontier < sealed) {
+		ev, err := watcher.Next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		switch ev.Query {
+		case "counts-v2":
+			v2.apply(ev)
+		case "counts-v3":
+			v3.apply(ev)
+		}
+	}
+	diffStates(t, "v2 vs v3", v2.acc, v3.acc)
+	want := map[[2]uint64]int64{{1, 2}: 1, {2, 1}: 1}
+	diffStates(t, "counts", v2.acc, want)
+}
+
+// TestGraspanReachabilityAsDatalog re-expresses the graspan dataflow
+// analysis (null propagation along assignment edges) as Datalog over two
+// sources and cross-checks it against the hand-built dataflow and the
+// brute-force oracle.
+func TestGraspanReachabilityAsDatalog(t *testing.T) {
+	prog := graspan.Generate(60, 3)
+	// Dedupe null sources: the relation is a set, and feeding duplicates
+	// would differ between the unary hand-built input and the wire source.
+	seen := map[uint64]bool{}
+	var nulls []uint64
+	for _, o := range prog.Nulls {
+		if !seen[o] {
+			seen[o] = true
+			nulls = append(nulls, o)
+		}
+	}
+	want := graspan.DataflowOracle(prog.Assign, nulls)
+
+	// Hand-built reference: the graspan dataflow over in-process inputs.
+	cap := &dd.Captured[uint64, uint64]{}
+	timely.Execute(2, func(w *timely.Worker) {
+		var ain *dd.InputCollection[uint64, uint64]
+		var nin *dd.InputCollection[uint64, core.Unit]
+		w.Dataflow(func(g *timely.Graph) {
+			a, ac := dd.NewInput[uint64, uint64](g)
+			n, nc := dd.NewInput[uint64, core.Unit](g)
+			ain, nin = a, n
+			aA := dd.Arrange(ac, core.U64(), "assign")
+			dd.Capture(graspan.DataflowAnalysis(aA, nc), cap)
+		})
+		if w.Index() == 0 {
+			graphs.EdgesInput(ain, prog.Assign)
+			for _, o := range nulls {
+				nin.Insert(o, core.Unit{})
+			}
+		}
+		ain.Close()
+		nin.Close()
+		w.Drain()
+	})
+	hand := map[[2]uint64]bool{}
+	for kv, d := range cap.At(lattice.Ts(0)) {
+		if d != 1 {
+			t.Fatalf("hand-built: non-unit multiplicity %d for %v", d, kv)
+		}
+		hand[[2]uint64{kv[0].(uint64), kv[1].(uint64)}] = true
+	}
+	sameSet(t, "graspan hand-built vs oracle", hand, want)
+
+	// The same analysis as Datalog over the wire: nulls arrive as (o, o)
+	// pairs, reach(point, origin) follows assignment edges.
+	_, addr := startFrontendSources(t, 2, "assign", "nulls")
+	ctl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer ctl.Close()
+	installDatalog(t, ctl, "reach", `
+		reach(o, o) :- nulls(o, o).
+		reach(q, o) :- reach(p, o), assign(p, q).`)
+
+	watcher, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial watcher: %v", err)
+	}
+	defer watcher.Close()
+	if err := watcher.Subscribe("reach"); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	nullEdges := make([]graphs.Edge, len(nulls))
+	for i, o := range nulls {
+		nullEdges[i] = graphs.Edge{Src: o, Dst: o}
+	}
+	pushEdges(t, ctl, "assign", prog.Assign)
+	sealed := pushEdges(t, ctl, "nulls", nullEdges)
+	st := watchUntil(t, watcher, sealed)
+	sameSet(t, "graspan wire vs hand-built", setOf(t, "reach", st), hand)
+}
+
+// TestProtocolVersionNegotiation pins the compatibility contract: a v2
+// client handshakes against the historical reply shape and keeps the whole
+// v2 surface; plan installation is refused at both ends of a v2 session
+// without disturbing it; out-of-range versions are refused at hello.
+func TestProtocolVersionNegotiation(t *testing.T) {
+	_, _, addr := startFrontend(t, 1)
+
+	// A current client negotiates v3 and can ship plans.
+	c3, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial v3: %v", err)
+	}
+	defer c3.Close()
+	if v := c3.ProtoVersion(); v != 3 {
+		t.Fatalf("negotiated version %d, want 3", v)
+	}
+	if err := c3.InstallPlan("k3", "count(edges)", plan.Scan("edges").Count()); err != nil {
+		t.Fatalf("v3 InstallPlan: %v", err)
+	}
+	if err := c3.Uninstall("k3"); err != nil {
+		t.Fatalf("uninstall: %v", err)
+	}
+
+	// A pinned v2 client: the old grammar and control surface all work.
+	conn, err := stdnet.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	c2, err := NewClientVersion(conn, 2)
+	if err != nil {
+		t.Fatalf("v2 handshake: %v", err)
+	}
+	defer c2.Close()
+	if v := c2.ProtoVersion(); v != 2 {
+		t.Fatalf("negotiated version %d, want 2", v)
+	}
+	if c2.Workers() != 1 {
+		t.Fatalf("v2 handshake workers = %d, want 1", c2.Workers())
+	}
+	if err := c2.Install("q2", "edges | count"); err != nil {
+		t.Fatalf("v2 grammar install: %v", err)
+	}
+
+	// Client-side refusal: InstallPlan never reaches the wire on v2.
+	err = c2.InstallPlan("p2", "count(edges)", plan.Scan("edges").Count())
+	if err == nil || !strings.Contains(err.Error(), "v3") {
+		t.Fatalf("v2 InstallPlan error = %v, want a local v3-required error", err)
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		t.Fatalf("v2 InstallPlan reached the server: %v", err)
+	}
+
+	// Server-side refusal: a raw install-plan frame on a v2 session draws a
+	// typed error and the session survives.
+	_, err = c2.call(request{kind: reqInstallPlan, name: "p2", text: "t",
+		blob: plan.Encode(plan.Scan("edges").Count())})
+	if !errors.As(err, &remote) || !strings.Contains(err.Error(), "v3") {
+		t.Fatalf("raw install-plan on v2 session: err %v, want remote v3-required error", err)
+	}
+	if l, err := c2.List(); err != nil || len(l.Queries) != 1 {
+		t.Fatalf("v2 session after refusal: listing %+v, err %v; want it intact with q2", l, err)
+	}
+	if err := c2.Uninstall("q2"); err != nil {
+		t.Fatalf("v2 uninstall: %v", err)
+	}
+
+	// Hello with a version outside [MinVersion, Version] is refused.
+	for _, v := range []uint32{0, 1, Version + 1} {
+		conn, err := stdnet.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial raw: %v", err)
+		}
+		if _, err := NewClientVersion(conn, v); !errors.As(err, &remote) {
+			t.Fatalf("hello at version %d: err %v, want remote protocol mismatch", v, err)
+		}
+	}
+}

@@ -37,10 +37,17 @@ import (
 const (
 	// Magic opens every connection's hello frame ("kpg1").
 	Magic uint32 = 0x6b706731
-	// Version is the protocol version; mismatches are refused at hello.
-	// Version 2 added streamResync (a lag-bounded subscriber's state is
-	// replaced wholesale) and the typed reason on streamEnd.
-	Version uint32 = 2
+	// Version is the protocol version the server speaks natively. Version 2
+	// added streamResync (a lag-bounded subscriber's state is replaced
+	// wholesale) and the typed reason on streamEnd. Version 3 added
+	// reqInstallPlan (install a relational plan shipped in the internal/plan
+	// wire encoding) and the version echo in the hello reply's high bits.
+	Version uint32 = 3
+	// MinVersion is the oldest version the server still accepts at hello: a
+	// v2 client negotiates a v2 session (the hello reply keeps its exact v2
+	// shape, and reqInstallPlan is refused) while the pipeline grammar and
+	// every streaming frame work unchanged.
+	MinVersion uint32 = 2
 	// MaxFrame bounds a single frame's payload in both directions.
 	MaxFrame uint32 = 1 << 24
 )
@@ -55,6 +62,9 @@ const (
 	reqSync
 	reqList
 	reqSubscribe
+	// reqInstallPlan (v3) installs a relational plan: a display text for
+	// listings plus the plan's canonical wire encoding (plan.Encode).
+	reqInstallPlan
 )
 
 // Response and stream kinds (server to client).
@@ -105,7 +115,8 @@ type request struct {
 	magic   uint32 // hello
 	version uint32 // hello
 	name    string // install/uninstall/update/advance/sync: query or source
-	text    string // install: query text
+	text    string // install: query text; installPlan: display text
+	blob    []byte // installPlan: plan wire encoding
 	upds    []Delta
 	names   []string // subscribe
 }
@@ -189,6 +200,10 @@ func encodeRequest(r request) []byte {
 	case reqInstall:
 		dst = wal.AppendString(dst, r.name)
 		dst = wal.AppendString(dst, r.text)
+	case reqInstallPlan:
+		dst = wal.AppendString(dst, r.name)
+		dst = wal.AppendString(dst, r.text)
+		dst = wal.AppendString(dst, string(r.blob))
 	case reqUninstall, reqAdvance, reqSync:
 		dst = wal.AppendString(dst, r.name)
 	case reqUpdate:
@@ -230,6 +245,18 @@ func decodeRequest(payload []byte) (request, error) {
 		if r.text, err = d.String(); err != nil {
 			return r, err
 		}
+	case reqInstallPlan:
+		if r.name, err = d.String(); err != nil {
+			return r, err
+		}
+		if r.text, err = d.String(); err != nil {
+			return r, err
+		}
+		var blob string
+		if blob, err = d.String(); err != nil {
+			return r, err
+		}
+		r.blob = []byte(blob)
 	case reqUninstall, reqAdvance, reqSync:
 		if r.name, err = d.String(); err != nil {
 			return r, err

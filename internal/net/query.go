@@ -5,15 +5,13 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/dd"
-	"repro/internal/server"
-	"repro/internal/timely"
+	"repro/internal/plan"
 )
 
-// Query grammar. A query is a pipeline over registered sources; every stage
-// maps a (uint64, uint64) collection to another, so plans compose freely and
-// every result streams over the wire in the same delta encoding:
+// Query grammar (protocol v2, kept as sugar). A query is a pipeline over
+// registered sources; every stage maps a (uint64, uint64) collection to
+// another, so plans compose freely and every result streams over the wire in
+// the same delta encoding:
 //
 //	query  := term { '|' stage }
 //	term   := SOURCE | '(' query ')'
@@ -37,99 +35,16 @@ import (
 // `edges | keyeq x | swap | join edges`, another `| join edges` makes it
 // two-hop, and `| count` turns any of them into a maintained aggregate.
 //
-// Sources in a plan attach to the server's shared arrangements by snapshot
-// import (Source.ImportInto): installing a query on a long-running server
-// costs work proportional to the live collection, not its update history.
+// The grammar is pure surface syntax: ParseQuery desugars a pipeline into the
+// same relational plan IR (internal/plan) that Datalog programs compile to
+// and protocol-v3 clients ship directly, so a v2 pipeline and a v3 plan that
+// describe the same computation share one canonical form — and therefore one
+// set of installed arrangements.
 
 // maxPlanDepth bounds parenthesis nesting: the parser recurses, and plans
 // arrive over the network, so unbounded nesting would be a remote stack
 // overflow.
 const maxPlanDepth = 64
-
-// plan is one parsed query stage tree.
-type plan interface {
-	// sources appends the source names the plan reads.
-	sources(into []string) []string
-	// build constructs the worker-local dataflow for this plan.
-	build(b *builder) dd.Collection[uint64, uint64]
-}
-
-type planSource struct{ name string }
-
-type planFilter struct {
-	in    plan
-	onKey bool
-	mod   uint64 // 0 means equality test against eq
-	eq    uint64
-}
-
-type planSwap struct{ in plan }
-
-type planJoin struct{ left, right plan }
-
-type planCount struct{ in plan }
-
-type planDistinct struct{ in plan }
-
-func (p planSource) sources(into []string) []string { return append(into, p.name) }
-func (p planFilter) sources(into []string) []string { return p.in.sources(into) }
-func (p planSwap) sources(into []string) []string   { return p.in.sources(into) }
-func (p planJoin) sources(into []string) []string {
-	return p.right.sources(p.left.sources(into))
-}
-func (p planCount) sources(into []string) []string    { return p.in.sources(into) }
-func (p planDistinct) sources(into []string) []string { return p.in.sources(into) }
-
-// builder carries the per-worker context a plan builds in.
-type builder struct {
-	g       *timely.Graph
-	sources map[string]*server.Source[uint64, uint64]
-	imports []*core.Arranged[uint64, uint64]
-	joins   int
-}
-
-func (p planSource) build(b *builder) dd.Collection[uint64, uint64] {
-	arr := b.sources[p.name].ImportInto(b.g)
-	b.imports = append(b.imports, arr)
-	return dd.Flatten(arr)
-}
-
-func (p planFilter) build(b *builder) dd.Collection[uint64, uint64] {
-	in := p.in.build(b)
-	sel, mod, eq := p.onKey, p.mod, p.eq
-	return dd.Filter(in, func(k, v uint64) bool {
-		x := v
-		if sel {
-			x = k
-		}
-		if mod != 0 {
-			return x%mod == eq
-		}
-		return x == eq
-	})
-}
-
-func (p planSwap) build(b *builder) dd.Collection[uint64, uint64] {
-	return dd.Map(p.in.build(b), func(k, v uint64) (uint64, uint64) { return v, k })
-}
-
-func (p planJoin) build(b *builder) dd.Collection[uint64, uint64] {
-	left := p.left.build(b)
-	right := p.right.build(b)
-	b.joins++
-	name := fmt.Sprintf("net-join-%d", b.joins)
-	return dd.Join(left, core.U64(), right, core.U64(), name,
-		func(k, v, w uint64) (uint64, uint64) { return w, v })
-}
-
-func (p planCount) build(b *builder) dd.Collection[uint64, uint64] {
-	counts := dd.Count(p.in.build(b), core.U64())
-	return dd.Map(counts, func(k uint64, c int64) (uint64, uint64) { return k, uint64(c) })
-}
-
-func (p planDistinct) build(b *builder) dd.Collection[uint64, uint64] {
-	return dd.Distinct(p.in.build(b), core.U64())
-}
 
 // tokenize splits a query text into tokens, treating '(', ')' and '|' as
 // their own tokens regardless of spacing.
@@ -190,9 +105,9 @@ func (p *parser) num(what string) (uint64, error) {
 	return n, nil
 }
 
-// ParseQuery parses a query text into its plan. It never panics, whatever
-// the input: queries arrive over the network.
-func ParseQuery(text string) (plan, error) {
+// ParseQuery parses a pipeline query text into a relational plan. It never
+// panics, whatever the input: queries arrive over the network.
+func ParseQuery(text string) (*plan.Node, error) {
 	p := &parser{toks: tokenize(text)}
 	pl, err := p.query(0)
 	if err != nil {
@@ -204,7 +119,7 @@ func ParseQuery(text string) (plan, error) {
 	return pl, nil
 }
 
-func (p *parser) query(depth int) (plan, error) {
+func (p *parser) query(depth int) (*plan.Node, error) {
 	pl, err := p.term(depth)
 	if err != nil {
 		return nil, err
@@ -218,7 +133,7 @@ func (p *parser) query(depth int) (plan, error) {
 	return pl, nil
 }
 
-func (p *parser) term(depth int) (plan, error) {
+func (p *parser) term(depth int) (*plan.Node, error) {
 	if depth > maxPlanDepth {
 		return nil, fmt.Errorf("net: query: nesting deeper than %d", maxPlanDepth)
 	}
@@ -237,18 +152,21 @@ func (p *parser) term(depth int) (plan, error) {
 	case ")", "|":
 		return nil, fmt.Errorf("net: query: unexpected %q", t)
 	default:
-		return planSource{name: t}, nil
+		return plan.Scan(t), nil
 	}
 }
 
-func (p *parser) stage(in plan, depth int) (plan, error) {
+func (p *parser) stage(in *plan.Node, depth int) (*plan.Node, error) {
 	switch t := p.next(); t {
 	case "keyeq", "valeq":
 		n, err := p.num(t + " operand")
 		if err != nil {
 			return nil, err
 		}
-		return planFilter{in: in, onKey: t == "keyeq", eq: n}, nil
+		if t == "keyeq" {
+			return in.KeyEq(n), nil
+		}
+		return in.ValEq(n), nil
 	case "keymod", "valmod":
 		m, err := p.num(t + " modulus")
 		if err != nil {
@@ -264,19 +182,22 @@ func (p *parser) stage(in plan, depth int) (plan, error) {
 		if r >= m {
 			return nil, fmt.Errorf("net: query: %s remainder %d not below modulus %d", t, r, m)
 		}
-		return planFilter{in: in, onKey: t == "keymod", mod: m, eq: r}, nil
+		if t == "keymod" {
+			return in.KeyMod(m, r), nil
+		}
+		return in.ValMod(m, r), nil
 	case "swap":
-		return planSwap{in: in}, nil
+		return in.Swap(), nil
 	case "join":
 		right, err := p.term(depth + 1)
 		if err != nil {
 			return nil, err
 		}
-		return planJoin{left: in, right: right}, nil
+		return in.JoinRight(right), nil
 	case "count":
-		return planCount{in: in}, nil
+		return in.Count(), nil
 	case "distinct":
-		return planDistinct{in: in}, nil
+		return in.Distinct(), nil
 	case "":
 		return nil, fmt.Errorf("net: query: missing stage after '|'")
 	default:

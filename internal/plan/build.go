@@ -1,0 +1,373 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+)
+
+// Build compiles a validated plan onto a live dataflow graph. Leaves resolve
+// through Env: base relations import a server source's arrangement by
+// snapshot, and stateful sub-plans already installed by another query import
+// that query's arrangement instead of rebuilding it — arrange once, share
+// everywhere, applied inside the query language.
+
+// Env resolves plan leaves to live dataflow resources. The closures capture
+// the graph under construction (and typically record imports for teardown).
+type Env struct {
+	// Source imports the named base relation's arrangement.
+	Source func(rel string) (*core.Arranged[uint64, uint64], error)
+	// Shared resolves a canonical sub-plan key (Node.Key) to an installed
+	// arrangement of that sub-plan's output, or nil to build it locally.
+	// Optional.
+	Shared func(key string) *core.Arranged[uint64, uint64]
+}
+
+// ErrBuild reports a plan that cannot be built onto a dataflow.
+var ErrBuild = errors.New("plan: build error")
+
+func buildErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBuild, fmt.Sprintf(format, args...))
+}
+
+// Build constructs the dataflow for root and returns its output collection.
+// Identical sub-plans (by canonical key) are built once and reused.
+func Build(root *Node, env Env) (dd.Collection[uint64, uint64], error) {
+	if err := root.Validate(); err != nil {
+		return dd.Collection[uint64, uint64]{}, err
+	}
+	b := &buildCtx{
+		env:  env,
+		cols: map[string]dd.Collection[uint64, uint64]{},
+		arrs: map[string]*core.Arranged[uint64, uint64]{},
+	}
+	return b.build(root)
+}
+
+type buildCtx struct {
+	env  Env
+	cols map[string]dd.Collection[uint64, uint64] // by canonical key
+	arrs map[string]*core.Arranged[uint64, uint64]
+}
+
+func (b *buildCtx) build(n *Node) (dd.Collection[uint64, uint64], error) {
+	key := n.Key()
+	if c, ok := b.cols[key]; ok {
+		return c, nil
+	}
+	if n.Stateful() && b.env.Shared != nil {
+		if a := b.env.Shared(key); a != nil {
+			b.arrs[key] = a
+			c := dd.Flatten(a)
+			b.cols[key] = c
+			return c, nil
+		}
+	}
+	c, err := b.buildOp(n)
+	if err != nil {
+		return c, err
+	}
+	b.cols[key] = c
+	return c, nil
+}
+
+// arranged returns an arrangement of n's output, preferring (in order) one
+// already at hand, a shared installation, a source import, the arranged
+// output a Distinct reduce produces anyway, and only then arranging afresh.
+func (b *buildCtx) arranged(n *Node) (*core.Arranged[uint64, uint64], error) {
+	key := n.Key()
+	if a, ok := b.arrs[key]; ok {
+		return a, nil
+	}
+	c, err := b.build(n) // may register an arrangement as a side effect
+	if err != nil {
+		return nil, err
+	}
+	if a, ok := b.arrs[key]; ok {
+		return a, nil
+	}
+	a := dd.Arrange(c, core.U64(), nodeName("plan", n))
+	b.arrs[key] = a
+	return a, nil
+}
+
+func (b *buildCtx) buildOp(n *Node) (dd.Collection[uint64, uint64], error) {
+	var zero dd.Collection[uint64, uint64]
+	switch n.Op {
+	case OpScan:
+		if b.env.Source == nil {
+			return zero, buildErrf("no source resolver for relation %q", n.Rel)
+		}
+		a, err := b.env.Source(n.Rel)
+		if err != nil {
+			return zero, err
+		}
+		b.arrs[n.Key()] = a
+		return dd.Flatten(a), nil
+	case OpFilter:
+		in, err := b.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		return dd.Filter(in, func(k, v uint64) bool { return filterKeep(n, k, v) }), nil
+	case OpProject:
+		in, err := b.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		c0, c1 := n.Cols[0], n.Cols[1]
+		return dd.Map(in, func(k, v uint64) (uint64, uint64) {
+			rec := [2]uint64{k, v}
+			return projCol(c0, rec), projCol(c1, rec)
+		}), nil
+	case OpUnion:
+		l, err := b.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		r, err := b.build(n.Right)
+		if err != nil {
+			return zero, err
+		}
+		return dd.Concat(l, r), nil
+	case OpJoin:
+		la, err := b.arranged(n.In)
+		if err != nil {
+			return zero, err
+		}
+		ra, err := b.arranged(n.Right)
+		if err != nil {
+			return zero, err
+		}
+		return joinNode(la, ra, n), nil
+	case OpCount:
+		ia, err := b.arranged(n.In)
+		if err != nil {
+			return zero, err
+		}
+		cnt := dd.CountCore(ia)
+		return dd.Map(cnt, func(k uint64, c int64) (uint64, uint64) { return k, uint64(c) }), nil
+	case OpDistinct:
+		ia, err := b.arranged(n.In)
+		if err != nil {
+			return zero, err
+		}
+		da := dd.DistinctCore(ia)
+		b.arrs[n.Key()] = da
+		return dd.Flatten(da), nil
+	case OpFixpoint:
+		return b.buildFix(n)
+	}
+	return zero, buildErrf("unknown op %d", n.Op)
+}
+
+// buildFix builds a Fixpoint: an iteration scope with one Variable per
+// definition. Recursion-free sub-plans are built in the outer scope and
+// brought in with Enter/EnterArranged, so their arrangements stay shared
+// with everything outside the loop.
+func (b *buildCtx) buildFix(n *Node) (dd.Collection[uint64, uint64], error) {
+	var zero dd.Collection[uint64, uint64]
+	defs := map[string]bool{}
+	for _, d := range n.Defs {
+		defs[d.Name] = true
+	}
+	base := findBase(n, defs)
+	if base == nil {
+		return zero, buildErrf("fixpoint %q has no recursion-free sub-plan to seed its scope", n.Out)
+	}
+	baseCol, err := b.build(base)
+	if err != nil {
+		return zero, err
+	}
+	// Variables start empty; each definition's body feeds its variable, so
+	// the loop carries exactly the derived facts.
+	empty := dd.Filter(dd.Enter(baseCol), func(uint64, uint64) bool { return false })
+	f := &fixCtx{
+		outer: b,
+		defs:  defs,
+		vars:  map[string]*dd.Variable[uint64, uint64]{},
+		cols:  map[string]dd.Collection[uint64, uint64]{},
+		arrs:  map[string]*core.Arranged[uint64, uint64]{},
+	}
+	for _, d := range n.Defs {
+		f.vars[d.Name] = dd.NewVariable(empty)
+	}
+	var out dd.Collection[uint64, uint64]
+	for _, d := range n.Defs {
+		val, err := f.build(d.Body)
+		if err != nil {
+			return zero, err
+		}
+		f.vars[d.Name].Set(val)
+		if d.Name == n.Out {
+			out = val
+		}
+	}
+	return dd.Leave(out), nil
+}
+
+// findBase returns the first maximal recursion-free sub-plan of the
+// fixpoint's bodies, or nil if every path loops.
+func findBase(n *Node, defs map[string]bool) *Node {
+	var walk func(m *Node) *Node
+	walk = func(m *Node) *Node {
+		if m == nil {
+			return nil
+		}
+		if !containsRec(m, defs) {
+			return m
+		}
+		if r := walk(m.In); r != nil {
+			return r
+		}
+		return walk(m.Right)
+	}
+	for _, d := range n.Defs {
+		if r := walk(d.Body); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// fixCtx builds nodes inside one iteration scope.
+type fixCtx struct {
+	outer *buildCtx
+	defs  map[string]bool
+	vars  map[string]*dd.Variable[uint64, uint64]
+	cols  map[string]dd.Collection[uint64, uint64] // in-scope, by canonical key
+	arrs  map[string]*core.Arranged[uint64, uint64]
+}
+
+func (f *fixCtx) build(n *Node) (dd.Collection[uint64, uint64], error) {
+	key := n.Key()
+	if c, ok := f.cols[key]; ok {
+		return c, nil
+	}
+	c, err := f.buildOp(n)
+	if err != nil {
+		return c, err
+	}
+	f.cols[key] = c
+	return c, nil
+}
+
+func (f *fixCtx) buildOp(n *Node) (dd.Collection[uint64, uint64], error) {
+	var zero dd.Collection[uint64, uint64]
+	if !containsRec(n, f.defs) {
+		c, err := f.outer.build(n)
+		if err != nil {
+			return zero, err
+		}
+		return dd.Enter(c), nil
+	}
+	switch n.Op {
+	case OpRec:
+		v, ok := f.vars[n.Rel]
+		if !ok {
+			return zero, buildErrf("recursive reference %q outside its fixpoint", n.Rel)
+		}
+		return v.Collection(), nil
+	case OpFilter:
+		in, err := f.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		return dd.Filter(in, func(k, v uint64) bool { return filterKeep(n, k, v) }), nil
+	case OpProject:
+		in, err := f.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		c0, c1 := n.Cols[0], n.Cols[1]
+		return dd.Map(in, func(k, v uint64) (uint64, uint64) {
+			rec := [2]uint64{k, v}
+			return projCol(c0, rec), projCol(c1, rec)
+		}), nil
+	case OpUnion:
+		l, err := f.build(n.In)
+		if err != nil {
+			return zero, err
+		}
+		r, err := f.build(n.Right)
+		if err != nil {
+			return zero, err
+		}
+		return dd.Concat(l, r), nil
+	case OpJoin:
+		la, err := f.arranged(n.In)
+		if err != nil {
+			return zero, err
+		}
+		ra, err := f.arranged(n.Right)
+		if err != nil {
+			return zero, err
+		}
+		return joinNode(la, ra, n), nil
+	case OpDistinct:
+		ia, err := f.arranged(n.In)
+		if err != nil {
+			return zero, err
+		}
+		da := dd.DistinctCore(ia)
+		f.arrs[n.Key()] = da
+		return dd.Flatten(da), nil
+	}
+	return zero, buildErrf("%s on a recursive path", n.Op)
+}
+
+// arranged returns an in-scope arrangement of n. Recursion-free inputs
+// arrange (or resolve) outside the loop and are shared into the scope.
+func (f *fixCtx) arranged(n *Node) (*core.Arranged[uint64, uint64], error) {
+	key := n.Key()
+	if a, ok := f.arrs[key]; ok {
+		return a, nil
+	}
+	if !containsRec(n, f.defs) {
+		oa, err := f.outer.arranged(n)
+		if err != nil {
+			return nil, err
+		}
+		a := dd.EnterArranged(oa, nodeName("plan-enter", n))
+		f.arrs[key] = a
+		return a, nil
+	}
+	c, err := f.build(n)
+	if err != nil {
+		return nil, err
+	}
+	if a, ok := f.arrs[key]; ok {
+		return a, nil
+	}
+	a := dd.Arrange(c, core.U64(), nodeName("plan-iter", n))
+	f.arrs[key] = a
+	return a, nil
+}
+
+// joinNode applies a Join node to two arrangements. A value-equality join
+// carries both values through the join shell and filters, since the shell's
+// projection cannot drop records.
+func joinNode(la, ra *core.Arranged[uint64, uint64], n *Node) dd.Collection[uint64, uint64] {
+	name := nodeName("plan-join", n)
+	p0, p1 := n.Proj[0], n.Proj[1]
+	if !n.EqVals {
+		return dd.JoinCore(la, ra, name, func(k, v, w uint64) (uint64, uint64) {
+			return joinCol(p0, k, v, w), joinCol(p1, k, v, w)
+		})
+	}
+	pairs := dd.JoinCore(la, ra, name, func(k, v, w uint64) ([2]uint64, [2]uint64) {
+		return [2]uint64{v, w}, [2]uint64{joinCol(p0, k, v, w), joinCol(p1, k, v, w)}
+	})
+	kept := dd.Filter(pairs, func(vw, _ [2]uint64) bool { return vw[0] == vw[1] })
+	return dd.Map(kept, func(_, o [2]uint64) (uint64, uint64) { return o[0], o[1] })
+}
+
+// nodeName derives a stable operator label from the node's canonical key.
+func nodeName(prefix string, n *Node) string {
+	h := fnv.New64a()
+	h.Write([]byte(n.Key()))
+	return fmt.Sprintf("%s-%016x", prefix, h.Sum64())
+}

@@ -1,0 +1,628 @@
+// Package plan is the relational query front-end: a small
+// relational-algebra IR over named (uint64, uint64) relations, a Datalog
+// surface syntax compiled by a greedy join planner, a canonical wire
+// encoding, and a compiler onto live differential dataflows.
+//
+// Every node consumes and produces binary relations — collections of
+// (key, value) pairs — so plans compose freely and any node's output can be
+// arranged, shared, and streamed with the machinery the rest of the system
+// already has. The IR is deliberately small:
+//
+//	Scan     — a named base relation (a server source)
+//	Rec      — a recursive reference to a Fixpoint definition
+//	Filter   — pointwise predicates (equality, modulus, key/value relations)
+//	Project  — rearrange the two columns (swap, duplicate)
+//	Union    — multiset union
+//	Join     — equi-join on key, with a 2-of-3 output projection
+//	Count    — per-key multiplicity count
+//	Distinct — reduce to set semantics
+//	Fixpoint — mutually recursive definitions, evaluated to fixed point
+//
+// Nodes are identified by a canonical key (Node.Key): two structurally
+// identical sub-plans — whichever queries they arrived in — have equal keys.
+// The wire codec hash-conses on these keys, and the server's shared sub-plan
+// registry uses them to install each distinct stateful sub-plan exactly
+// once, extending arrange-once sharing from named sources into the query
+// language itself.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op enumerates the IR node kinds.
+type Op uint8
+
+const (
+	OpScan Op = iota + 1
+	OpRec
+	OpFilter
+	OpProject
+	OpUnion
+	OpJoin
+	OpCount
+	OpDistinct
+	OpFixpoint
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "scan"
+	case OpRec:
+		return "rec"
+	case OpFilter:
+		return "filter"
+	case OpProject:
+		return "project"
+	case OpUnion:
+		return "union"
+	case OpJoin:
+		return "join"
+	case OpCount:
+		return "count"
+	case OpDistinct:
+		return "distinct"
+	case OpFixpoint:
+		return "fixpoint"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// FilterOp enumerates the pointwise predicates a Filter node applies.
+type FilterOp uint8
+
+const (
+	// FKeyEq keeps records whose key equals A; FValEq likewise for the value.
+	FKeyEq FilterOp = iota + 1
+	FValEq
+	// FKeyNe keeps records whose key differs from A; FValNe likewise.
+	FKeyNe
+	FValNe
+	// FKeyMod keeps records with key % A == B (A nonzero, B < A); FValMod
+	// likewise.
+	FKeyMod
+	FValMod
+	// FKeyEqVal keeps records whose key equals their value; FKeyNeVal keeps
+	// those whose key differs from their value.
+	FKeyEqVal
+	FKeyNeVal
+)
+
+// ColSel selects one column of a binary record (Project).
+type ColSel uint8
+
+const (
+	CKey ColSel = iota
+	CVal
+)
+
+// JoinSel selects one column of a join match (k, v) ⋈ (k, w).
+type JoinSel uint8
+
+const (
+	// JKey selects the join key k.
+	JKey JoinSel = iota
+	// JLeftVal selects the left value v.
+	JLeftVal
+	// JRightVal selects the right value w.
+	JRightVal
+)
+
+// Def is one named definition inside a Fixpoint.
+type Def struct {
+	Name string
+	Body *Node
+}
+
+// Node is one IR node. Nodes are immutable once constructed (the canonical
+// key is memoized on first use); sub-plans may be shared, so the tree is in
+// general a DAG.
+type Node struct {
+	Op Op
+
+	Rel    string    // Scan, Rec: relation or definition name
+	FOp    FilterOp  // Filter
+	A, B   uint64    // Filter operands (A = constant or modulus, B = remainder)
+	Cols   [2]ColSel // Project: output columns drawn from {CKey, CVal}
+	Proj   [2]JoinSel
+	EqVals bool // Join: additionally require left val == right val
+
+	In, Right *Node // children (In for unary ops, In+Right for Union/Join)
+	Defs      []Def // Fixpoint
+	Out       string
+
+	key string // memoized canonical key
+}
+
+// MaxNodes bounds the distinct nodes a decoded plan may contain; plans
+// arrive over the network.
+const MaxNodes = 4096
+
+// Stateful reports whether the node maintains arranged state (join, count,
+// distinct, fixpoint) — the granularity at which sub-plans are shared
+// between queries.
+func (n *Node) Stateful() bool {
+	switch n.Op {
+	case OpJoin, OpCount, OpDistinct, OpFixpoint:
+		return true
+	}
+	return false
+}
+
+// Key returns the node's canonical key: a stable serialization of the
+// sub-plan under it. Structurally identical sub-plans have equal keys;
+// Union children and Fixpoint definitions are order-normalized, so the
+// trivially commutative forms also coincide.
+func (n *Node) Key() string {
+	if n.key == "" {
+		var b strings.Builder
+		n.writeKey(&b)
+		n.key = b.String()
+	}
+	return n.key
+}
+
+func (n *Node) writeKey(b *strings.Builder) {
+	if n.key != "" {
+		b.WriteString(n.key)
+		return
+	}
+	switch n.Op {
+	case OpScan:
+		fmt.Fprintf(b, "(s %s)", strconv.Quote(n.Rel))
+	case OpRec:
+		fmt.Fprintf(b, "(r %s)", strconv.Quote(n.Rel))
+	case OpFilter:
+		fmt.Fprintf(b, "(f %d %d %d ", n.FOp, n.A, n.B)
+		n.In.writeKey(b)
+		b.WriteByte(')')
+	case OpProject:
+		fmt.Fprintf(b, "(p %d%d ", n.Cols[0], n.Cols[1])
+		n.In.writeKey(b)
+		b.WriteByte(')')
+	case OpUnion:
+		l, r := n.In.Key(), n.Right.Key()
+		if r < l {
+			l, r = r, l
+		}
+		fmt.Fprintf(b, "(u %s %s)", l, r)
+	case OpJoin:
+		fmt.Fprintf(b, "(j %d%d %t ", n.Proj[0], n.Proj[1], n.EqVals)
+		n.In.writeKey(b)
+		b.WriteByte(' ')
+		n.Right.writeKey(b)
+		b.WriteByte(')')
+	case OpCount:
+		b.WriteString("(c ")
+		n.In.writeKey(b)
+		b.WriteByte(')')
+	case OpDistinct:
+		b.WriteString("(d ")
+		n.In.writeKey(b)
+		b.WriteByte(')')
+	case OpFixpoint:
+		defs := append([]Def(nil), n.Defs...)
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+		fmt.Fprintf(b, "(x %s", strconv.Quote(n.Out))
+		for _, d := range defs {
+			fmt.Fprintf(b, " (%s ", strconv.Quote(d.Name))
+			d.Body.writeKey(b)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "(?%d)", n.Op)
+	}
+}
+
+// Sources returns the distinct base relations the plan scans, sorted.
+func (n *Node) Sources() []string {
+	seen := map[string]bool{}
+	visited := map[*Node]bool{}
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m == nil || visited[m] {
+			return
+		}
+		visited[m] = true
+		if m.Op == OpScan {
+			seen[m.Rel] = true
+		}
+		walk(m.In)
+		walk(m.Right)
+		for _, d := range m.Defs {
+			walk(d.Body)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrInvalid reports a structurally decodable but semantically invalid plan.
+var ErrInvalid = errors.New("plan: invalid plan")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// containsRec reports whether the sub-plan references any of the given
+// definition names recursively (memoized externally by callers that care).
+func containsRec(n *Node, defs map[string]bool) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == OpRec {
+		return defs[n.Rel]
+	}
+	if containsRec(n.In, defs) || containsRec(n.Right, defs) {
+		return true
+	}
+	for _, d := range n.Defs {
+		if containsRec(d.Body, defs) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the plan's structural invariants: known ops and selectors,
+// nonzero moduli, recursive references only to enclosing fixpoint
+// definitions, consolidating (Distinct-topped) fixpoint bodies, and no
+// non-monotone operators (Count, nested Fixpoint) on recursive paths. It
+// never panics and returns errors wrapping ErrInvalid.
+func (n *Node) Validate() error {
+	if n == nil {
+		return invalidf("nil plan")
+	}
+	count := 0
+	return validate(n, nil, &count)
+}
+
+// validate walks the plan. scope maps visible fixpoint definition names to
+// whether the current position may still reach them recursively.
+func validate(n *Node, scope map[string]bool, count *int) error {
+	if n == nil {
+		return invalidf("nil node")
+	}
+	if *count++; *count > MaxNodes {
+		return invalidf("more than %d nodes", MaxNodes)
+	}
+	switch n.Op {
+	case OpScan:
+		if n.Rel == "" {
+			return invalidf("scan of empty relation name")
+		}
+		return nil
+	case OpRec:
+		if !scope[n.Rel] {
+			return invalidf("recursive reference %q outside its fixpoint", n.Rel)
+		}
+		return nil
+	case OpFilter:
+		switch n.FOp {
+		case FKeyEq, FValEq, FKeyNe, FValNe, FKeyEqVal, FKeyNeVal:
+		case FKeyMod, FValMod:
+			if n.A == 0 {
+				return invalidf("filter modulus is zero")
+			}
+			if n.B >= n.A {
+				return invalidf("filter remainder %d not below modulus %d", n.B, n.A)
+			}
+		default:
+			return invalidf("unknown filter op %d", n.FOp)
+		}
+		return validate(n.In, scope, count)
+	case OpProject:
+		for _, c := range n.Cols {
+			if c != CKey && c != CVal {
+				return invalidf("unknown projection column %d", c)
+			}
+		}
+		return validate(n.In, scope, count)
+	case OpUnion:
+		if err := validate(n.In, scope, count); err != nil {
+			return err
+		}
+		return validate(n.Right, scope, count)
+	case OpJoin:
+		for _, s := range n.Proj {
+			if s != JKey && s != JLeftVal && s != JRightVal {
+				return invalidf("unknown join selector %d", s)
+			}
+		}
+		if err := validate(n.In, scope, count); err != nil {
+			return err
+		}
+		return validate(n.Right, scope, count)
+	case OpCount, OpDistinct:
+		return validate(n.In, scope, count)
+	case OpFixpoint:
+		if len(n.Defs) == 0 {
+			return invalidf("fixpoint with no definitions")
+		}
+		names := map[string]bool{}
+		for _, d := range n.Defs {
+			if d.Name == "" {
+				return invalidf("fixpoint definition with empty name")
+			}
+			if names[d.Name] {
+				return invalidf("duplicate fixpoint definition %q", d.Name)
+			}
+			if scope[d.Name] {
+				return invalidf("fixpoint definition %q shadows an enclosing one", d.Name)
+			}
+			names[d.Name] = true
+		}
+		if !names[n.Out] {
+			return invalidf("fixpoint output %q is not defined", n.Out)
+		}
+		inner := map[string]bool{}
+		for s := range scope {
+			inner[s] = true
+		}
+		for s := range names {
+			inner[s] = true
+		}
+		for _, d := range n.Defs {
+			if d.Body == nil {
+				return invalidf("fixpoint definition %q has nil body", d.Name)
+			}
+			if d.Body.Op != OpDistinct {
+				return invalidf("fixpoint definition %q must consolidate (top node Distinct, got %s)",
+					d.Name, d.Body.Op)
+			}
+			if err := validateBody(d.Body, names, inner, count); err != nil {
+				return err
+			}
+		}
+		if findBase(n, names) == nil {
+			return invalidf("fixpoint %q has no recursion-free sub-plan to seed its scope", n.Out)
+		}
+		return nil
+	default:
+		return invalidf("unknown op %d", n.Op)
+	}
+}
+
+// validateBody walks a fixpoint definition body. Sub-plans that reference
+// the fixpoint's definitions must stay monotone (no Count, no nested
+// Fixpoint on the recursive path); recursion-free sub-plans are ordinary
+// plans, built outside the iteration scope.
+func validateBody(n *Node, defs map[string]bool, scope map[string]bool, count *int) error {
+	if n == nil {
+		return invalidf("nil node in fixpoint body")
+	}
+	if !containsRec(n, defs) {
+		return validate(n, scope, count)
+	}
+	if *count++; *count > MaxNodes {
+		return invalidf("more than %d nodes", MaxNodes)
+	}
+	switch n.Op {
+	case OpRec:
+		if !scope[n.Rel] {
+			return invalidf("recursive reference %q outside its fixpoint", n.Rel)
+		}
+		return nil
+	case OpCount:
+		return invalidf("count on a recursive path (not monotone)")
+	case OpFixpoint:
+		return invalidf("nested fixpoint on a recursive path")
+	case OpFilter:
+		switch n.FOp {
+		case FKeyEq, FValEq, FKeyNe, FValNe, FKeyEqVal, FKeyNeVal:
+		case FKeyMod, FValMod:
+			if n.A == 0 {
+				return invalidf("filter modulus is zero")
+			}
+			if n.B >= n.A {
+				return invalidf("filter remainder %d not below modulus %d", n.B, n.A)
+			}
+		default:
+			return invalidf("unknown filter op %d", n.FOp)
+		}
+		return validateBody(n.In, defs, scope, count)
+	case OpProject:
+		for _, c := range n.Cols {
+			if c != CKey && c != CVal {
+				return invalidf("unknown projection column %d", c)
+			}
+		}
+		return validateBody(n.In, defs, scope, count)
+	case OpUnion:
+		if err := validateBody(n.In, defs, scope, count); err != nil {
+			return err
+		}
+		return validateBody(n.Right, defs, scope, count)
+	case OpJoin:
+		for _, s := range n.Proj {
+			if s != JKey && s != JLeftVal && s != JRightVal {
+				return invalidf("unknown join selector %d", s)
+			}
+		}
+		if err := validateBody(n.In, defs, scope, count); err != nil {
+			return err
+		}
+		return validateBody(n.Right, defs, scope, count)
+	case OpDistinct:
+		return validateBody(n.In, defs, scope, count)
+	case OpScan:
+		return invalidf("internal: scan cannot contain a recursive reference")
+	default:
+		return invalidf("unknown op %d", n.Op)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Programmatic builder: the canonical client-side API. Compose plans as
+//
+//	plan.Scan("edges").KeyEq(5).Swap().JoinRight(plan.Scan("edges")).Count()
+//
+// instead of concatenating query-grammar strings; the grammar remains as
+// protocol-v2 sugar that parses into exactly these nodes.
+// ---------------------------------------------------------------------------
+
+// Scan reads a named base relation (a registered server source).
+func Scan(rel string) *Node { return &Node{Op: OpScan, Rel: rel} }
+
+// Rec references a Fixpoint definition from inside its bodies.
+func Rec(name string) *Node { return &Node{Op: OpRec, Rel: name} }
+
+// Filter applies a pointwise predicate.
+func (n *Node) Filter(op FilterOp, a, b uint64) *Node {
+	return &Node{Op: OpFilter, FOp: op, A: a, B: b, In: n}
+}
+
+// KeyEq keeps records whose key equals c.
+func (n *Node) KeyEq(c uint64) *Node { return n.Filter(FKeyEq, c, 0) }
+
+// ValEq keeps records whose value equals c.
+func (n *Node) ValEq(c uint64) *Node { return n.Filter(FValEq, c, 0) }
+
+// KeyMod keeps records with key % m == r.
+func (n *Node) KeyMod(m, r uint64) *Node { return n.Filter(FKeyMod, m, r) }
+
+// ValMod keeps records with value % m == r.
+func (n *Node) ValMod(m, r uint64) *Node { return n.Filter(FValMod, m, r) }
+
+// Swap exchanges key and value.
+func (n *Node) Swap() *Node {
+	return &Node{Op: OpProject, Cols: [2]ColSel{CVal, CKey}, In: n}
+}
+
+// Project rearranges the two columns (Swap and duplication are projections).
+func (n *Node) Project(c0, c1 ColSel) *Node {
+	return &Node{Op: OpProject, Cols: [2]ColSel{c0, c1}, In: n}
+}
+
+// Join equi-joins on key and projects two of {key, left value, right value}.
+func (n *Node) Join(right *Node, p0, p1 JoinSel) *Node {
+	return &Node{Op: OpJoin, In: n, Right: right, Proj: [2]JoinSel{p0, p1}}
+}
+
+// JoinRight is the query grammar's join: a record (k, v) matching right's
+// (k, w) emits (w, v), re-keying each result by the right-hand value.
+func (n *Node) JoinRight(right *Node) *Node { return n.Join(right, JRightVal, JLeftVal) }
+
+// JoinEq joins on key and additionally requires the two values to agree.
+func (n *Node) JoinEq(right *Node, p0, p1 JoinSel) *Node {
+	j := n.Join(right, p0, p1)
+	j.EqVals = true
+	return j
+}
+
+// Count replaces each key's values with the key's record count.
+func (n *Node) Count() *Node { return &Node{Op: OpCount, In: n} }
+
+// Distinct reduces every present record to multiplicity one.
+func (n *Node) Distinct() *Node { return &Node{Op: OpDistinct, In: n} }
+
+// Union is the multiset union of the given plans (at least one).
+func Union(ns ...*Node) *Node {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = &Node{Op: OpUnion, In: out, Right: n}
+	}
+	return out
+}
+
+// Fixpoint evaluates mutually recursive definitions to their fixed point and
+// returns the definition named out. Bodies reference definitions via Rec and
+// must consolidate (top node Distinct).
+func Fixpoint(out string, defs ...Def) *Node {
+	return &Node{Op: OpFixpoint, Out: out, Defs: defs}
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-plan decomposition.
+// ---------------------------------------------------------------------------
+
+// SharedChildren returns the maximal proper stateful sub-plans of n that
+// Build materializes in the outer scope — the sub-plans a shared registry
+// must resolve (and refcount) before building n itself. Children are
+// deduplicated by canonical key.
+func SharedChildren(n *Node) []*Node {
+	var out []*Node
+	seen := map[string]bool{}
+	add := func(m *Node) {
+		if k := m.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	var walk func(m *Node)
+	var walkBody func(m *Node, defs map[string]bool)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Stateful() {
+			add(m)
+			return
+		}
+		walk(m.In)
+		walk(m.Right)
+	}
+	walkBody = func(m *Node, defs map[string]bool) {
+		if m == nil {
+			return
+		}
+		if !containsRec(m, defs) {
+			walk(m)
+			return
+		}
+		walkBody(m.In, defs)
+		walkBody(m.Right, defs)
+	}
+	if n.Op == OpFixpoint {
+		defs := map[string]bool{}
+		for _, d := range n.Defs {
+			defs[d.Name] = true
+		}
+		for _, d := range n.Defs {
+			walkBody(d.Body, defs)
+		}
+		return out
+	}
+	walk(n.In)
+	walk(n.Right)
+	return out
+}
+
+// SharedParts returns every outer-scope stateful sub-plan of root in
+// bottom-up order (children before parents, root last when stateful),
+// deduplicated by canonical key: the installation order for a shared
+// sub-plan registry.
+func SharedParts(root *Node) []*Node {
+	var out []*Node
+	seen := map[string]bool{}
+	var visit func(m *Node)
+	visit = func(m *Node) {
+		k := m.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		for _, c := range SharedChildren(m) {
+			visit(c)
+		}
+		if m.Stateful() {
+			out = append(out, m)
+		}
+	}
+	visit(root)
+	return out
+}

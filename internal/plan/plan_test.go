@@ -1,0 +1,504 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func relOf(pairs ...[2]uint64) Rel {
+	r := Rel{}
+	for _, p := range pairs {
+		r[p] = 1
+	}
+	return r
+}
+
+// closure computes the transitive closure of edges by saturation.
+func closure(edges Rel) Rel {
+	reach := map[[2]uint64]bool{}
+	for e := range edges {
+		reach[e] = true
+	}
+	for {
+		var add [][2]uint64
+		for a := range reach {
+			for b := range reach {
+				if a[1] == b[0] && !reach[[2]uint64{a[0], b[1]}] {
+					add = append(add, [2]uint64{a[0], b[1]})
+				}
+			}
+		}
+		if len(add) == 0 {
+			break
+		}
+		for _, e := range add {
+			reach[e] = true
+		}
+	}
+	out := Rel{}
+	for e := range reach {
+		out[e] = 1
+	}
+	return out
+}
+
+const tcSrc = `
+	% transitive closure
+	tc(x, y) :- e(x, y).
+	tc(x, z) :- tc(x, y), e(y, z).
+`
+
+const sgSrc = `
+	sg(x, y) :- e(p, x), e(p, y), x != y.
+	sg(x, y) :- e(px, x), e(py, y), sg(px, py).
+`
+
+func testEdges() Rel {
+	return relOf(
+		[2]uint64{1, 2}, [2]uint64{2, 3}, [2]uint64{3, 4},
+		[2]uint64{2, 5}, [2]uint64{5, 1}, [2]uint64{6, 3},
+	)
+}
+
+func mustCompile(t *testing.T, src string, opt Options) *Node {
+	t.Helper()
+	prog, err := ParseDatalog(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	root, info, err := CompileOpts(prog, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if info.PlanNs <= 0 {
+		t.Fatalf("planning time not recorded: %d", info.PlanNs)
+	}
+	return root
+}
+
+func TestCompileTCMatchesClosure(t *testing.T) {
+	root := mustCompile(t, tcSrc, Options{})
+	if root.Op != OpFixpoint {
+		t.Fatalf("recursive program should compile to a fixpoint, got %s", root.Op)
+	}
+	edb := map[string]Rel{"e": testEdges()}
+	got, err := Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	want := closure(testEdges())
+	if !got.Equal(want) {
+		t.Fatalf("tc mismatch: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestCompileSGMatchesOracle(t *testing.T) {
+	prog, err := ParseDatalog(sgSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	edb := map[string]Rel{"e": testEdges()}
+	want, err := EvalDatalog(prog, edb)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("degenerate oracle: no sg facts")
+	}
+	for _, opt := range []Options{{}, {Naive: true}} {
+		root, _, err := CompileOpts(prog, opt)
+		if err != nil {
+			t.Fatalf("compile (naive=%v): %v", opt.Naive, err)
+		}
+		got, err := Interpret(root, edb)
+		if err != nil {
+			t.Fatalf("interpret (naive=%v): %v", opt.Naive, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("sg mismatch (naive=%v): got %d records, want %d", opt.Naive, len(got), len(want))
+		}
+	}
+}
+
+func TestQueryDirectiveFilters(t *testing.T) {
+	root := mustCompile(t, tcSrc+"\n?- tc(1, y).", Options{})
+	edb := map[string]Rel{"e": testEdges()}
+	got, err := Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	for rec := range got {
+		if rec[0] != 1 {
+			t.Fatalf("query filter leaked record %v", rec)
+		}
+	}
+	full := closure(testEdges())
+	n := 0
+	for rec := range full {
+		if rec[0] == 1 {
+			n++
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("query returned %d records, want %d", len(got), n)
+	}
+
+	// Repeated query variable restricts to the diagonal (cycle members).
+	root = mustCompile(t, tcSrc+"\n?- tc(x, x).", Options{})
+	got, err = Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	for rec := range got {
+		if rec[0] != rec[1] {
+			t.Fatalf("diagonal filter leaked record %v", rec)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatalf("1→2→5→1 cycle should produce tc(x,x) facts")
+	}
+}
+
+func TestRepeatedHeadVariable(t *testing.T) {
+	// graspan-style seeding: reach(o, o) for every null(o, o).
+	src := `reach(o, o) :- null(o, o).
+		reach(q, o) :- reach(p, o), assign(p, q).`
+	root := mustCompile(t, src, Options{})
+	edb := map[string]Rel{
+		"null":   relOf([2]uint64{7, 7}, [2]uint64{8, 8}, [2]uint64{1, 2}),
+		"assign": relOf([2]uint64{7, 9}, [2]uint64{9, 4}),
+	}
+	got, err := Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	want := relOf(
+		[2]uint64{7, 7}, [2]uint64{8, 8}, // seeds: only null(o,o) with o==o
+		[2]uint64{9, 7}, [2]uint64{4, 7}, // assign chains 7→9→4
+	)
+	if !got.Equal(want) {
+		t.Fatalf("reach mismatch: got %v, want %v", got, want)
+	}
+}
+
+func TestDAGProgramInlines(t *testing.T) {
+	src := `two(x, z) :- e(x, y), e(y, z).
+		out(x, z) :- two(x, z), x != z.`
+	root := mustCompile(t, src+"\n?- out(x, y).", Options{})
+	if root.Op == OpFixpoint {
+		t.Fatalf("non-recursive program must not compile to a fixpoint")
+	}
+	edb := map[string]Rel{"e": testEdges()}
+	got, err := Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	prog, _ := ParseDatalog(src + "\n?- out(x, y).")
+	want, err := EvalDatalog(prog, edb)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("mismatch: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unbound head var", `p(x, q) :- e(x, y).`},
+		{"constant head", `p(1, y) :- e(1, y).`},
+		{"unsatisfiable neq", `p(x, y) :- e(x, y), x != x.`},
+		{"unbound neq var", `p(x, y) :- e(x, y), z != 3.`},
+		{"cross product", `p(x, y) :- e(x, z), f(w, y).`},
+		{"query without rules", `p(x, y) :- e(x, y).` + "\n?- z(x, y)."},
+		{"recursion without base", `p(x, y) :- p(x, y).`},
+	}
+	for _, tc := range cases {
+		prog, err := ParseDatalog(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, _, err := Compile(prog); !errors.Is(err, ErrPlan) {
+			t.Fatalf("%s: want ErrPlan, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ``},
+		{"comment only", `% nothing here`},
+		{"fact", `p(1, 2).`},
+		{"ternary atom", `p(x, y) :- e(x, y, z).`},
+		{"missing dot", `p(x, y) :- e(x, y)`},
+		{"const neq const", `p(x, y) :- e(x, y), 1 != 2.`},
+		{"two directives", `p(x,y) :- e(x,y). ?- p(x,y). ?- p(y,x).`},
+		{"stray symbol", `p(x, y) :- e(x, y) & f(x, y).`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDatalog(tc.src); !errors.Is(err, ErrParse) {
+			t.Fatalf("%s: want ErrParse, got %v", tc.name, err)
+		}
+	}
+}
+
+func samplePlans(t testing.TB) []*Node {
+	var out []*Node
+	for _, src := range []string{tcSrc, sgSrc, tcSrc + "\n?- tc(1, x)."} {
+		prog, err := ParseDatalog(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		root, _, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		out = append(out, root)
+	}
+	out = append(out,
+		Scan("edges"),
+		Scan("edges").KeyMod(3, 1).Count(),
+		Scan("edges").KeyEq(5).Swap().JoinRight(Scan("edges")),
+		Scan("a").JoinEq(Scan("b").Distinct(), JKey, JRightVal).Project(CVal, CVal),
+	)
+	return out
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, n := range samplePlans(t) {
+		enc := Encode(n)
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("plan %d: decode: %v", i, err)
+		}
+		if back.Key() != n.Key() {
+			t.Fatalf("plan %d: key changed:\n got %s\nwant %s", i, back.Key(), n.Key())
+		}
+		if again := Encode(back); string(again) != string(enc) {
+			t.Fatalf("plan %d: re-encode not canonical", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := Encode(samplePlans(t)[2])
+	cases := map[string][]byte{
+		"empty":          {},
+		"zero count":     {0, 0, 0, 0},
+		"huge count":     {0xff, 0xff, 0xff, 0xff},
+		"unknown op":     {1, 0, 0, 0, 0xee},
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 1, 2, 3),
+	}
+	// Forward/self reference: one filter node pointing at itself.
+	self := []byte{1, 0, 0, 0, byte(OpFilter), byte(FKeyEq)}
+	self = append(self, make([]byte, 16)...) // A, B
+	self = append(self, 0, 0, 0, 0)          // child index 0 == itself
+	cases["self reference"] = self
+	for name, b := range cases {
+		n, err := Decode(b)
+		if err == nil {
+			t.Fatalf("%s: decoded %v, want error", name, n)
+		}
+		if !errors.Is(err, ErrDecode) && !errors.Is(err, ErrInvalid) {
+			t.Fatalf("%s: untyped error %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]*Node{
+		"zero modulus":         Scan("e").Filter(FKeyMod, 0, 0),
+		"remainder >= mod":     Scan("e").Filter(FKeyMod, 3, 3),
+		"rec outside fix":      Rec("t"),
+		"fix body no distinct": Fixpoint("t", Def{Name: "t", Body: Scan("e")}),
+		"fix missing out":      Fixpoint("q", Def{Name: "t", Body: Scan("e").Distinct()}),
+		"count on rec path": Fixpoint("t",
+			Def{Name: "t", Body: Rec("t").Count().Distinct()}),
+		"empty scan name": Scan(""),
+		"fix without base": Fixpoint("t",
+			Def{Name: "t", Body: Rec("t").Distinct()}),
+	}
+	for name, n := range cases {
+		if err := n.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("%s: want ErrInvalid, got %v", name, err)
+		}
+	}
+	good := Fixpoint("t", Def{Name: "t",
+		Body: Union(Scan("e"), Rec("t").JoinRight(Scan("e"))).Distinct()})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid fixpoint rejected: %v", err)
+	}
+}
+
+func TestSharedSubPlanKeysCoincide(t *testing.T) {
+	full := mustCompile(t, tcSrc, Options{})
+	filtered := mustCompile(t, tcSrc+"\n?- tc(1, y).", Options{})
+	if filtered.Op != OpFilter {
+		t.Fatalf("directive should add a filter, got %s", filtered.Op)
+	}
+	parts := SharedParts(filtered)
+	found := false
+	for _, p := range parts {
+		if p.Key() == full.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("filtered query does not share the unfiltered fixpoint sub-plan")
+	}
+	// Identical plans compiled independently are bit-identical on the wire.
+	again := mustCompile(t, tcSrc, Options{})
+	if string(Encode(again)) != string(Encode(full)) {
+		t.Fatalf("independent compiles of the same program differ")
+	}
+}
+
+func randProgram(r *rand.Rand) *Program {
+	vars := []string{"x", "y", "z", "w"}
+	edbs := []string{"e", "f"}
+	nPreds := 1 + r.Intn(2)
+	preds := make([]string, nPreds)
+	for i := range preds {
+		preds[i] = fmt.Sprintf("p%d", i)
+	}
+	prog := &Program{}
+	randTerm := func() Term {
+		if r.Intn(6) == 0 {
+			return Term{Const: uint64(r.Intn(5))}
+		}
+		return Term{Var: vars[r.Intn(len(vars))]}
+	}
+	for _, p := range preds {
+		for nRules := 1 + r.Intn(2); nRules > 0; {
+			var body []Atom
+			for k := 1 + r.Intn(3); k > 0; k-- {
+				pd := edbs[r.Intn(len(edbs))]
+				if r.Intn(3) == 0 {
+					pd = preds[r.Intn(len(preds))]
+				}
+				body = append(body, Atom{Pred: pd, Args: [2]Term{randTerm(), randTerm()}})
+			}
+			var bv []string
+			seen := map[string]bool{}
+			for _, a := range body {
+				for _, tm := range a.Args {
+					if tm.IsVar() && !seen[tm.Var] {
+						seen[tm.Var] = true
+						bv = append(bv, tm.Var)
+					}
+				}
+			}
+			if len(bv) == 0 {
+				continue // retry: head needs a bound variable
+			}
+			rule := Rule{
+				Head: Atom{Pred: p, Args: [2]Term{
+					{Var: bv[r.Intn(len(bv))]}, {Var: bv[r.Intn(len(bv))]},
+				}},
+				Body: body,
+			}
+			if len(bv) >= 2 && r.Intn(4) == 0 {
+				a, b := bv[r.Intn(len(bv))], bv[r.Intn(len(bv))]
+				if a != b {
+					rule.Neq = append(rule.Neq, Constraint{L: Term{Var: a}, R: Term{Var: b}})
+				}
+			}
+			prog.Rules = append(prog.Rules, rule)
+			nRules--
+		}
+	}
+	if r.Intn(3) == 0 {
+		q := Atom{Pred: preds[0], Args: [2]Term{randTerm(), randTerm()}}
+		prog.Query = &q
+	}
+	return prog
+}
+
+func randRel(r *rand.Rand, n int) Rel {
+	out := Rel{}
+	for i := 0; i < n; i++ {
+		out[[2]uint64{uint64(r.Intn(5)), uint64(r.Intn(5))}] = 1
+	}
+	return out
+}
+
+// TestPlannerOrderIndependence is the planner property test: for random rule
+// sets, the greedy order, the naive left-to-right order, and the brute-force
+// Datalog oracle all agree.
+func TestPlannerOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	compiled, failed := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		prog := randProgram(r)
+		edb := map[string]Rel{"e": randRel(r, 8), "f": randRel(r, 8)}
+		greedy, _, errG := CompileOpts(prog, Options{})
+		naive, _, errN := CompileOpts(prog, Options{Naive: true})
+		if (errG == nil) != (errN == nil) {
+			t.Fatalf("iter %d: feasibility disagrees: greedy=%v naive=%v", iter, errG, errN)
+		}
+		if errG != nil {
+			if !errors.Is(errG, ErrPlan) {
+				t.Fatalf("iter %d: untyped compile error %v", iter, errG)
+			}
+			failed++
+			continue
+		}
+		compiled++
+		want, err := EvalDatalog(prog, edb)
+		if err != nil {
+			t.Fatalf("iter %d: oracle: %v", iter, err)
+		}
+		gotG, err := Interpret(greedy, edb)
+		if err != nil {
+			t.Fatalf("iter %d: interpret greedy: %v", iter, err)
+		}
+		gotN, err := Interpret(naive, edb)
+		if err != nil {
+			t.Fatalf("iter %d: interpret naive: %v", iter, err)
+		}
+		if !gotG.Equal(want) {
+			t.Fatalf("iter %d: greedy disagrees with oracle: got %d records, want %d\nprogram: %v",
+				iter, len(gotG), len(want), prog.Rules)
+		}
+		if !gotN.Equal(want) {
+			t.Fatalf("iter %d: naive disagrees with oracle: got %d records, want %d\nprogram: %v",
+				iter, len(gotN), len(want), prog.Rules)
+		}
+	}
+	if compiled < 100 {
+		t.Fatalf("only %d/%d programs compiled (%d infeasible) — generator too adversarial", compiled, compiled+failed, failed)
+	}
+}
+
+func TestInterpretBuilderPipeline(t *testing.T) {
+	// edges | keyeq 5 | swap | join edges — mirror of the v2 grammar shape.
+	n := Scan("edges").KeyEq(5).Swap().JoinRight(Scan("edges"))
+	edges := relOf([2]uint64{5, 1}, [2]uint64{5, 2}, [2]uint64{2, 9}, [2]uint64{1, 7})
+	got, err := Interpret(n, map[string]Rel{"edges": edges})
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	// keyeq 5 → (5,1),(5,2); swap → (1,5),(2,5); join edges on key:
+	// (1,5)⋈(1,7)→(7,5); (2,5)⋈(2,9)→(9,5).
+	want := relOf([2]uint64{7, 5}, [2]uint64{9, 5})
+	if !got.Equal(want) {
+		t.Fatalf("pipeline mismatch: got %v want %v", got, want)
+	}
+
+	cnt := Scan("edges").Count()
+	got, err = Interpret(cnt, map[string]Rel{"edges": edges})
+	if err != nil {
+		t.Fatalf("interpret count: %v", err)
+	}
+	want = relOf([2]uint64{5, 2}, [2]uint64{2, 1}, [2]uint64{1, 1})
+	if !got.Equal(want) {
+		t.Fatalf("count mismatch: got %v want %v", got, want)
+	}
+}

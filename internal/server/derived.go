@@ -1,0 +1,141 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// Derived is a named arrangement maintained over a query's *output*: the
+// installed dataflow arranges its result collection on every worker, and
+// later queries import that arrangement exactly as they import a Source —
+// snapshot first, live batches behind. This extends "arrange once, share
+// everywhere" from base relations to derived relations: a sub-computation two
+// queries share (a transitive closure, a filtered join) is built and indexed
+// once, and every consumer attaches to the maintained index.
+type Derived[K, V any] struct {
+	s   *Server
+	nm  string
+	q   *Query
+	arr []*core.Arranged[K, V]
+
+	mu        sync.Mutex
+	stopped   bool
+	compacted uint64         // compaction frontier the pump has applied
+	wg        sync.WaitGroup // compaction pump
+}
+
+// InstallDerived installs a query dataflow whose output is arranged and
+// maintained on every worker. The build closure runs once per worker on that
+// worker's goroutine and returns the output collection plus a teardown to run
+// on the same worker at uninstall (cancel imports, close worker-local
+// inputs); nil teardowns are fine. A compaction pump advances the
+// arrangement's frontier behind the completion probe, so late-importing
+// queries receive a snapshot proportional to the live derived collection, not
+// its update history.
+func InstallDerived[K, V any](s *Server, name string, fn core.Funcs[K, V],
+	build func(w *timely.Worker, g *timely.Graph) (dd.Collection[K, V], func())) (*Derived[K, V], error) {
+
+	d := &Derived[K, V]{s: s, nm: name, arr: make([]*core.Arranged[K, V], s.c.Peers())}
+	q, err := s.Install(name, func(w *timely.Worker, g *timely.Graph) Built {
+		col, teardown := build(w, g)
+		a := dd.Arrange(col, fn, name)
+		d.arr[w.Index()] = a
+		return Built{Probe: timely.NewProbe(a.Stream), Teardown: teardown}
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.q = q
+	d.wg.Add(1)
+	go d.pump()
+	return d, nil
+}
+
+// Name returns the derived arrangement's registered (query) name.
+func (d *Derived[K, V]) Name() string { return d.nm }
+
+// Query returns the underlying installed query (probe, WaitDone).
+func (d *Derived[K, V]) Query() *Query { return d.q }
+
+// ImportInto attaches the calling worker's shard of the derived arrangement
+// to a new dataflow under construction, replaying a compacted snapshot before
+// live batches — the same contract as Source.ImportInto. Call only from
+// inside an Install build closure.
+func (d *Derived[K, V]) ImportInto(g *timely.Graph) *core.Arranged[K, V] {
+	a := d.arr[g.Worker().Index()]
+	return core.ImportOpts(g, a.Agent, d.nm+"-import", core.ImportOptions{Snapshot: true})
+}
+
+// pump advances the derived arrangement's compaction frontier behind its
+// completion probe: once results through epoch e are final on every worker,
+// no current or future reader can distinguish history below e+1, so each
+// worker's spine may consolidate it. Sources get this from Advance (the
+// driver owns their epoch clock); a derived arrangement's clock is implicit
+// in its inputs' progress, so the pump tracks the probe instead.
+func (d *Derived[K, V]) pump() {
+	defer d.wg.Done()
+	e := uint64(0)
+	for {
+		if !d.s.WaitFor(func() bool { return d.isStopped() || d.q.Done(e) }) {
+			return // server closed
+		}
+		if d.isStopped() {
+			return
+		}
+		for d.q.Done(e + 1) {
+			e++ // jump past epochs that completed while we slept
+		}
+		f := lattice.NewFrontier(lattice.Ts(e + 1))
+		p := d.s.c.PostEach(func(w *timely.Worker) {
+			d.arr[w.Index()].AdvanceSince(f)
+		})
+		p.Wait()
+		if p.Aborted() {
+			return // server closed under the posts
+		}
+		d.mu.Lock()
+		d.compacted = e + 1
+		d.mu.Unlock()
+		d.s.Wake() // WaitCompacted observers re-evaluate
+		e++
+	}
+}
+
+// WaitCompacted blocks until the pump has advanced the compaction frontier
+// beyond the given epoch on every worker — from then on, snapshot imports
+// consolidate everything at or below it. Returns false if the server closed
+// first.
+func (d *Derived[K, V]) WaitCompacted(epoch uint64) bool {
+	return d.s.WaitFor(func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.compacted > epoch
+	})
+}
+
+func (d *Derived[K, V]) isStopped() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stopped
+}
+
+// Uninstall stops the compaction pump, then tears the query down. Uninstall
+// queries importing this arrangement first: a consumer's snapshot import
+// holds a reader on the trace, and tearing the producer down under it would
+// sever a live dataflow. Idempotent.
+func (d *Derived[K, V]) Uninstall() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	d.s.Wake() // unpark the pump's WaitFor
+	d.wg.Wait()
+	d.q.Uninstall()
+}

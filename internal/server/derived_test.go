@@ -1,0 +1,188 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// TestDerivedImportMatchesDirect: a query importing a derived arrangement
+// (the reversed edge relation, maintained as a Derived) computes the same
+// one-hop results as a query that derives the reversal itself.
+func TestDerivedImportMatchesDirect(t *testing.T) {
+	phase0, phase1 := testEdges()
+	s := New(2)
+	defer s.Close()
+	edges, err := NewSource(s, "edges", core.U64())
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	edges.Update(phase0)
+	if _, err := edges.Advance(); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+
+	// The derived relation: edges reversed (dst -> src), arranged on every
+	// worker under its own compaction pump.
+	rev, err := InstallDerived(s, "rev", core.U64(),
+		func(w *timely.Worker, g *timely.Graph) (dd.Collection[uint64, uint64], func()) {
+			imported := edges.ImportInto(g)
+			out := dd.Map(dd.Flatten(imported), func(k, v uint64) (uint64, uint64) { return v, k })
+			return out, imported.Cancel
+		})
+	if err != nil {
+		t.Fatalf("install derived: %v", err)
+	}
+
+	// A consumer importing the derived arrangement: in-degree per node.
+	capDerived := &dd.Captured[uint64, uint64]{}
+	consumer, err := s.Install("indeg-via-rev", func(w *timely.Worker, g *timely.Graph) Built {
+		imported := rev.ImportInto(g)
+		counts := dd.CountCore(imported)
+		out := dd.Map(counts, func(k uint64, c int64) (uint64, uint64) { return k, uint64(c) })
+		dd.Capture(out, capDerived)
+		return Built{Probe: dd.Probe(out), Teardown: imported.Cancel}
+	})
+	if err != nil {
+		t.Fatalf("install consumer: %v", err)
+	}
+
+	// The same computation built directly against the source.
+	capDirect := &dd.Captured[uint64, uint64]{}
+	direct, err := s.Install("indeg-direct", func(w *timely.Worker, g *timely.Graph) Built {
+		imported := edges.ImportInto(g)
+		swapped := dd.Map(dd.Flatten(imported), func(k, v uint64) (uint64, uint64) { return v, k })
+		counts := dd.Count(swapped, core.U64())
+		out := dd.Map(counts, func(k uint64, c int64) (uint64, uint64) { return k, uint64(c) })
+		dd.Capture(out, capDirect)
+		return Built{Probe: dd.Probe(out), Teardown: imported.Cancel}
+	})
+	if err != nil {
+		t.Fatalf("install direct: %v", err)
+	}
+
+	edges.Update(phase1)
+	sealed, err := edges.Advance()
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	for _, q := range []*Query{consumer, direct} {
+		if !q.WaitDone(lattice.Ts(sealed)) {
+			t.Fatalf("server closed before %s completed", q.Name())
+		}
+	}
+
+	got, want := collect(capDerived), collect(capDirect)
+	if len(want) == 0 {
+		t.Fatalf("direct query produced nothing; broken test")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("derived-import result has %d records, direct has %d", len(got), len(want))
+	}
+	for k, d := range want {
+		if got[k] != d {
+			t.Fatalf("record %v: derived-import diff %d, direct diff %d", k, got[k], d)
+		}
+	}
+
+	// Teardown in dependency order: consumers first, then the derived.
+	consumer.Uninstall()
+	direct.Uninstall()
+	rev.Uninstall()
+	rev.Uninstall() // idempotent
+}
+
+// TestDerivedCompaction: the pump advances the derived trace's compaction
+// frontier behind the probe, so a late import's snapshot reflects the
+// consolidated collection, not per-epoch history.
+func TestDerivedCompaction(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	edges, err := NewSource(s, "edges", core.U64())
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	ident, err := InstallDerived(s, "ident", core.U64(),
+		func(w *timely.Worker, g *timely.Graph) (dd.Collection[uint64, uint64], func()) {
+			imported := edges.ImportInto(g)
+			return dd.Flatten(imported), imported.Cancel
+		})
+	if err != nil {
+		t.Fatalf("install derived: %v", err)
+	}
+
+	// Insert and retract the same record across many epochs: the consolidated
+	// collection is one record.
+	for e := 0; e < 50; e++ {
+		edges.Insert(7, uint64(e))
+		if e > 0 {
+			edges.Remove(7, uint64(e-1))
+		}
+		if _, err := edges.Advance(); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+	}
+	if err := edges.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// Wait until the pump has actually applied the compaction (not just
+	// until the epochs completed): the late import below must observe it.
+	if !ident.WaitCompacted(49) {
+		t.Fatalf("server closed before derived compacted")
+	}
+
+	cap := &dd.Captured[uint64, uint64]{}
+	late, err := s.Install("late", func(w *timely.Worker, g *timely.Graph) Built {
+		imported := ident.ImportInto(g)
+		out := dd.Flatten(imported)
+		dd.Capture(out, cap)
+		return Built{Probe: dd.Probe(out), Teardown: imported.Cancel}
+	})
+	if err != nil {
+		t.Fatalf("install late: %v", err)
+	}
+	if !late.WaitDone(lattice.Ts(49)) {
+		t.Fatalf("server closed before late query completed")
+	}
+	net := collect(cap)
+	if len(net) != 1 || net[[2]uint64{7, 49}] != 1 {
+		t.Fatalf("late import sees %v, want exactly {(7,49): 1}", net)
+	}
+	// The snapshot import must be compacted: far fewer raw updates than the
+	// 99 inserts/retracts the history holds.
+	if raw := len(cap.Updates()); raw >= 99 {
+		t.Fatalf("late import replayed %d raw updates; snapshot is not compacted", raw)
+	}
+	late.Uninstall()
+	ident.Uninstall()
+}
+
+// TestDerivedOnClosedServer: InstallDerived against a closed server fails
+// cleanly, and Uninstall after Close is safe.
+func TestDerivedOnClosedServer(t *testing.T) {
+	s := New(1)
+	edges, err := NewSource(s, "edges", core.U64())
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	d, err := InstallDerived(s, "ident", core.U64(),
+		func(w *timely.Worker, g *timely.Graph) (dd.Collection[uint64, uint64], func()) {
+			imported := edges.ImportInto(g)
+			return dd.Flatten(imported), imported.Cancel
+		})
+	if err != nil {
+		t.Fatalf("install derived: %v", err)
+	}
+	s.Close()
+	d.Uninstall() // must not hang or panic after Close
+
+	if _, err := InstallDerived(s, "post-close", core.U64(),
+		func(w *timely.Worker, g *timely.Graph) (dd.Collection[uint64, uint64], func()) {
+			return dd.Collection[uint64, uint64]{}, nil
+		}); err != ErrClosed {
+		t.Fatalf("InstallDerived on closed server: err=%v, want ErrClosed", err)
+	}
+}

@@ -11,6 +11,9 @@
 #                           load of the open-loop sweep
 #   GC_MIN   (default 1.05) wal_group_commit_speedup_x   group commit over
 #                           per-record fsync, durable ingest
+#   PLAN_MIN (default 1.5)  plan_shared_subplan_speedup_x cold Datalog TC
+#                           install over a follow-up query resolving the same
+#                           fixpoint from the shared sub-plan registry
 # and one slowdown ratio gates on a ceiling:
 #   OOCORE_MAX (default 3.0) oocore_join_slowdown_x      point-lookup probes
 #                           against a spilled spine (disk tier) over the
@@ -29,11 +32,12 @@ WIDE_MIN="${WIDE_MIN:-1.3}"
 OL_MIN="${OL_MIN:-1.2}"
 GC_MIN="${GC_MIN:-1.05}"
 OOCORE_MAX="${OOCORE_MAX:-3.0}"
+PLAN_MIN="${PLAN_MIN:-1.5}"
 if [ -n "${BENCH_JSON:-}" ]; then
     exec go run ./cmd/kpg bench -json -baseline BENCH_baseline.json \
         -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" \
-        -oocore-max "$OOCORE_MAX" "$@" > "$BENCH_JSON"
+        -oocore-max "$OOCORE_MAX" -plan-min "$PLAN_MIN" "$@" > "$BENCH_JSON"
 fi
 exec go run ./cmd/kpg bench -baseline BENCH_baseline.json \
     -wide-min "$WIDE_MIN" -ol-min "$OL_MIN" -gc-min "$GC_MIN" \
-    -oocore-max "$OOCORE_MAX" "$@"
+    -oocore-max "$OOCORE_MAX" -plan-min "$PLAN_MIN" "$@"
