@@ -27,6 +27,12 @@ const clientUsage = `usage: kpg client <verb> [args]  (server chosen with -addr)
                               the plan (requires a protocol v3 server), e.g.
                                 kpg client install tc -datalog \
                                   'tc(x,y) :- edges(x,y). tc(x,z) :- tc(x,y), edges(y,z).'
+                              "_" is a wildcard (fresh per occurrence). Rule
+                              bodies must be join-connected: each atom after
+                              the first shares a variable with those already
+                              joined, and at most two variables stay live
+                              (cartesian products are a planner limitation,
+                              not a syntax error)
   uninstall <name>            remove a query (its watchers' streams end)
   update <source> <k:v[:d]>…  apply deltas at the current epoch (d defaults to 1)
   advance <source>            seal the current epoch (publishes results)

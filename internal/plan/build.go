@@ -174,7 +174,8 @@ func (b *buildCtx) buildFix(n *Node) (dd.Collection[uint64, uint64], error) {
 	for _, d := range n.Defs {
 		defs[d.Name] = true
 	}
-	base := findBase(n, defs)
+	crm := map[*Node]bool{}
+	base := findBase(n, defs, crm)
 	if base == nil {
 		return zero, buildErrf("fixpoint %q has no recursion-free sub-plan to seed its scope", n.Out)
 	}
@@ -188,6 +189,7 @@ func (b *buildCtx) buildFix(n *Node) (dd.Collection[uint64, uint64], error) {
 	f := &fixCtx{
 		outer: b,
 		defs:  defs,
+		crm:   crm,
 		vars:  map[string]*dd.Variable[uint64, uint64]{},
 		cols:  map[string]dd.Collection[uint64, uint64]{},
 		arrs:  map[string]*core.Arranged[uint64, uint64]{},
@@ -210,14 +212,17 @@ func (b *buildCtx) buildFix(n *Node) (dd.Collection[uint64, uint64], error) {
 }
 
 // findBase returns the first maximal recursion-free sub-plan of the
-// fixpoint's bodies, or nil if every path loops.
-func findBase(n *Node, defs map[string]bool) *Node {
+// fixpoint's bodies, or nil if every path loops. crm is a containsRec memo
+// for defs, shared with the caller.
+func findBase(n *Node, defs map[string]bool, crm map[*Node]bool) *Node {
+	visited := map[*Node]bool{}
 	var walk func(m *Node) *Node
 	walk = func(m *Node) *Node {
-		if m == nil {
+		if m == nil || visited[m] {
 			return nil
 		}
-		if !containsRec(m, defs) {
+		visited[m] = true
+		if !containsRec(m, defs, crm) {
 			return m
 		}
 		if r := walk(m.In); r != nil {
@@ -237,6 +242,7 @@ func findBase(n *Node, defs map[string]bool) *Node {
 type fixCtx struct {
 	outer *buildCtx
 	defs  map[string]bool
+	crm   map[*Node]bool // containsRec memo for defs
 	vars  map[string]*dd.Variable[uint64, uint64]
 	cols  map[string]dd.Collection[uint64, uint64] // in-scope, by canonical key
 	arrs  map[string]*core.Arranged[uint64, uint64]
@@ -257,7 +263,7 @@ func (f *fixCtx) build(n *Node) (dd.Collection[uint64, uint64], error) {
 
 func (f *fixCtx) buildOp(n *Node) (dd.Collection[uint64, uint64], error) {
 	var zero dd.Collection[uint64, uint64]
-	if !containsRec(n, f.defs) {
+	if !containsRec(n, f.defs, f.crm) {
 		c, err := f.outer.build(n)
 		if err != nil {
 			return zero, err
@@ -326,7 +332,7 @@ func (f *fixCtx) arranged(n *Node) (*core.Arranged[uint64, uint64], error) {
 	if a, ok := f.arrs[key]; ok {
 		return a, nil
 	}
-	if !containsRec(n, f.defs) {
+	if !containsRec(n, f.defs, f.crm) {
 		oa, err := f.outer.arranged(n)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Datalog surface syntax. Programs are rules over binary atoms with
@@ -13,13 +14,24 @@ import (
 //	sg(x,y) :- e(p,x), e(p,y), x != y.
 //	?- tc(5, y).
 //
-// Arguments are variables (identifiers) or u64 constants; bodies may also
-// carry disequality constraints (`x != y`, `x != 7`). Predicates with rules
-// are intensional (IDB); predicates appearing only in bodies are extensional
-// (EDB) and resolve to registered sources. The optional `?- p(a, b).` query
-// directive selects the result predicate (default: the first rule's head)
-// and restricts it by any constant arguments. Stratified negation is
-// deferred; all rules are positive.
+// Arguments are variables (identifiers), u64 constants, or the wildcard `_`;
+// each `_` is a fresh anonymous variable, so `?- tc(_, _).` means "any pair"
+// and repeated wildcards never join. Wildcards are rejected in rule heads
+// and constraints, where a never-bound variable cannot mean anything. Bodies
+// may also carry disequality constraints (`x != y`, `x != 7`). Predicates
+// with rules are intensional (IDB); predicates appearing only in bodies are
+// extensional (EDB) and resolve to registered sources. The optional
+// `?- p(a, b).` query directive selects the result predicate (default: the
+// first rule's head) and restricts it by any constant arguments. Stratified
+// negation is deferred; all rules are positive.
+//
+// Planner restriction: every intermediate result is a binary (key, value)
+// collection, so rule bodies must be join-connected — after the first atom,
+// each subsequent atom must share at least one variable with those already
+// joined, and at most two variables may stay live at any point. Bodies that
+// violate this (e.g. cartesian products such as
+// `h(x,y) :- e(x,y), f(a,b).`) are valid Datalog but are rejected at compile
+// time with a "no feasible join order" error.
 
 // Term is one atom argument: a variable (Var non-empty) or a u64 constant.
 type Term struct {
@@ -32,10 +44,21 @@ func (t Term) IsVar() bool { return t.Var != "" }
 
 func (t Term) String() string {
 	if t.IsVar() {
+		if isAnon(t.Var) {
+			return "_"
+		}
 		return t.Var
 	}
 	return strconv.FormatUint(t.Const, 10)
 }
+
+// anonVar names the i-th wildcard occurrence. "#" cannot appear in a parsed
+// identifier (it starts a comment), so generated names never collide with
+// user variables.
+func anonVar(i int) string { return fmt.Sprintf("_#%d", i) }
+
+// isAnon reports whether v is a parser-generated wildcard variable.
+func isAnon(v string) bool { return strings.HasPrefix(v, "_#") }
 
 // Atom is one binary predicate application.
 type Atom struct {
@@ -151,6 +174,7 @@ func dlTokenize(src string) ([]dlToken, error) {
 type dlParser struct {
 	toks []dlToken
 	pos  int
+	anon int // wildcards renamed so far
 }
 
 func (p *dlParser) peek() (dlToken, bool) {
@@ -203,6 +227,12 @@ func (p *dlParser) term() (Term, error) {
 	}
 	switch t.kind {
 	case 'i':
+		if t.text == "_" {
+			// Each wildcard is a fresh anonymous variable: `p(_, _)` matches
+			// any pair, and wildcards across atoms never join.
+			p.anon++
+			return Term{Var: anonVar(p.anon)}, nil
+		}
 		return Term{Var: t.text}, nil
 	case 'n':
 		return Term{Const: t.num}, nil
@@ -291,6 +321,11 @@ func (p *dlParser) rule() (Rule, error) {
 	if r.Head, err = p.atom(id.text); err != nil {
 		return r, err
 	}
+	for _, tm := range r.Head.Args {
+		if tm.IsVar() && isAnon(tm.Var) {
+			return r, parseErrf(`wildcard "_" not allowed in the head of rule %q (head variables must be bound in the body)`, r.Head.Pred)
+		}
+	}
 	t, ok := p.next()
 	if !ok {
 		return r, parseErrf(`unexpected end of program, expected ":-" or "."`)
@@ -366,6 +401,11 @@ func (p *dlParser) constraint() (Constraint, error) {
 	}
 	if !c.L.IsVar() && !c.R.IsVar() {
 		return c, parseErrf("constraint %s compares two constants", c)
+	}
+	for _, tm := range []Term{c.L, c.R} {
+		if tm.IsVar() && isAnon(tm.Var) {
+			return c, parseErrf(`wildcard "_" not allowed in a constraint`)
+		}
 	}
 	return c, nil
 }

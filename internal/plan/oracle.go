@@ -45,7 +45,7 @@ func Interpret(root *Node, edb map[string]Rel) (Rel, error) {
 		return nil, err
 	}
 	in := &interp{edb: edb, memo: map[string]Rel{}}
-	return in.eval(root, nil, nil)
+	return in.eval(root, nil, nil, nil)
 }
 
 type interp struct {
@@ -55,15 +55,17 @@ type interp struct {
 }
 
 // eval evaluates n. rec maps the enclosing fixpoint's definitions to their
-// current approximations; defs is that fixpoint's name set (nil outside).
-func (in *interp) eval(n *Node, rec map[string]Rel, defs map[string]bool) (Rel, error) {
-	recFree := rec == nil || !containsRec(n, defs)
+// current approximations; defs is that fixpoint's name set (nil outside),
+// and crm the containsRec memo for it (one per fixpoint, shared across
+// rounds so DAG-shaped bodies stay linear to classify).
+func (in *interp) eval(n *Node, rec map[string]Rel, defs map[string]bool, crm map[*Node]bool) (Rel, error) {
+	recFree := rec == nil || !containsRec(n, defs, crm)
 	if recFree {
 		if r, ok := in.memo[n.Key()]; ok {
 			return r, nil
 		}
 	}
-	r, err := in.evalOp(n, rec, defs)
+	r, err := in.evalOp(n, rec, defs, crm)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +75,7 @@ func (in *interp) eval(n *Node, rec map[string]Rel, defs map[string]bool) (Rel, 
 	return r, nil
 }
 
-func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel, error) {
+func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool, crm map[*Node]bool) (Rel, error) {
 	switch n.Op {
 	case OpScan:
 		out := Rel{}
@@ -88,7 +90,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpFilter:
-		src, err := in.eval(n.In, rec, defs)
+		src, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +102,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpProject:
-		src, err := in.eval(n.In, rec, defs)
+		src, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -110,11 +112,11 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpUnion:
-		l, err := in.eval(n.In, rec, defs)
+		l, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
-		r, err := in.eval(n.Right, rec, defs)
+		r, err := in.eval(n.Right, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -127,11 +129,11 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpJoin:
-		l, err := in.eval(n.In, rec, defs)
+		l, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
-		r, err := in.eval(n.Right, rec, defs)
+		r, err := in.eval(n.Right, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +153,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpCount:
-		src, err := in.eval(n.In, rec, defs)
+		src, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +169,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 		}
 		return out, nil
 	case OpDistinct:
-		src, err := in.eval(n.In, rec, defs)
+		src, err := in.eval(n.In, rec, defs, crm)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +187,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 			names[d.Name] = true
 			cur[d.Name] = Rel{}
 		}
+		fcrm := map[*Node]bool{}
 		for {
 			if in.rounds++; in.rounds > maxFixRounds {
 				return nil, invalidf("fixpoint did not converge within %d rounds", maxFixRounds)
@@ -192,7 +195,7 @@ func (in *interp) evalOp(n *Node, rec map[string]Rel, defs map[string]bool) (Rel
 			next := map[string]Rel{}
 			changed := false
 			for _, d := range n.Defs {
-				r, err := in.eval(d.Body, cur, names)
+				r, err := in.eval(d.Body, cur, names, fcrm)
 				if err != nil {
 					return nil, err
 				}

@@ -27,6 +27,8 @@
 package plan
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -154,70 +156,53 @@ func (n *Node) Stateful() bool {
 	return false
 }
 
-// Key returns the node's canonical key: a stable serialization of the
-// sub-plan under it. Structurally identical sub-plans have equal keys;
+// Key returns the node's canonical key: a fixed-size structural digest of
+// the sub-plan under it (a node's digest covers its op, operands, and its
+// children's digests). Structurally identical sub-plans have equal keys;
 // Union children and Fixpoint definitions are order-normalized, so the
-// trivially commutative forms also coincide.
+// trivially commutative forms also coincide. Digests are constant-size, so
+// keys stay linear in the number of distinct nodes even when sub-plan
+// sharing makes the DAG exponentially larger as a tree.
 func (n *Node) Key() string {
 	if n.key == "" {
 		var b strings.Builder
-		n.writeKey(&b)
-		n.key = b.String()
+		switch n.Op {
+		case OpScan:
+			fmt.Fprintf(&b, "(s %s)", strconv.Quote(n.Rel))
+		case OpRec:
+			fmt.Fprintf(&b, "(r %s)", strconv.Quote(n.Rel))
+		case OpFilter:
+			fmt.Fprintf(&b, "(f %d %d %d %s)", n.FOp, n.A, n.B, n.In.Key())
+		case OpProject:
+			fmt.Fprintf(&b, "(p %d%d %s)", n.Cols[0], n.Cols[1], n.In.Key())
+		case OpUnion:
+			l, r := n.In.Key(), n.Right.Key()
+			if r < l {
+				l, r = r, l
+			}
+			fmt.Fprintf(&b, "(u %s %s)", l, r)
+		case OpJoin:
+			fmt.Fprintf(&b, "(j %d%d %t %s %s)", n.Proj[0], n.Proj[1], n.EqVals,
+				n.In.Key(), n.Right.Key())
+		case OpCount:
+			fmt.Fprintf(&b, "(c %s)", n.In.Key())
+		case OpDistinct:
+			fmt.Fprintf(&b, "(d %s)", n.In.Key())
+		case OpFixpoint:
+			defs := append([]Def(nil), n.Defs...)
+			sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+			fmt.Fprintf(&b, "(x %s", strconv.Quote(n.Out))
+			for _, d := range defs {
+				fmt.Fprintf(&b, " (%s %s)", strconv.Quote(d.Name), d.Body.Key())
+			}
+			b.WriteByte(')')
+		default:
+			fmt.Fprintf(&b, "(?%d)", n.Op)
+		}
+		sum := sha256.Sum256([]byte(b.String()))
+		n.key = hex.EncodeToString(sum[:])
 	}
 	return n.key
-}
-
-func (n *Node) writeKey(b *strings.Builder) {
-	if n.key != "" {
-		b.WriteString(n.key)
-		return
-	}
-	switch n.Op {
-	case OpScan:
-		fmt.Fprintf(b, "(s %s)", strconv.Quote(n.Rel))
-	case OpRec:
-		fmt.Fprintf(b, "(r %s)", strconv.Quote(n.Rel))
-	case OpFilter:
-		fmt.Fprintf(b, "(f %d %d %d ", n.FOp, n.A, n.B)
-		n.In.writeKey(b)
-		b.WriteByte(')')
-	case OpProject:
-		fmt.Fprintf(b, "(p %d%d ", n.Cols[0], n.Cols[1])
-		n.In.writeKey(b)
-		b.WriteByte(')')
-	case OpUnion:
-		l, r := n.In.Key(), n.Right.Key()
-		if r < l {
-			l, r = r, l
-		}
-		fmt.Fprintf(b, "(u %s %s)", l, r)
-	case OpJoin:
-		fmt.Fprintf(b, "(j %d%d %t ", n.Proj[0], n.Proj[1], n.EqVals)
-		n.In.writeKey(b)
-		b.WriteByte(' ')
-		n.Right.writeKey(b)
-		b.WriteByte(')')
-	case OpCount:
-		b.WriteString("(c ")
-		n.In.writeKey(b)
-		b.WriteByte(')')
-	case OpDistinct:
-		b.WriteString("(d ")
-		n.In.writeKey(b)
-		b.WriteByte(')')
-	case OpFixpoint:
-		defs := append([]Def(nil), n.Defs...)
-		sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
-		fmt.Fprintf(b, "(x %s", strconv.Quote(n.Out))
-		for _, d := range defs {
-			fmt.Fprintf(b, " (%s ", strconv.Quote(d.Name))
-			d.Body.writeKey(b)
-			b.WriteByte(')')
-		}
-		b.WriteByte(')')
-	default:
-		fmt.Fprintf(b, "(?%d)", n.Op)
-	}
 }
 
 // Sources returns the distinct base relations the plan scans, sorted.
@@ -256,46 +241,122 @@ func invalidf(format string, args ...any) error {
 }
 
 // containsRec reports whether the sub-plan references any of the given
-// definition names recursively (memoized externally by callers that care).
-func containsRec(n *Node, defs map[string]bool) bool {
+// definition names recursively. memo caches answers per node for one defs
+// set; the caller owns one memo per scope (shared sub-plans make the plan a
+// DAG, and an unmemoized walk is exponential in sharing depth).
+func containsRec(n *Node, defs map[string]bool, memo map[*Node]bool) bool {
 	if n == nil {
 		return false
 	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	v := false
 	if n.Op == OpRec {
-		return defs[n.Rel]
+		v = defs[n.Rel]
+	} else {
+		v = containsRec(n.In, defs, memo) || containsRec(n.Right, defs, memo)
+		for i := 0; !v && i < len(n.Defs); i++ {
+			v = containsRec(n.Defs[i].Body, defs, memo)
+		}
 	}
-	if containsRec(n.In, defs) || containsRec(n.Right, defs) {
-		return true
-	}
-	for _, d := range n.Defs {
-		if containsRec(d.Body, defs) {
+	memo[n] = v
+	return v
+}
+
+// vscope is one fixpoint's scope frame during validation; enclosing frames
+// chain through parent. nil is the outermost (fixpoint-free) scope.
+type vscope struct {
+	parent *vscope
+	names  map[string]bool // this fixpoint's definition names
+}
+
+// visible reports whether name is defined by this frame or any enclosing one.
+func (s *vscope) visible(name string) bool {
+	for f := s; f != nil; f = f.parent {
+		if f.names[name] {
 			return true
 		}
 	}
 	return false
 }
 
+// vstate identifies one validation visit: a node under a scope frame. The
+// frame determines everything scope-dependent (Rec visibility, the
+// monotonicity mode via containsRec), so a (node, scope) pair never needs
+// revalidating — this is what keeps validation linear on hash-consed DAGs.
+type vstate struct {
+	n *Node
+	s *vscope
+}
+
+// maxValidateStates bounds distinct (node, scope) validation visits. It
+// exceeds MaxNodes so legitimate plans that share one sub-plan under several
+// fixpoint scopes still validate, while bounding the work and memory an
+// adversarial plan can demand.
+const maxValidateStates = MaxNodes * 16
+
+type validator struct {
+	nodes  map[*Node]bool             // distinct nodes, for the MaxNodes budget
+	states map[vstate]bool            // (node, scope) pairs already validated
+	rec    map[*vscope]map[*Node]bool // containsRec memo per scope frame
+}
+
+// crMemo returns the containsRec memo for one scope frame.
+func (v *validator) crMemo(s *vscope) map[*Node]bool {
+	m := v.rec[s]
+	if m == nil {
+		m = map[*Node]bool{}
+		v.rec[s] = m
+	}
+	return m
+}
+
+// budget records the visit. done means the pair was validated before (the
+// caller returns nil); otherwise a non-nil error means a budget was exceeded.
+func (v *validator) budget(n *Node, s *vscope) (done bool, err error) {
+	st := vstate{n, s}
+	if v.states[st] {
+		return true, nil
+	}
+	v.states[st] = true
+	v.nodes[n] = true
+	if len(v.nodes) > MaxNodes {
+		return false, invalidf("more than %d nodes", MaxNodes)
+	}
+	if len(v.states) > maxValidateStates {
+		return false, invalidf("plan exceeds validation budget (%d node-scope visits)", maxValidateStates)
+	}
+	return false, nil
+}
+
 // Validate checks the plan's structural invariants: known ops and selectors,
 // nonzero moduli, recursive references only to enclosing fixpoint
 // definitions, consolidating (Distinct-topped) fixpoint bodies, and no
-// non-monotone operators (Count, nested Fixpoint) on recursive paths. It
-// never panics and returns errors wrapping ErrInvalid.
+// non-monotone operators (Count, nested Fixpoint) on recursive paths. Shared
+// sub-plans are validated once per scope, so cost is linear in distinct
+// nodes, not tree paths — plans arrive over the network, and an exponential
+// walk here would let a few hundred bytes pin a CPU. It never panics and
+// returns errors wrapping ErrInvalid.
 func (n *Node) Validate() error {
 	if n == nil {
 		return invalidf("nil plan")
 	}
-	count := 0
-	return validate(n, nil, &count)
+	v := &validator{
+		nodes:  map[*Node]bool{},
+		states: map[vstate]bool{},
+		rec:    map[*vscope]map[*Node]bool{},
+	}
+	return v.validate(n, nil)
 }
 
-// validate walks the plan. scope maps visible fixpoint definition names to
-// whether the current position may still reach them recursively.
-func validate(n *Node, scope map[string]bool, count *int) error {
+// validate walks a recursion-free region of the plan under scope s.
+func (v *validator) validate(n *Node, s *vscope) error {
 	if n == nil {
 		return invalidf("nil node")
 	}
-	if *count++; *count > MaxNodes {
-		return invalidf("more than %d nodes", MaxNodes)
+	if done, err := v.budget(n, s); done || err != nil {
+		return err
 	}
 	switch n.Op {
 	case OpScan:
@@ -304,7 +365,7 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 		}
 		return nil
 	case OpRec:
-		if !scope[n.Rel] {
+		if !s.visible(n.Rel) {
 			return invalidf("recursive reference %q outside its fixpoint", n.Rel)
 		}
 		return nil
@@ -321,31 +382,31 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 		default:
 			return invalidf("unknown filter op %d", n.FOp)
 		}
-		return validate(n.In, scope, count)
+		return v.validate(n.In, s)
 	case OpProject:
 		for _, c := range n.Cols {
 			if c != CKey && c != CVal {
 				return invalidf("unknown projection column %d", c)
 			}
 		}
-		return validate(n.In, scope, count)
+		return v.validate(n.In, s)
 	case OpUnion:
-		if err := validate(n.In, scope, count); err != nil {
+		if err := v.validate(n.In, s); err != nil {
 			return err
 		}
-		return validate(n.Right, scope, count)
+		return v.validate(n.Right, s)
 	case OpJoin:
-		for _, s := range n.Proj {
-			if s != JKey && s != JLeftVal && s != JRightVal {
-				return invalidf("unknown join selector %d", s)
+		for _, sel := range n.Proj {
+			if sel != JKey && sel != JLeftVal && sel != JRightVal {
+				return invalidf("unknown join selector %d", sel)
 			}
 		}
-		if err := validate(n.In, scope, count); err != nil {
+		if err := v.validate(n.In, s); err != nil {
 			return err
 		}
-		return validate(n.Right, scope, count)
+		return v.validate(n.Right, s)
 	case OpCount, OpDistinct:
-		return validate(n.In, scope, count)
+		return v.validate(n.In, s)
 	case OpFixpoint:
 		if len(n.Defs) == 0 {
 			return invalidf("fixpoint with no definitions")
@@ -358,7 +419,7 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 			if names[d.Name] {
 				return invalidf("duplicate fixpoint definition %q", d.Name)
 			}
-			if scope[d.Name] {
+			if s.visible(d.Name) {
 				return invalidf("fixpoint definition %q shadows an enclosing one", d.Name)
 			}
 			names[d.Name] = true
@@ -366,13 +427,7 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 		if !names[n.Out] {
 			return invalidf("fixpoint output %q is not defined", n.Out)
 		}
-		inner := map[string]bool{}
-		for s := range scope {
-			inner[s] = true
-		}
-		for s := range names {
-			inner[s] = true
-		}
+		inner := &vscope{parent: s, names: names}
 		for _, d := range n.Defs {
 			if d.Body == nil {
 				return invalidf("fixpoint definition %q has nil body", d.Name)
@@ -381,11 +436,11 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 				return invalidf("fixpoint definition %q must consolidate (top node Distinct, got %s)",
 					d.Name, d.Body.Op)
 			}
-			if err := validateBody(d.Body, names, inner, count); err != nil {
+			if err := v.validateBody(d.Body, inner); err != nil {
 				return err
 			}
 		}
-		if findBase(n, names) == nil {
+		if findBase(n, names, v.crMemo(inner)) == nil {
 			return invalidf("fixpoint %q has no recursion-free sub-plan to seed its scope", n.Out)
 		}
 		return nil
@@ -394,23 +449,23 @@ func validate(n *Node, scope map[string]bool, count *int) error {
 	}
 }
 
-// validateBody walks a fixpoint definition body. Sub-plans that reference
-// the fixpoint's definitions must stay monotone (no Count, no nested
-// Fixpoint on the recursive path); recursion-free sub-plans are ordinary
-// plans, built outside the iteration scope.
-func validateBody(n *Node, defs map[string]bool, scope map[string]bool, count *int) error {
+// validateBody walks a fixpoint definition body under its frame s. Sub-plans
+// that reference the fixpoint's definitions must stay monotone (no Count, no
+// nested Fixpoint on the recursive path); recursion-free sub-plans are
+// ordinary plans, built outside the iteration scope.
+func (v *validator) validateBody(n *Node, s *vscope) error {
 	if n == nil {
 		return invalidf("nil node in fixpoint body")
 	}
-	if !containsRec(n, defs) {
-		return validate(n, scope, count)
+	if !containsRec(n, s.names, v.crMemo(s)) {
+		return v.validate(n, s)
 	}
-	if *count++; *count > MaxNodes {
-		return invalidf("more than %d nodes", MaxNodes)
+	if done, err := v.budget(n, s); done || err != nil {
+		return err
 	}
 	switch n.Op {
 	case OpRec:
-		if !scope[n.Rel] {
+		if !s.visible(n.Rel) {
 			return invalidf("recursive reference %q outside its fixpoint", n.Rel)
 		}
 		return nil
@@ -431,31 +486,31 @@ func validateBody(n *Node, defs map[string]bool, scope map[string]bool, count *i
 		default:
 			return invalidf("unknown filter op %d", n.FOp)
 		}
-		return validateBody(n.In, defs, scope, count)
+		return v.validateBody(n.In, s)
 	case OpProject:
 		for _, c := range n.Cols {
 			if c != CKey && c != CVal {
 				return invalidf("unknown projection column %d", c)
 			}
 		}
-		return validateBody(n.In, defs, scope, count)
+		return v.validateBody(n.In, s)
 	case OpUnion:
-		if err := validateBody(n.In, defs, scope, count); err != nil {
+		if err := v.validateBody(n.In, s); err != nil {
 			return err
 		}
-		return validateBody(n.Right, defs, scope, count)
+		return v.validateBody(n.Right, s)
 	case OpJoin:
-		for _, s := range n.Proj {
-			if s != JKey && s != JLeftVal && s != JRightVal {
-				return invalidf("unknown join selector %d", s)
+		for _, sel := range n.Proj {
+			if sel != JKey && sel != JLeftVal && sel != JRightVal {
+				return invalidf("unknown join selector %d", sel)
 			}
 		}
-		if err := validateBody(n.In, defs, scope, count); err != nil {
+		if err := v.validateBody(n.In, s); err != nil {
 			return err
 		}
-		return validateBody(n.Right, defs, scope, count)
+		return v.validateBody(n.Right, s)
 	case OpDistinct:
-		return validateBody(n.In, defs, scope, count)
+		return v.validateBody(n.In, s)
 	case OpScan:
 		return invalidf("internal: scan cannot contain a recursive reference")
 	default:
@@ -557,6 +612,7 @@ func Fixpoint(out string, defs ...Def) *Node {
 func SharedChildren(n *Node) []*Node {
 	var out []*Node
 	seen := map[string]bool{}
+	visited := map[*Node]bool{}
 	add := func(m *Node) {
 		if k := m.Key(); !seen[k] {
 			seen[k] = true
@@ -564,11 +620,11 @@ func SharedChildren(n *Node) []*Node {
 		}
 	}
 	var walk func(m *Node)
-	var walkBody func(m *Node, defs map[string]bool)
 	walk = func(m *Node) {
-		if m == nil {
+		if m == nil || visited[m] {
 			return
 		}
+		visited[m] = true
 		if m.Stateful() {
 			add(m)
 			return
@@ -576,24 +632,28 @@ func SharedChildren(n *Node) []*Node {
 		walk(m.In)
 		walk(m.Right)
 	}
-	walkBody = func(m *Node, defs map[string]bool) {
-		if m == nil {
-			return
-		}
-		if !containsRec(m, defs) {
-			walk(m)
-			return
-		}
-		walkBody(m.In, defs)
-		walkBody(m.Right, defs)
-	}
 	if n.Op == OpFixpoint {
 		defs := map[string]bool{}
 		for _, d := range n.Defs {
 			defs[d.Name] = true
 		}
+		crm := map[*Node]bool{}
+		bodyVisited := map[*Node]bool{}
+		var walkBody func(m *Node)
+		walkBody = func(m *Node) {
+			if m == nil || bodyVisited[m] {
+				return
+			}
+			bodyVisited[m] = true
+			if !containsRec(m, defs, crm) {
+				walk(m)
+				return
+			}
+			walkBody(m.In)
+			walkBody(m.Right)
+		}
 		for _, d := range n.Defs {
-			walkBody(d.Body, defs)
+			walkBody(d.Body)
 		}
 		return out
 	}

@@ -337,6 +337,138 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestWildcardIsAnonymous: each `_` is a fresh variable. The historical bug
+// tokenized `_` as one shared named variable, so `?- tc(_, _).` compiled to
+// a key==value filter and returned only self-loops.
+func TestWildcardIsAnonymous(t *testing.T) {
+	root := mustCompile(t, tcSrc+"\n?- tc(_, _).", Options{})
+	edb := map[string]Rel{"e": testEdges()}
+	got, err := Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	want := closure(testEdges())
+	if !got.Equal(want) {
+		t.Fatalf("tc(_, _) mismatch: got %d records, want the full closure (%d)", len(got), len(want))
+	}
+	offDiagonal := false
+	for rec := range got {
+		if rec[0] != rec[1] {
+			offDiagonal = true
+		}
+	}
+	if !offDiagonal {
+		t.Fatalf("tc(_, _) returned only self-loops: wildcards joined")
+	}
+
+	// Wildcards in different atoms must not join each other: p keeps the
+	// edges whose target has any outgoing edge.
+	src := `p(x, y) :- e(x, y), e(y, _).`
+	root = mustCompile(t, src, Options{})
+	got, err = Interpret(root, edb)
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	prog, err := ParseDatalog(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, err = EvalDatalog(prog, edb)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("wildcard body atom disagrees with oracle: got %v, want %v", got, want)
+	}
+	// testEdges minus (3,4): node 4 has no outgoing edge.
+	explicit := relOf(
+		[2]uint64{1, 2}, [2]uint64{2, 3},
+		[2]uint64{2, 5}, [2]uint64{5, 1}, [2]uint64{6, 3},
+	)
+	if !want.Equal(explicit) {
+		t.Fatalf("oracle wildcard semantics off: got %v, want %v", want, explicit)
+	}
+}
+
+func TestWildcardRejectedWhereMeaningless(t *testing.T) {
+	cases := map[string]string{
+		"head key":   `p(_, y) :- e(x, y).`,
+		"head val":   `p(x, _) :- e(x, y).`,
+		"constraint": `p(x, y) :- e(x, y), _ != 3.`,
+	}
+	for name, src := range cases {
+		if _, err := ParseDatalog(src); !errors.Is(err, ErrParse) {
+			t.Fatalf("%s: want ErrParse, got %v", name, err)
+		}
+	}
+	// `_`-prefixed identifiers longer than the bare wildcard stay ordinary
+	// named variables.
+	src := `p(_a, _a) :- e(_a, _a).`
+	root := mustCompile(t, src, Options{})
+	got, err := Interpret(root, map[string]Rel{"e": testEdges()})
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("repeated _a should demand key==value; testEdges has no self-loop, got %v", got)
+	}
+}
+
+// TestValidateDeepSharedDAG reproduces the remote-DoS shape from review: a
+// small encoded frame whose fixpoint body holds a recursion-free doubling
+// Union DAG. Validation, keys, the codec, and the interpreter must all stay
+// linear in distinct nodes — an unmemoized tree walk would take 2^depth
+// steps and this test would never finish.
+func TestValidateDeepSharedDAG(t *testing.T) {
+	const depth = 40 // 2^40 tree paths; well past any feasible unmemoized walk
+	deep := Scan("e")
+	for i := 0; i < depth; i++ {
+		deep = Union(deep, deep)
+	}
+	// t(x,z) :- e(x,z).  t(x,z) :- t(x,y), e(y,z).  with e replaced by the
+	// doubling DAG (same set, 2^depth multiplicity — Distinct consolidates).
+	root := Fixpoint("t", Def{Name: "t",
+		Body: Union(deep, Rec("t").Swap().JoinRight(Scan("e")).Swap()).Distinct()})
+	if err := root.Validate(); err != nil {
+		t.Fatalf("deep shared DAG rejected: %v", err)
+	}
+	enc := Encode(root)
+	if len(enc) > 4096 {
+		t.Fatalf("hash-consed encoding unexpectedly large: %d bytes", len(enc))
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Key() != root.Key() {
+		t.Fatalf("key changed across codec round-trip")
+	}
+	if len(back.Key()) != len(Scan("e").Key()) {
+		t.Fatalf("keys are not constant-size: deep plan key has %d bytes", len(back.Key()))
+	}
+	got, err := Interpret(back, map[string]Rel{"e": relOf([2]uint64{1, 2}, [2]uint64{2, 3})})
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	want := relOf([2]uint64{1, 2}, [2]uint64{2, 3}, [2]uint64{1, 3})
+	if !got.Equal(want) {
+		t.Fatalf("deep DAG fixpoint mismatch: got %v, want %v", got, want)
+	}
+}
+
+// TestValidateCountsDistinctNodes: the MaxNodes budget counts distinct
+// nodes, not tree-path expansions — deep sharing is admitted (previous
+// test), while genuinely oversized plans still reject.
+func TestValidateCountsDistinctNodes(t *testing.T) {
+	n := Scan("e")
+	for i := 0; i <= MaxNodes; i++ {
+		n = n.KeyEq(uint64(i))
+	}
+	if err := n.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("plan with %d distinct nodes: want ErrInvalid, got %v", MaxNodes+2, err)
+	}
+}
+
 func TestSharedSubPlanKeysCoincide(t *testing.T) {
 	full := mustCompile(t, tcSrc, Options{})
 	filtered := mustCompile(t, tcSrc+"\n?- tc(1, y).", Options{})

@@ -570,5 +570,7 @@ func (c *compiler) compileRule(r Rule) (*Node, error) {
 	if lastFail == "" {
 		lastFail = "no candidate order"
 	}
-	return nil, planErrf("rule %s: no feasible join order: %s", r.Head, lastFail)
+	return nil, planErrf("rule %s: no feasible join order: %s "+
+		"(bodies must be join-connected with at most two live variables; "+
+		"cartesian products are not plannable)", r.Head, lastFail)
 }
