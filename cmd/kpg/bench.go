@@ -21,23 +21,32 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graphs"
 	"repro/internal/interactive"
+	"repro/internal/lattice"
+	"repro/internal/mesh"
+	"repro/internal/timely"
 	"repro/internal/tpch"
 )
 
 // BenchReport is the JSON shape of a bench run / committed baseline.
 type BenchReport struct {
-	Created string             `json:"created"`
-	Go      string             `json:"go"`
-	NumCPU  int                `json:"num_cpu"`
-	Scale   float64            `json:"tpch_scale"`
-	Reps    int                `json:"reps"`
-	Metrics map[string]float64 `json:"metrics"`
+	Created string `json:"created"`
+	Go      string `json:"go"`
+	NumCPU  int    `json:"num_cpu"`
+	// Processes and Workers record the cluster shape the run used; bench
+	// itself always runs single-process, but baselines recorded under a
+	// different shape should not be compared silently.
+	Processes int                `json:"processes"`
+	Workers   int                `json:"workers"`
+	Scale     float64            `json:"tpch_scale"`
+	Reps      int                `json:"reps"`
+	Metrics   map[string]float64 `json:"metrics"`
 	// Allocs records heap bytes allocated during each metric's best rep —
 	// informational (not gated): layout work shows up here first.
 	Allocs map[string]float64 `json:"alloc_bytes,omitempty"`
@@ -86,7 +95,82 @@ func benchCases() []benchCase {
 		{"fig5_install_shared_ns", func(d *tpch.Data) float64 {
 			return installLatency(true)
 		}},
+		{"mesh_exchange_roundtrip_ns", func(d *tpch.Data) float64 {
+			return meshRoundtrip()
+		}},
 	}
+}
+
+// benchMeshHost discards fabric deliveries; the roundtrip metric exercises
+// only the transport's framing and socket path.
+type benchMeshHost struct{}
+
+func (benchMeshHost) DeliverData(df, ch, worker int, stamp []lattice.Time, payload []byte) error {
+	return nil
+}
+func (benchMeshHost) DeliverProgress(df int, deltas []timely.ProgressDelta) {}
+
+// meshRoundtrip measures one user-frame round trip over a two-node loopback
+// mesh: the floor cost (framing, CRC, kernel TCP) the transport adds to every
+// exchanged partition or progress batch. Informational (_ns): it tracks the
+// transport's overhead across PRs without gating on a loaded box's jitter.
+func meshRoundtrip() float64 {
+	var nodes [2]*mesh.Node
+	pong := make(chan struct{}, 1)
+	onUser := [2]func(int, []byte){
+		func(src int, payload []byte) { pong <- struct{}{} },
+		func(src int, payload []byte) { nodes[1].SendUser(0, payload) },
+	}
+	for p := 0; p < 2; p++ {
+		n, err := mesh.Listen(mesh.Options{
+			Addrs:      []string{"127.0.0.1:0", "127.0.0.1:0"},
+			Process:    p,
+			Workers:    2,
+			ClusterKey: 0xbe9c4,
+			OnUser:     onUser[p],
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: mesh listen: %v\n", err)
+			os.Exit(1)
+		}
+		nodes[p] = n
+	}
+	real := []string{nodes[0].Addr().String(), nodes[1].Addr().String()}
+	var wg sync.WaitGroup
+	errs := [2]error{}
+	for p := 0; p < 2; p++ {
+		if err := nodes[p].SetAddrs(real); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: mesh addrs: %v\n", err)
+			os.Exit(1)
+		}
+		wg.Add(1)
+		go func(p int) { defer wg.Done(); errs[p] = nodes[p].Connect() }(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: mesh connect: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	nodes[0].Start(benchMeshHost{})
+	nodes[1].Start(benchMeshHost{})
+
+	payload := make([]byte, 64)
+	roundtrip := func(iters int) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			nodes[0].SendUser(1, payload)
+			<-pong
+		}
+		return time.Since(start)
+	}
+	roundtrip(20) // warm the path (buffers, TCP window)
+	const iters = 300
+	elapsed := roundtrip(iters)
+	nodes[0].Close()
+	nodes[1].Close()
+	return float64(elapsed.Nanoseconds()) / iters
 }
 
 // installLatency measures install-to-first-result of a one-hop query against
@@ -251,12 +335,14 @@ func bench() {
 	fs.Parse(flag.Args()[1:])
 
 	rep := BenchReport{
-		Created: time.Now().UTC().Format(time.RFC3339),
-		Go:      runtime.Version(),
-		NumCPU:  runtime.NumCPU(),
-		Scale:   *benchScale,
-		Reps:    *reps,
-		Metrics: map[string]float64{},
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Processes: 1,
+		Workers:   *workers,
+		Scale:     *benchScale,
+		Reps:      *reps,
+		Metrics:   map[string]float64{},
 	}
 	rep.Allocs = map[string]float64{}
 	if *oocoreOnly {

@@ -23,6 +23,16 @@
 // SIGKILL mid-stream (scripts/crash_recovery_check.sh asserts exactly
 // that).
 //
+// kpg -workers W -peers a:p0,b:p1,... -process N serve runs one process of a
+// multi-process cluster: W workers sharded evenly across the listed
+// processes, exchanging data partitions and progress deltas over a TCP mesh
+// (internal/mesh). Every process runs the same command line apart from its
+// -process rank; the run streams a deterministic churn workload, installs a
+// transitive-closure query against the shared edges arrangement, and rank 0
+// prints a RESULT line bit-identical to a single-process run's
+// (scripts/peer_smoke.sh asserts exactly that). Losing a peer exits with a
+// typed mesh error.
+//
 // kpg serve -listen <addr> serves the wire protocol instead of a built-in
 // scenario: external clients drive the "edges" source and attach live
 // queries over the network. kpg client (install, uninstall, update,

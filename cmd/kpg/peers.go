@@ -1,0 +1,323 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dd"
+	"repro/internal/lattice"
+	"repro/internal/mesh"
+	"repro/internal/server"
+	"repro/internal/timely"
+	"repro/internal/wal"
+)
+
+var (
+	servePeersList = flag.String("peers", "", "serve: comma-separated mesh address of every process in rank order; runs the multi-process TC scenario")
+	serveProcess   = flag.Int("process", 0, "serve: this process's rank within -peers (0-based)")
+)
+
+// User-frame protocol for result gathering: every follower sends its partial
+// checksum to rank 0, which prints the aggregate RESULT line and releases the
+// followers with a done frame. Both ride mesh user frames, so they share the
+// data path's ordering and framing guarantees.
+const (
+	peerMsgResult = byte('R') // follower -> rank 0: u64 count, u64 checksum
+	peerMsgDone   = byte('D') // rank 0 -> follower: shut down cleanly
+)
+
+// peerDrainTimeout bounds how long a process waits on its peers during the
+// result gather; a peer that dies mid-protocol normally surfaces as a typed
+// connection error first, so this only catches a wedged (not dead) peer.
+const peerDrainTimeout = 60 * time.Second
+
+func peerAddrs() []string {
+	if *servePeersList == "" {
+		return nil
+	}
+	return strings.Split(*servePeersList, ",")
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// validatePeerFlags rejects invalid -peers/-process combinations before any
+// socket is bound: a mis-ranked process would otherwise wedge the whole
+// cluster's startup barrier until its peers time out.
+func validatePeerFlags() error {
+	if *servePeersList == "" {
+		if flagWasSet("process") {
+			return errors.New("-process names a rank within -peers and requires it")
+		}
+		return nil
+	}
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "listen", "data-dir", "recover", "fsync", "group-commit-ms",
+			"checkpoint-bytes", "checkpoint-every", "spill-bytes",
+			"sub-lag", "kick-lagging", "edges":
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("-peers runs the in-memory multi-process scenario; %v are incompatible "+
+			"(durability and the wire frontend are single-process)", bad)
+	}
+	addrs := peerAddrs()
+	for i, a := range addrs {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("-peers entry %d is empty", i)
+		}
+	}
+	if *serveProcess < 0 || *serveProcess >= len(addrs) {
+		return fmt.Errorf("-process %d out of range for %d peers", *serveProcess, len(addrs))
+	}
+	if *workers < len(addrs) || *workers%len(addrs) != 0 {
+		return fmt.Errorf("-workers %d must be a positive multiple of the %d processes in -peers "+
+			"(every process hosts an equal shard)", *workers, len(addrs))
+	}
+	return nil
+}
+
+// servePeers is the multi-process serve path (kpg -workers W -peers a,b,...
+// -process N serve): W workers sharded evenly across the listed processes,
+// exchanging data partitions and progress deltas over the TCP mesh. Every
+// process streams its share of a deterministic component-local churn workload
+// into a shared "edges" arrangement, installs the same transitive-closure
+// query against it, and rank 0 gathers the per-process partial checksums into
+// one RESULT line — bit-identical to the line a single-process run (-peers
+// with one address) prints, which is exactly what scripts/peer_smoke.sh
+// asserts. Losing a peer mid-run exits with the typed mesh error (status 3).
+func servePeers() {
+	addrs := peerAddrs()
+	procs := len(addrs)
+	rank := *serveProcess
+	w := *workers
+	rounds := uint64(*serveRounds)
+
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var node *mesh.Node
+	var s *server.Server
+	var shuttingDown atomic.Bool
+	var doneOnce sync.Once
+	partials := make(chan [2]uint64, procs)
+	done := make(chan struct{})
+
+	if procs == 1 {
+		s = server.New(w)
+	} else {
+		n, err := mesh.Listen(mesh.Options{
+			Addrs:       addrs,
+			Process:     rank,
+			Workers:     w,
+			ClusterKey:  peerClusterKey(procs, w),
+			DialTimeout: 30 * time.Second,
+			OnFailure: func(err error) {
+				if shuttingDown.Load() {
+					return // expected teardown EOFs after the done frame
+				}
+				fmt.Fprintf(os.Stderr, "serve: peer loss: %v\n", err)
+				os.Exit(3)
+			},
+			OnUser: func(src int, payload []byte) {
+				if len(payload) == 0 {
+					return
+				}
+				switch payload[0] {
+				case peerMsgResult:
+					d := wal.NewDec(payload[1:])
+					count, err1 := d.U64()
+					sum, err2 := d.U64()
+					if err1 == nil && err2 == nil {
+						partials <- [2]uint64{count, sum}
+					}
+				case peerMsgDone:
+					shuttingDown.Store(true)
+					doneOnce.Do(func() { close(done) })
+				}
+			},
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		node = n
+		fmt.Printf("process %d/%d on %s: %d of %d workers local; connecting mesh\n",
+			rank, procs, node.Addr(), w/procs, w)
+		if err := node.Connect(); err != nil {
+			fatal("connect: %v", err)
+		}
+		s = server.NewFabric(node, server.Options{})
+	}
+
+	edges, err := server.NewSource(s, "edges", core.U64())
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Each process feeds its slice of every round (update index mod P) into
+	// its first local worker; the exchange re-partitions by key, so ownership
+	// of the arrangement shards is identical however the input was split.
+	for round := uint64(0); round < rounds; round++ {
+		all := peerRound(round, *serveNodes, *serveChurn)
+		share := all[:0]
+		for i, u := range all {
+			if i%procs == rank {
+				share = append(share, u)
+			}
+		}
+		if err := edges.Update(share); err != nil {
+			fatal("update: %v", err)
+		}
+		if _, err := edges.Advance(); err != nil {
+			fatal("advance: %v", err)
+		}
+	}
+	if err := edges.Sync(); err != nil {
+		fatal("sync: %v", err)
+	}
+
+	captured := &dd.Captured[uint64, uint64]{}
+	q, err := s.Install("tc", func(wk *timely.Worker, g *timely.Graph) server.Built {
+		imported := edges.ImportInto(g)
+		paths := datalog.TC(dd.Flatten(imported))
+		dd.Capture(paths, captured)
+		return server.Built{Probe: dd.Probe(paths), Teardown: func() { imported.Cancel() }}
+	})
+	if err != nil {
+		fatal("install tc: %v", err)
+	}
+	// The snapshot import compacts its history to the open epoch, so the
+	// query's first complete results land when that epoch seals: flush one
+	// more (empty) epoch and wait for it, exactly as interactive installs do.
+	if _, err := edges.Advance(); err != nil {
+		fatal("advance: %v", err)
+	}
+	if !q.WaitDone(lattice.Ts(rounds)) {
+		fatal("server stopped before tc completed")
+	}
+	count, sum := peerChecksum(captured)
+
+	if procs == 1 {
+		fmt.Printf("RESULT count=%d checksum=%016x\n", count, sum)
+		q.Uninstall()
+		s.Close()
+		return
+	}
+
+	// Result gather. Followers report partials and wait for release; rank 0
+	// aggregates, prints, and releases. The query is abandoned in place
+	// rather than uninstalled: uninstall drains a distributed dataflow, and
+	// the mesh is about to come down anyway.
+	if rank != 0 {
+		payload := []byte{peerMsgResult}
+		payload = wal.AppendU64(payload, uint64(count))
+		payload = wal.AppendU64(payload, sum)
+		node.SendUser(0, payload)
+		select {
+		case <-done:
+		case <-time.After(peerDrainTimeout):
+			fatal("timed out waiting for the coordinator's shutdown signal")
+		}
+		node.Close()
+		s.Close()
+		return
+	}
+	total, totalSum := count, sum
+	for i := 1; i < procs; i++ {
+		select {
+		case p := <-partials:
+			total += int64(p[0])
+			totalSum += p[1]
+		case <-time.After(peerDrainTimeout):
+			fatal("timed out waiting for peer results (%d of %d received)", i-1, procs-1)
+		}
+	}
+	fmt.Printf("RESULT count=%d checksum=%016x\n", total, totalSum)
+	shuttingDown.Store(true)
+	for p := 1; p < procs; p++ {
+		node.SendUser(p, []byte{peerMsgDone})
+	}
+	node.Close() // drains the done frames before closing connections
+	s.Close()
+}
+
+// peerClusterKey hashes the scenario parameters every process must agree on;
+// the mesh handshake refuses peers whose keys differ, catching mismatched
+// command lines before they corrupt a run.
+func peerClusterKey(procs, workers int) uint64 {
+	k := core.Mix64(0x6b70672d70656572) // "kpg-peer"
+	for _, v := range []uint64{*serveNodes, uint64(*serveChurn), uint64(*serveRounds),
+		uint64(workers), uint64(procs)} {
+		k = core.Mix64(k ^ v)
+	}
+	return k
+}
+
+// peerRound derives round r's updates from r alone, like durableRound, but
+// confines every edge to one 16-node component so transitive closure stays
+// bounded while the graph churns. Insertions at round r are retracted at
+// round r+5, keeping the live collection a sliding window.
+func peerRound(round, nodes uint64, churn int) []core.Update[uint64, uint64] {
+	comps := nodes / 16
+	if comps == 0 {
+		comps = 1
+	}
+	edge := func(r uint64, i int) (uint64, uint64) {
+		h := core.Mix64(r*1000003 + uint64(i)*13 + 1)
+		comp := (h % comps) * 16
+		return (comp + (h>>32)%16) % nodes, (comp + (h>>36)%16) % nodes
+	}
+	upds := make([]core.Update[uint64, uint64], 0, 2*churn)
+	for i := 0; i < churn; i++ {
+		src, dst := edge(round, i)
+		upds = append(upds, core.Update[uint64, uint64]{Key: src, Val: dst, Diff: 1})
+	}
+	if round >= 5 {
+		for i := 0; i < churn; i++ {
+			src, dst := edge(round-5, i)
+			upds = append(upds, core.Update[uint64, uint64]{Key: src, Val: dst, Diff: -1})
+		}
+	}
+	return upds
+}
+
+// peerChecksum reduces this process's captured shard of the query output to
+// an order-independent count and checksum; partials from disjoint shards add
+// commutatively into the cluster-wide RESULT.
+func peerChecksum(captured *dd.Captured[uint64, uint64]) (int64, uint64) {
+	net := make(map[[2]uint64]core.Diff)
+	for _, u := range captured.Updates() {
+		k := [2]uint64{u.Key, u.Val}
+		net[k] += u.Diff
+		if net[k] == 0 {
+			delete(net, k)
+		}
+	}
+	var count int64
+	var sum uint64
+	for k, d := range net {
+		count += d
+		sum += uint64(d) * core.Mix64(core.Mix64(k[0])^k[1])
+	}
+	return count, sum
+}

@@ -54,6 +54,9 @@ var (
 //   - -listen hands the epoch cycle to remote clients, so combining it with
 //     the built-in churn scenario's flags is contradictory.
 func validateServeFlags() error {
+	if err := validatePeerFlags(); err != nil {
+		return err
+	}
 	if *serveRecover && *serveDataDir == "" {
 		return errors.New("-recover requires -data-dir (there is no log to recover without one)")
 	}
@@ -119,6 +122,10 @@ func serve() {
 	if err := validateServeFlags(); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
+	}
+	if *servePeersList != "" {
+		servePeers()
+		return
 	}
 	if *serveListen != "" {
 		serveNet()

@@ -1,0 +1,252 @@
+package mesh
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/dd"
+	"repro/internal/graphs"
+	"repro/internal/lattice"
+	"repro/internal/timely"
+)
+
+// startPair builds a fully connected two-process mesh over loopback with the
+// given global worker count. Ports are chosen by the kernel: both nodes bind
+// :0 first, then learn each other's real address before dialing.
+func startPair(t *testing.T, workers int, onFail [2]func(error)) [2]*Node {
+	t.Helper()
+	var nodes [2]*Node
+	for p := 0; p < 2; p++ {
+		n, err := Listen(Options{
+			Addrs:       []string{"127.0.0.1:0", "127.0.0.1:0"},
+			Process:     p,
+			Workers:     workers,
+			ClusterKey:  0xfeedface,
+			DialTimeout: 10 * time.Second,
+			OnFailure:   onFail[p],
+		})
+		if err != nil {
+			t.Fatalf("listen %d: %v", p, err)
+		}
+		nodes[p] = n
+	}
+	real := []string{nodes[0].Addr().String(), nodes[1].Addr().String()}
+	for _, n := range nodes {
+		if err := n.SetAddrs(real); err != nil {
+			t.Fatalf("set addrs: %v", err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := [2]error{}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = nodes[p].Connect()
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("connect %d: %v", p, err)
+		}
+	}
+	return nodes
+}
+
+// TestMeshTCMatchesSingleProcess runs transitive closure over a two-process
+// loopback mesh (exchanged arrangements, distributed progress protocol) and
+// checks the union of both processes' outputs against the single-process
+// oracle.
+func TestMeshTCMatchesSingleProcess(t *testing.T) {
+	edges := graphs.Random(30, 60, 7)
+	want := datalog.TCOracle(edges)
+
+	nodes := startPair(t, 4, [2]func(error){
+		func(err error) { t.Log("node0 failure:", err) },
+		func(err error) { t.Log("node1 failure:", err) },
+	})
+	var caps [2]dd.Captured[uint64, uint64]
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			timely.ExecuteFabric(nodes[p], func(w *timely.Worker) {
+				var in *dd.InputCollection[uint64, uint64]
+				w.Dataflow(func(g *timely.Graph) {
+					ein, ec := dd.NewInput[uint64, uint64](g)
+					in = ein
+					dd.Capture(datalog.TC(ec), &caps[p])
+				})
+				if w.Index() == 0 {
+					graphs.EdgesInput(in, edges)
+				}
+				in.Close()
+				w.Drain()
+			})
+		}(p)
+	}
+	wg.Wait()
+	for _, n := range nodes {
+		n.Close()
+	}
+
+	got := map[[2]uint64]bool{}
+	for p := 0; p < 2; p++ {
+		for kv, d := range caps[p].At(lattice.Ts(0)) {
+			if d != 1 {
+				t.Fatalf("process %d: non-unit multiplicity %d for %v", p, d, kv)
+			}
+			pair := [2]uint64{kv[0].(uint64), kv[1].(uint64)}
+			if got[pair] {
+				t.Fatalf("pair %v produced by both processes (partitioning broken)", pair)
+			}
+			got[pair] = true
+		}
+	}
+	for pr := range want {
+		if !got[pr] {
+			t.Fatalf("missing %v (got %d, want %d)", pr, len(got), len(want))
+		}
+	}
+	for pr := range got {
+		if !want[pr] {
+			t.Fatalf("spurious %v", pr)
+		}
+	}
+}
+
+// stubHost discards deliveries; peer-loss tests only exercise the failure
+// path.
+type stubHost struct{}
+
+func (stubHost) DeliverData(df, ch, worker int, stamp []lattice.Time, payload []byte) error {
+	return nil
+}
+func (stubHost) DeliverProgress(df int, deltas []timely.ProgressDelta) {}
+
+// TestPeerLossReportsTypedError kills one side of a connected mesh and
+// expects the survivor to report a *PeerError through OnFailure within a
+// bounded time.
+func TestPeerLossReportsTypedError(t *testing.T) {
+	failed := make(chan error, 1)
+	nodes := startPair(t, 2, [2]func(error){0: func(err error) { failed <- err }})
+	nodes[0].Start(stubHost{})
+	nodes[1].Start(stubHost{})
+
+	// Simulate a process kill: tear peer 1's sockets down without the drain
+	// protocol.
+	nodes[1].closeConns()
+
+	select {
+	case err := <-failed:
+		var pe *PeerError
+		if !errors.As(err, &pe) {
+			t.Fatalf("survivor error %v is not a *PeerError", err)
+		}
+		if pe.Peer != 1 {
+			t.Fatalf("peer rank %d, want 1", pe.Peer)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor did not report peer loss")
+	}
+	nodes[0].Close()
+}
+
+// TestUserFrames checks ordered opaque payload delivery (the result-gather
+// path).
+func TestUserFrames(t *testing.T) {
+	got := make(chan string, 2)
+	var nodes [2]*Node
+	recv := func(src int, payload []byte) { got <- string(payload) }
+	for p := 0; p < 2; p++ {
+		n, err := Listen(Options{
+			Addrs:      []string{"127.0.0.1:0", "127.0.0.1:0"},
+			Process:    p,
+			Workers:    2,
+			ClusterKey: 1,
+			OnUser:     recv,
+		})
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		nodes[p] = n
+	}
+	real := []string{nodes[0].Addr().String(), nodes[1].Addr().String()}
+	for _, n := range nodes {
+		if err := n.SetAddrs(real); err != nil {
+			t.Fatalf("set addrs: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) { defer wg.Done(); nodes[p].Connect() }(p)
+	}
+	wg.Wait()
+	nodes[0].Start(stubHost{})
+	nodes[1].Start(stubHost{})
+
+	nodes[1].SendUser(0, []byte("first"))
+	nodes[1].SendUser(0, []byte("second"))
+	for _, want := range []string{"first", "second"} {
+		select {
+		case s := <-got:
+			if s != want {
+				t.Fatalf("user frame %q, want %q", s, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("user frame %q never arrived", want)
+		}
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TestFrameRoundTrip pushes each frame kind through encode/decode.
+func TestFrameRoundTrip(t *testing.T) {
+	h := Hello{Version: Version, ClusterKey: 42, Src: 1, Processes: 2, Workers: 8}
+	f, err := DecodeFrame(AppendHello(nil, h))
+	if err != nil || f.Kind != KindHello || f.Hello != h {
+		t.Fatalf("hello round trip: %+v, %v", f, err)
+	}
+
+	stamp := []lattice.Time{lattice.Ts(3), lattice.Ts(1, 2)}
+	payload := []byte{9, 8, 7}
+	f, err = DecodeFrame(AppendData(nil, 2, 5, 3, 77, stamp, payload))
+	if err != nil || f.Kind != KindData || f.DF != 2 || f.Ch != 5 || f.Worker != 3 || f.Seq != 77 {
+		t.Fatalf("data round trip: %+v, %v", f, err)
+	}
+	if len(f.Stamp) != 2 || f.Stamp[0] != lattice.Ts(3) || f.Stamp[1] != lattice.Ts(1, 2) {
+		t.Fatalf("data stamp round trip: %v", f.Stamp)
+	}
+	if string(f.Payload) != string(payload) {
+		t.Fatalf("data payload round trip: %v", f.Payload)
+	}
+
+	deltas := []timely.ProgressDelta{
+		{Op: 1, Port: 0, Out: false, Time: lattice.Ts(4), Diff: 3},
+		{Op: 2, Port: 1, Out: true, Time: lattice.Ts(0, 9), Diff: -5},
+	}
+	f, err = DecodeFrame(AppendProgress(nil, 6, 11, deltas))
+	if err != nil || f.Kind != KindProgress || f.DF != 6 || f.Seq != 11 || len(f.Deltas) != 2 {
+		t.Fatalf("progress round trip: %+v, %v", f, err)
+	}
+	for i, d := range deltas {
+		g := f.Deltas[i]
+		if g.Op != d.Op || g.Port != d.Port || g.Out != d.Out || g.Time != d.Time || g.Diff != d.Diff {
+			t.Fatalf("progress delta %d: %+v, want %+v", i, g, d)
+		}
+	}
+
+	f, err = DecodeFrame(AppendUser(nil, []byte("hi")))
+	if err != nil || f.Kind != KindUser || string(f.Payload) != "hi" {
+		t.Fatalf("user round trip: %+v, %v", f, err)
+	}
+}

@@ -1,0 +1,553 @@
+package mesh
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/timely"
+	"repro/internal/wal"
+)
+
+// PeerError reports a failed peer connection: a dropped or reset link, a
+// frame that failed its checksum, or a protocol violation (out-of-sequence
+// delivery). Peer loss is cluster-fatal — the progress protocol cannot
+// advance without every peer's deltas — so a PeerError reaches the node's
+// OnFailure hook exactly once and the survivor is expected to exit.
+type PeerError struct {
+	Peer int // remote process rank, -1 if unknown (handshake not completed)
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	if e.Peer < 0 {
+		return fmt.Sprintf("mesh: peer connection: %v", e.Err)
+	}
+	return fmt.Sprintf("mesh: peer %d: %v", e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Options configures a mesh node.
+type Options struct {
+	// Addrs lists every process's listen address, indexed by rank. All
+	// processes must pass the same list in the same order.
+	Addrs []string
+	// Process is this node's rank in Addrs.
+	Process int
+	// Workers is the GLOBAL worker count; it must divide evenly across
+	// processes. Workers/len(Addrs) workers run here.
+	Workers int
+	// ClusterKey guards against mismatched workload configurations: peers
+	// whose keys differ refuse the handshake. Hash the scenario parameters
+	// into it.
+	ClusterKey uint64
+	// DialTimeout bounds how long Start waits for peers to come up
+	// (default 15s).
+	DialTimeout time.Duration
+	// OnFailure, if set, is called (once, from a mesh goroutine) when a peer
+	// connection fails after Start. After the call the node is torn down.
+	OnFailure func(error)
+	// OnUser, if set, receives user-frame payloads (result gathering). The
+	// payload is owned by the callee.
+	OnUser func(src int, payload []byte)
+}
+
+// outbox is one peer's ordered send queue. Enqueue never blocks (the
+// progress tracker broadcasts while holding its mutex); a dedicated writer
+// goroutine drains the queue into the connection.
+type outbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte // each element one full wal record (header + payload)
+	closing bool     // drain remaining queue, then exit
+	dead    bool     // drop enqueues immediately (failure path)
+}
+
+func newOutbox() *outbox {
+	ob := &outbox{}
+	ob.cond = sync.NewCond(&ob.mu)
+	return ob
+}
+
+func (ob *outbox) enqueue(rec []byte) {
+	ob.mu.Lock()
+	if ob.dead {
+		ob.mu.Unlock()
+		return
+	}
+	ob.queue = append(ob.queue, rec)
+	ob.mu.Unlock()
+	ob.cond.Signal()
+}
+
+// Node is a process's endpoint in the worker mesh: it implements
+// timely.Fabric over one TCP connection per ordered peer pair. See doc.go
+// for the protocol.
+type Node struct {
+	opt Options
+	wpp int // workers per process
+
+	listener net.Listener
+	hostSet  chan struct{} // closed once Start(host) ran; gates readers
+	host     timely.FabricHost
+
+	outboxes []*outbox  // by rank; nil at own rank
+	conns    []net.Conn // outbound conns, by rank; nil at own rank
+	inConns  []net.Conn // inbound conns, by src rank; nil at own rank
+
+	writerWG sync.WaitGroup
+	readerWG sync.WaitGroup
+
+	sendMu  sync.Mutex
+	dataSeq map[[3]int]uint64 // (df, ch, worker) -> next seq
+	progSeq map[int]uint64    // df -> next seq
+
+	failMu   sync.Mutex
+	failed   bool
+	failErr  error
+	closed   bool
+	teardown sync.Once
+}
+
+// Listen validates the options, binds this rank's listen address, and
+// returns a node ready for Start. The address may use port 0; Addr reports
+// the bound address (single-machine tests), but then peers must be told the
+// real port out of band, so fixed ports are the norm.
+func Listen(opt Options) (*Node, error) {
+	p := len(opt.Addrs)
+	if p < 2 {
+		return nil, fmt.Errorf("mesh: need at least 2 peer addresses, got %d", p)
+	}
+	if opt.Process < 0 || opt.Process >= p {
+		return nil, fmt.Errorf("mesh: process rank %d out of range [0,%d)", opt.Process, p)
+	}
+	if opt.Workers <= 0 || opt.Workers%p != 0 {
+		return nil, fmt.Errorf("mesh: %d workers do not divide evenly across %d processes", opt.Workers, p)
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 15 * time.Second
+	}
+	ln, err := net.Listen("tcp", opt.Addrs[opt.Process])
+	if err != nil {
+		return nil, fmt.Errorf("mesh: listen %s: %w", opt.Addrs[opt.Process], err)
+	}
+	n := &Node{
+		opt:      opt,
+		wpp:      opt.Workers / p,
+		listener: ln,
+		hostSet:  make(chan struct{}),
+		outboxes: make([]*outbox, p),
+		conns:    make([]net.Conn, p),
+		inConns:  make([]net.Conn, p),
+		dataSeq:  make(map[[3]int]uint64),
+		progSeq:  make(map[int]uint64),
+	}
+	for r := range n.outboxes {
+		if r != opt.Process {
+			n.outboxes[r] = newOutbox()
+		}
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() net.Addr { return n.listener.Addr() }
+
+// SetAddrs replaces the peer address list between Listen and Connect — the
+// escape hatch for dynamically bound ports: every process listens on ":0",
+// learns its real address from Addr, distributes it out of band, and installs
+// the agreed list here before dialing. Must not be called after Connect.
+func (n *Node) SetAddrs(addrs []string) error {
+	if len(addrs) != len(n.opt.Addrs) {
+		return fmt.Errorf("mesh: %d addresses for %d processes", len(addrs), len(n.opt.Addrs))
+	}
+	n.opt.Addrs = append([]string(nil), addrs...)
+	return nil
+}
+
+// Connect dials every peer and accepts every peer's dial, exchanging hello
+// frames. It returns once the mesh is fully connected — an implicit barrier:
+// after Connect, every process has reached Connect. Call before Start.
+func (n *Node) Connect() error {
+	p := len(n.opt.Addrs)
+	errs := make(chan error, 2)
+
+	// Accept p-1 inbound connections, each opening with a valid hello.
+	go func() {
+		deadline := time.Now().Add(n.opt.DialTimeout)
+		for got := 0; got < p-1; got++ {
+			if d, ok := n.listener.(*net.TCPListener); ok {
+				d.SetDeadline(deadline)
+			}
+			conn, err := n.listener.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("mesh: accept: %w", err)
+				return
+			}
+			conn.SetReadDeadline(deadline)
+			// Read the hello from the raw conn: ReadRecord uses io.ReadFull and
+			// never over-reads, so no frame bytes are lost to a throwaway
+			// buffered reader before readLoop attaches its own.
+			payload, err := wal.ReadRecord(conn, MaxFrame)
+			if err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("mesh: inbound handshake: %w", err)
+				return
+			}
+			f, err := DecodeFrame(payload)
+			if err != nil || f.Kind != KindHello {
+				conn.Close()
+				errs <- fmt.Errorf("mesh: inbound handshake: bad hello (%v)", err)
+				return
+			}
+			h := f.Hello
+			switch {
+			case h.Version != Version:
+				err = fmt.Errorf("version %d (want %d)", h.Version, Version)
+			case h.ClusterKey != n.opt.ClusterKey:
+				err = fmt.Errorf("cluster key %016x (want %016x)", h.ClusterKey, n.opt.ClusterKey)
+			case h.Processes != p || h.Workers != n.opt.Workers:
+				err = fmt.Errorf("cluster shape %d×%d (want %d×%d)", h.Processes, h.Workers, p, n.opt.Workers)
+			case h.Src < 0 || h.Src >= p || h.Src == n.opt.Process:
+				err = fmt.Errorf("peer rank %d out of range", h.Src)
+			case n.inConns[h.Src] != nil:
+				err = fmt.Errorf("duplicate connection from peer %d", h.Src)
+			}
+			if err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("mesh: inbound handshake: %w", err)
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			n.inConns[h.Src] = conn
+		}
+		errs <- nil
+	}()
+
+	// Dial every peer, retrying while it comes up, and send our hello.
+	go func() {
+		hello := wal.AppendRecord(nil, AppendHello(nil, Hello{
+			Version:    Version,
+			ClusterKey: n.opt.ClusterKey,
+			Src:        n.opt.Process,
+			Processes:  p,
+			Workers:    n.opt.Workers,
+		}))
+		deadline := time.Now().Add(n.opt.DialTimeout)
+		for r := 0; r < p; r++ {
+			if r == n.opt.Process {
+				continue
+			}
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", n.opt.Addrs[r], time.Until(deadline))
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("mesh: dial peer %d (%s): %w", r, n.opt.Addrs[r], err)
+				return
+			}
+			if _, err := conn.Write(hello); err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("mesh: hello to peer %d: %w", r, err)
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			n.conns[r] = conn
+		}
+		errs <- nil
+	}()
+
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		n.closeConns()
+		return firstErr
+	}
+
+	// Connected: start the writer and reader machinery. Readers park until
+	// Start provides the host.
+	for r := range n.conns {
+		if n.conns[r] == nil {
+			continue
+		}
+		n.writerWG.Add(1)
+		go n.writeLoop(r, n.conns[r], n.outboxes[r])
+	}
+	for r := range n.inConns {
+		if n.inConns[r] == nil {
+			continue
+		}
+		n.readerWG.Add(1)
+		go n.readLoop(r, n.inConns[r])
+	}
+	return nil
+}
+
+// --- timely.Fabric ---
+
+// Workers returns the global worker count.
+func (n *Node) Workers() int { return n.opt.Workers }
+
+// FirstLocal returns the global index of this process's first worker.
+func (n *Node) FirstLocal() int { return n.opt.Process * n.wpp }
+
+// LocalWorkers returns the per-process worker count.
+func (n *Node) LocalWorkers() int { return n.wpp }
+
+// Start provides the delivery target and releases the reader goroutines.
+func (n *Node) Start(h timely.FabricHost) {
+	n.host = h
+	close(n.hostSet)
+}
+
+// SendData ships one exchanged data partition to the process owning the
+// destination worker, stamped with the next per-(df, ch, worker) sequence
+// number. Per-channel FIFO to each destination follows from the single
+// per-peer ordered connection.
+func (n *Node) SendData(df, ch, worker int, stamp []lattice.Time, payload []byte) {
+	dst := worker / n.wpp
+	n.sendMu.Lock()
+	key := [3]int{df, ch, worker}
+	seq := n.dataSeq[key]
+	n.dataSeq[key] = seq + 1
+	rec := wal.AppendRecord(nil, AppendData(nil, df, ch, worker, seq, stamp, payload))
+	// Enqueue under sendMu: queue order must match sequence order, and a
+	// concurrent sender to the same destination could otherwise interleave.
+	n.outboxes[dst].enqueue(rec)
+	n.sendMu.Unlock()
+}
+
+// BroadcastProgress ships one pointstamp-delta batch to every peer, stamped
+// with the next per-dataflow sequence number. It is a non-blocking enqueue:
+// the caller holds the progress tracker's mutex. All peers receive the same
+// record bytes; per-sender application order is preserved by the sequence
+// check on the receive side.
+func (n *Node) BroadcastProgress(df int, deltas []timely.ProgressDelta) {
+	n.sendMu.Lock()
+	seq := n.progSeq[df]
+	n.progSeq[df] = seq + 1
+	rec := wal.AppendRecord(nil, AppendProgress(nil, df, seq, deltas))
+	// Enqueue under sendMu so queue order matches sequence order (progress
+	// broadcasts race per dataflow only through here).
+	for _, ob := range n.outboxes {
+		if ob != nil {
+			ob.enqueue(rec)
+		}
+	}
+	n.sendMu.Unlock()
+}
+
+// SendUser ships an opaque payload to one peer, for coordination outside the
+// dataflow (result gathering). Delivery is ordered with respect to data and
+// progress frames on the same link.
+func (n *Node) SendUser(dst int, payload []byte) {
+	rec := wal.AppendRecord(nil, AppendUser(nil, payload))
+	n.outboxes[dst].enqueue(rec)
+}
+
+// Fail reports an error from the host (e.g. an undecodable stashed frame)
+// into the node's failure path.
+func (n *Node) Fail(err error) { n.fail(&PeerError{Peer: -1, Err: err}) }
+
+// Close shuts the mesh down deterministically: outboxes drain (bounded by a
+// write deadline), then connections close and readers exit without invoking
+// OnFailure. Safe to call more than once.
+func (n *Node) Close() error {
+	n.failMu.Lock()
+	if n.closed {
+		n.failMu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.failMu.Unlock()
+
+	// Bound the drain: a stuck peer must not wedge shutdown.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, c := range n.conns {
+		if c != nil {
+			c.SetWriteDeadline(deadline)
+		}
+	}
+	for _, ob := range n.outboxes {
+		if ob == nil {
+			continue
+		}
+		ob.mu.Lock()
+		ob.closing = true
+		ob.mu.Unlock()
+		ob.cond.Signal()
+	}
+	n.writerWG.Wait()
+	for _, ob := range n.outboxes {
+		if ob == nil {
+			continue
+		}
+		ob.mu.Lock()
+		ob.dead = true // late sends (workers still winding down) drop cleanly
+		ob.mu.Unlock()
+	}
+	n.closeConns()
+	n.readerWG.Wait()
+	return nil
+}
+
+// Err returns the failure that tore the node down, if any.
+func (n *Node) Err() error {
+	n.failMu.Lock()
+	defer n.failMu.Unlock()
+	return n.failErr
+}
+
+// fail records the first failure, invokes OnFailure, and tears the node
+// down. After Close it is a no-op: teardown-induced read errors are not
+// failures.
+func (n *Node) fail(err error) {
+	n.failMu.Lock()
+	if n.closed || n.failed {
+		n.failMu.Unlock()
+		return
+	}
+	n.failed = true
+	n.failErr = err
+	n.failMu.Unlock()
+
+	for _, ob := range n.outboxes {
+		if ob == nil {
+			continue
+		}
+		ob.mu.Lock()
+		ob.dead = true
+		ob.closing = true
+		ob.mu.Unlock()
+		ob.cond.Signal()
+	}
+	n.closeConns()
+	if n.opt.OnFailure != nil {
+		go n.opt.OnFailure(err)
+	}
+}
+
+func (n *Node) closeConns() {
+	n.listener.Close()
+	for _, c := range n.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range n.inConns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// writeLoop drains one peer's outbox into its connection.
+func (n *Node) writeLoop(peer int, conn net.Conn, ob *outbox) {
+	defer n.writerWG.Done()
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		ob.mu.Lock()
+		for len(ob.queue) == 0 && !ob.closing {
+			ob.cond.Wait()
+		}
+		batch := ob.queue
+		ob.queue = nil
+		closing := ob.closing
+		ob.mu.Unlock()
+		for _, rec := range batch {
+			if _, err := w.Write(rec); err != nil {
+				n.fail(&PeerError{Peer: peer, Err: err})
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			n.fail(&PeerError{Peer: peer, Err: err})
+			return
+		}
+		if closing {
+			ob.mu.Lock()
+			done := len(ob.queue) == 0
+			ob.mu.Unlock()
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes frames from one peer, enforcing per-sender sequence
+// numbers, and delivers them to the host. Any malformation — framing,
+// checksum, decode, sequence — is a typed connection-fatal error.
+func (n *Node) readLoop(peer int, conn net.Conn) {
+	defer n.readerWG.Done()
+	<-n.hostSet
+	r := bufio.NewReaderSize(conn, 64<<10)
+	dataSeq := make(map[[3]int]uint64)
+	progSeq := make(map[int]uint64)
+	for {
+		payload, err := wal.ReadRecord(r, MaxFrame)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("connection closed by peer: %w", err)
+			}
+			n.fail(&PeerError{Peer: peer, Err: err})
+			return
+		}
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			n.fail(&PeerError{Peer: peer, Err: err})
+			return
+		}
+		switch f.Kind {
+		case KindData:
+			key := [3]int{f.DF, f.Ch, f.Worker}
+			if f.Seq != dataSeq[key] {
+				n.fail(&PeerError{Peer: peer, Err: fmt.Errorf(
+					"mesh: data frame df=%d ch=%d worker=%d seq %d, want %d",
+					f.DF, f.Ch, f.Worker, f.Seq, dataSeq[key])})
+				return
+			}
+			dataSeq[key] = f.Seq + 1
+			if err := n.host.DeliverData(f.DF, f.Ch, f.Worker, f.Stamp, f.Payload); err != nil {
+				n.fail(&PeerError{Peer: peer, Err: err})
+				return
+			}
+		case KindProgress:
+			if f.Seq != progSeq[f.DF] {
+				n.fail(&PeerError{Peer: peer, Err: fmt.Errorf(
+					"mesh: progress frame df=%d seq %d, want %d", f.DF, f.Seq, progSeq[f.DF])})
+				return
+			}
+			progSeq[f.DF] = f.Seq + 1
+			n.host.DeliverProgress(f.DF, f.Deltas)
+		case KindUser:
+			if n.opt.OnUser != nil {
+				// The frame payload aliases the record buffer; copy before
+				// handing ownership out.
+				cp := make([]byte, len(f.Payload))
+				copy(cp, f.Payload)
+				n.opt.OnUser(peer, cp)
+			}
+		default:
+			n.fail(&PeerError{Peer: peer, Err: fmt.Errorf("mesh: unexpected frame kind %q", f.Kind)})
+			return
+		}
+	}
+}

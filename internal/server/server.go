@@ -118,8 +118,22 @@ func New(workers int) *Server {
 
 // NewOpts starts a server with explicit options.
 func NewOpts(workers int, opts Options) *Server {
+	return newServer(timely.StartCluster(workers), opts)
+}
+
+// NewFabric starts a server over an explicit worker fabric — this process's
+// shard of a (possibly multi-process) cluster. Every process must register
+// the same sources and install the same queries in the same order; the
+// fabric's lifecycle (Close) stays with the caller. Durability is
+// single-process only: durable sources refuse to register on a multi-process
+// fabric.
+func NewFabric(fab timely.Fabric, opts Options) *Server {
+	return newServer(timely.StartClusterFabric(fab), opts)
+}
+
+func newServer(c *timely.Cluster, opts Options) *Server {
 	s := &Server{
-		c:       timely.StartCluster(workers),
+		c:       c,
 		opts:    opts,
 		sources: make(map[string]sourceHandle),
 		queries: make(map[string]*Query),
@@ -325,6 +339,10 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		return nil, fmt.Errorf("server: source %q requests spilling without durability; "+
 			"block files need a manifest to own their lifecycle", name)
 	}
+	if opt.Durable && s.c.LocalWorkers() < peers {
+		return nil, fmt.Errorf("server: durable source %q on a multi-process cluster; "+
+			"shard logs are single-process only", name)
+	}
 	if opt.Durable {
 		if s.opts.DataDir == "" {
 			return nil, fmt.Errorf("server: durable source %q requires a server DataDir", name)
@@ -448,7 +466,9 @@ func (src *Source[K, V]) Update(upds []core.Update[K, V]) error {
 	if err := src.checkRestored(); err != nil {
 		return err
 	}
-	src.inputs[0].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
+	// Any local handle can feed the collection (exchange re-partitions);
+	// worker 0 may live in another process.
+	src.inputs[src.s.c.FirstLocal()].SendSlice(core.StampAt(upds, lattice.Ts(src.epoch)))
 	return nil
 }
 
@@ -527,11 +547,19 @@ func (src *Source[K, V]) AdvanceTo(epoch uint64) error {
 // src.mu and has passed the closed/restored checks.
 func (src *Source[K, V]) advanceToLocked(epoch uint64) {
 	src.epoch = epoch
+	// Only this process's shard holds handles and arrangements; the slices
+	// are indexed by global worker with remote slots nil. Remote processes
+	// advance their own shards (drivers run the same schedule everywhere).
 	for _, in := range src.inputs {
-		in.AdvanceTo(epoch)
+		if in != nil {
+			in.AdvanceTo(epoch)
+		}
 	}
 	f := lattice.NewFrontier(lattice.Ts(epoch))
 	for i := range src.arr {
+		if src.arr[i] == nil {
+			continue
+		}
 		a := src.arr[i]
 		src.s.c.Post(i, func(w *timely.Worker) {
 			a.AdvanceSince(f)
@@ -548,7 +576,9 @@ func (src *Source[K, V]) CompletedEpochs() uint64 {
 	src.mu.Lock()
 	epoch := src.epoch
 	src.mu.Unlock()
-	f := src.probes[0].Frontier()
+	// Progress-tracker replicas converge across processes, so the first
+	// local worker's probe answers for the whole cluster.
+	f := src.probes[src.s.c.FirstLocal()].Frontier()
 	if f.Empty() {
 		return epoch // input closed and drained: nothing outstanding
 	}
@@ -597,7 +627,8 @@ func (src *Source[K, V]) Sync() error {
 		return nil
 	}
 	t := lattice.Ts(e - 1)
-	if !src.s.c.WaitUntil(func() bool { return src.probes[0].Done(t) }) {
+	probe := src.probes[src.s.c.FirstLocal()]
+	if !src.s.c.WaitUntil(func() bool { return probe.Done(t) }) {
 		return ErrClosed
 	}
 	return nil
@@ -922,7 +953,8 @@ func (src *Source[K, V]) checkpoint() error {
 // Built is what a query build closure hands back to the server for one
 // worker: the shard's completion probe and a teardown to run on the same
 // worker at uninstall (cancel imports, drop handles, close this worker's
-// inputs). Probe is required on worker 0 and ignored elsewhere.
+// inputs). Probe is required on the process's first local worker and ignored
+// elsewhere.
 type Built struct {
 	Probe    *timely.Probe
 	Teardown func()
@@ -968,14 +1000,14 @@ func (s *Server) Install(name string, build func(w *timely.Worker, g *timely.Gra
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	q.probe = q.built[0].Probe
+	q.probe = q.built[s.c.FirstLocal()].Probe
 	return q, nil
 }
 
 // Name returns the query's registered name.
 func (q *Query) Name() string { return q.nm }
 
-// Probe returns worker 0's completion probe.
+// Probe returns the first local worker's completion probe.
 func (q *Query) Probe() *timely.Probe { return q.probe }
 
 // WaitDone blocks until the query can no longer produce output at or before

@@ -132,8 +132,10 @@ func (c *channelDesc[D]) stage(o *opState, stamp []lattice.Time, data []D) {
 
 // flush publishes the staged buffers: message pointstamps are registered
 // with the tracker first (consumers must never observe an uncounted
-// message), then each non-empty destination buffer is pushed as one pooled
-// mailbox message carrying the staged stamp antichain.
+// message — msgArrived also broadcasts the counts, so remote consumers see
+// them through the same ordered stream), then each non-empty destination
+// buffer is pushed as one pooled mailbox message, or encoded and shipped
+// through the fabric when the destination worker lives in another process.
 func (c *channelDesc[D]) flush() {
 	if !c.dirty {
 		return
@@ -156,7 +158,15 @@ func (c *channelDesc[D]) flush() {
 			c.staged[i] = nil
 			continue
 		}
-		c.boxes[i].push(message[D]{stamp: stamp, data: part, pool: c.pool})
+		if c.boxes[i] != nil {
+			c.boxes[i].push(message[D]{stamp: stamp, data: part, pool: c.pool})
+		} else {
+			// Remote destination: the fabric encodes the stamp and owns the
+			// payload before SendData returns, so the staging buffer recycles
+			// locally — the pooling contract is unchanged on both sides.
+			c.rt.fab.SendData(c.df, c.ch, i, stamp, c.encode(part))
+			c.pool.put(part)
+		}
 		c.staged[i] = nil
 	}
 	c.rt.wake()

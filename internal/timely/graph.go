@@ -2,6 +2,7 @@ package timely
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/lattice"
 )
@@ -138,15 +139,17 @@ type channelDesc[D any] struct {
 	dstOp    int
 	dstPort  int
 	exchange func(D) uint64 // nil for pipeline (worker-local) channels
-	boxes    []*mailbox[D]  // indexed by target worker (len 1 for pipeline)
+	boxes    []*mailbox[D]  // indexed by target worker; nil slots are remote
 	tracker  *tracker
 	rt       *runtime
 	sender   int // worker index of this (per-worker) descriptor
+	df, ch   int // fabric address of this channel (dataflow seq, channel id)
 
 	pool        *slicePool[D]    // buffer arena (exchanged channels only)
 	staged      [][]D            // per destination, pool-backed; lazily sized
 	stagedStamp lattice.Frontier // antichain of stamps staged since last flush
 	dirty       bool             // staged data awaiting flush
+	encode      func([]D) []byte // wire codec (multi-process exchanged channels)
 }
 
 // attachIn connects a stream to input port dstPort of operator dstOp,
@@ -163,6 +166,8 @@ func attachIn[A any](s *Stream[A], st *opState, dstPort int, exch func(A) uint64
 		tracker:  g.tracker,
 		rt:       rt,
 		sender:   g.w.index,
+		df:       g.seq,
+		ch:       ch,
 	}
 	if exch != nil {
 		desc.pool = newSlicePool[A]()
@@ -172,7 +177,26 @@ func attachIn[A any](s *Stream[A], st *opState, dstPort int, exch func(A) uint64
 	} else {
 		desc.boxes = make([]*mailbox[A], rt.peers)
 		for i := range desc.boxes {
-			desc.boxes[i] = mailboxFor[A](rt, g.seq, ch, i)
+			if rt.localWorker(i) {
+				desc.boxes[i] = mailboxFor[A](rt, g.seq, ch, i)
+			}
+		}
+		if rt.remote() {
+			codec, ok := wireCodecFor[A]()
+			if !ok {
+				panic(fmt.Sprintf("timely: exchanged channel of %v needs a wire codec in multi-process mode; "+
+					"call timely.RegisterWireCodec (internal/mesh registers the standard update types)",
+					reflect.TypeFor[A]()))
+			}
+			desc.encode = func(data []A) []byte { return codec.Append(nil, data) }
+			rt.registerInbound(g.seq, ch, func(worker int, stamp []lattice.Time, payload []byte) error {
+				data, err := codec.Decode(payload)
+				if err != nil {
+					return fmt.Errorf("timely: dataflow %d channel %d: %w", g.seq, ch, err)
+				}
+				mailboxFor[A](rt, g.seq, ch, worker).push(message[A]{stamp: stamp, data: data})
+				return nil
+			})
 		}
 	}
 	s.reg.channels = append(s.reg.channels, desc)

@@ -33,13 +33,22 @@ type Cluster struct {
 
 // StartCluster launches peers worker goroutines and returns immediately.
 func StartCluster(peers int) *Cluster {
-	if peers < 1 {
-		panic("timely: need at least one worker")
-	}
-	c := &Cluster{rt: newRuntime(peers)}
-	c.wg.Add(peers)
-	for i := 0; i < peers; i++ {
-		w := &Worker{index: i, rt: c.rt}
+	return StartClusterFabric(NewLocalFabric(peers))
+}
+
+// StartClusterFabric launches this process's shard of a (possibly
+// multi-process) cluster over the given fabric: one servant goroutine per
+// local worker, global indices FirstLocal..FirstLocal+LocalWorkers-1. Every
+// process of the fabric must install the same dataflows in the same order
+// (operator and channel identifiers are assigned by construction order).
+// The fabric is started here; its lifecycle (Close) belongs to the caller.
+func StartClusterFabric(fab Fabric) *Cluster {
+	rt := newRuntime(fab)
+	fab.Start(rt)
+	c := &Cluster{rt: rt}
+	c.wg.Add(rt.nlocal)
+	for i := 0; i < rt.nlocal; i++ {
+		w := &Worker{index: rt.first + i, rt: rt}
 		go func() {
 			defer c.wg.Done()
 			w.serve()
@@ -48,8 +57,17 @@ func StartCluster(peers int) *Cluster {
 	return c
 }
 
-// Peers returns the number of workers.
+// Peers returns the global number of workers across all processes.
 func (c *Cluster) Peers() int { return c.rt.peers }
+
+// FirstLocal returns the global index of this process's first worker.
+func (c *Cluster) FirstLocal() int { return c.rt.first }
+
+// LocalWorkers returns the number of workers this process runs.
+func (c *Cluster) LocalWorkers() int { return c.rt.nlocal }
+
+// Local reports whether global worker index w runs in this process.
+func (c *Cluster) Local(w int) bool { return c.rt.localWorker(w) }
 
 // serve is the servant loop: drain posted actions, step every installed
 // dataflow, and park when neither produced activity. Exits when the cluster
@@ -103,11 +121,12 @@ func (w *Worker) Remove(g *Graph) {
 	}
 }
 
-// Installed tracks one live installation across all workers.
+// Installed tracks one live installation across this process's workers.
 type Installed struct {
 	peers   int
+	first   int
 	wg      sync.WaitGroup
-	graphs  []*Graph // per worker; valid after Wait
+	graphs  []*Graph // indexed by global worker; local slots valid after Wait
 	seq     int      // dataflow sequence number; valid after Wait
 	aborted bool     // cluster was already stopped; nothing was built
 }
@@ -120,35 +139,39 @@ func (in *Installed) Wait() { in.wg.Wait() }
 // only after Wait.
 func (in *Installed) Aborted() bool { return in.aborted }
 
-// Graph returns the given worker's shard. Call only after Wait.
+// Graph returns the given (local) worker's shard. Call only after Wait.
 func (in *Installed) Graph(worker int) *Graph { return in.graphs[worker] }
 
-// Complete reports whether the installed dataflow has finished everywhere.
-// Call only after Wait.
-func (in *Installed) Complete() bool { return in.graphs[0].Complete() }
+// Complete reports whether the installed dataflow has finished everywhere
+// (every process's replica of the tracker converges to the same counts, so
+// any local shard answers for the whole cluster). Call only after Wait.
+func (in *Installed) Complete() bool { return in.graphs[in.first].Complete() }
 
-// Install constructs a new dataflow on every worker of a running cluster.
-// build runs once per worker, on that worker's goroutine, exactly as a
-// Dataflow closure under Execute; it must construct the same operators in
-// the same order on every worker. Install may be called from any goroutine;
-// concurrent Install calls are serialized and every worker observes them in
-// the same order, keeping operator identifiers aligned.
+// Install constructs a new dataflow on every local worker of a running
+// cluster. build runs once per worker, on that worker's goroutine, exactly
+// as a Dataflow closure under Execute; it must construct the same operators
+// in the same order on every worker. Install may be called from any
+// goroutine; concurrent Install calls are serialized and every worker
+// observes them in the same order, keeping operator identifiers aligned. In
+// a multi-process cluster every process must issue the same Install sequence
+// (the driver program is deterministic), which keeps dataflow sequence
+// numbers aligned across processes too.
 // Calling Install on a cluster that has already shut down does not wedge:
 // the returned Installed is marked Aborted and its Wait returns immediately.
 func (c *Cluster) Install(build func(w *Worker, g *Graph)) *Installed {
-	in := &Installed{peers: c.rt.peers, graphs: make([]*Graph, c.rt.peers)}
+	in := &Installed{peers: c.rt.peers, first: c.rt.first, graphs: make([]*Graph, c.rt.peers)}
 	c.rt.mu.Lock()
 	if c.rt.stopped {
 		in.aborted = true
 		c.rt.mu.Unlock()
 		return in
 	}
-	in.wg.Add(c.rt.peers)
-	for i := 0; i < c.rt.peers; i++ {
+	in.wg.Add(c.rt.nlocal)
+	for i := c.rt.first; i < c.rt.first+c.rt.nlocal; i++ {
 		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
 			g := w.Dataflow(func(g *Graph) { build(w, g) })
 			in.graphs[w.index] = g
-			if w.index == 0 {
+			if w.index == c.rt.first {
 				in.seq = g.seq
 			}
 			in.wg.Done()
@@ -172,11 +195,15 @@ func (p *Pending) Wait() { p.wg.Wait() }
 // already shut down (the action never ran). Call only after Wait.
 func (p *Pending) Aborted() bool { return p.aborted }
 
-// Post schedules f to run on the given worker's goroutine. Use it for any
-// mutation of worker-local state (trace handles, import cancellation) from a
-// driver goroutine. Posting to a cluster that has already shut down does not
-// wedge: the action is dropped and the returned Pending is marked Aborted.
+// Post schedules f to run on the given (local) worker's goroutine. Use it
+// for any mutation of worker-local state (trace handles, import
+// cancellation) from a driver goroutine. Posting to a cluster that has
+// already shut down does not wedge: the action is dropped and the returned
+// Pending is marked Aborted.
 func (c *Cluster) Post(worker int, f func(w *Worker)) *Pending {
+	if !c.rt.localWorker(worker) {
+		panic("timely: Post to non-local worker")
+	}
 	p := &Pending{}
 	c.rt.mu.Lock()
 	if c.rt.stopped {
@@ -194,8 +221,8 @@ func (c *Cluster) Post(worker int, f func(w *Worker)) *Pending {
 	return p
 }
 
-// PostEach schedules f to run once on every worker's goroutine. Like Post,
-// it aborts rather than wedges on a stopped cluster.
+// PostEach schedules f to run once on every local worker's goroutine. Like
+// Post, it aborts rather than wedges on a stopped cluster.
 func (c *Cluster) PostEach(f func(w *Worker)) *Pending {
 	p := &Pending{}
 	c.rt.mu.Lock()
@@ -204,8 +231,8 @@ func (c *Cluster) PostEach(f func(w *Worker)) *Pending {
 		c.rt.mu.Unlock()
 		return p
 	}
-	p.wg.Add(c.rt.peers)
-	for i := 0; i < c.rt.peers; i++ {
+	p.wg.Add(c.rt.nlocal)
+	for i := c.rt.first; i < c.rt.first+c.rt.nlocal; i++ {
 		c.rt.actions[i] = append(c.rt.actions[i], func(w *Worker) {
 			f(w)
 			p.wg.Done()

@@ -80,7 +80,12 @@ type edgeSpec struct {
 // antichain closure over the dataflow topology (the could-result-in
 // relation).
 type tracker struct {
-	rt *runtime
+	rt  *runtime
+	seq int // dataflow sequence number (the fabric's dataflow address)
+	// dist marks a multi-process runtime: every local mutation is broadcast
+	// through the fabric in application order, and counts may go transiently
+	// negative (a message consumed before the sender's increment arrives).
+	dist bool
 
 	mu        sync.Mutex
 	nodes     []nodeSpec
@@ -92,9 +97,11 @@ type tracker struct {
 	version   uint64
 }
 
-func newTracker(rt *runtime) *tracker {
+func newTracker(rt *runtime, seq int) *tracker {
 	return &tracker{
 		rt:        rt,
+		seq:       seq,
+		dist:      rt.remote(),
 		outEdges:  make(map[[2]int][][2]int),
 		msgs:      make(map[portTime]int64),
 		caps:      make(map[portTime]int64),
@@ -115,6 +122,10 @@ func (tr *tracker) registerNode(op int, spec nodeSpec) {
 		return // already registered by another worker
 	}
 	tr.nodes[op] = spec
+	// Seed one capability per global worker. Seeding is deliberately not
+	// broadcast: every process builds the same dataflow and seeds the same
+	// full global count into its own replica, so the replicas agree without
+	// a registration protocol.
 	for out, f := range spec.initialCaps {
 		for _, t := range f.Elements() {
 			tr.caps[portTime{portKey{op, out, true}, t}] += int64(tr.rt.peers)
@@ -181,10 +192,22 @@ func (tr *tracker) msgArrived(op, port int, stamp []lattice.Time, n int64) {
 	}
 	tr.dirty = true
 	tr.version++
+	if tr.dist {
+		ds := make([]ProgressDelta, 0, len(stamp))
+		for _, t := range stamp {
+			ds = append(ds, ProgressDelta{Op: op, Port: port, Time: t, Diff: n})
+		}
+		tr.rt.fab.BroadcastProgress(tr.seq, ds)
+	}
 	tr.mu.Unlock()
 }
 
-// apply commits a progress batch atomically.
+// apply commits a progress batch atomically. In distributed mode the batch
+// is broadcast under the same mutex hold that applies it locally, so every
+// peer observes this replica's batches in local application order — with
+// increments strictly before the decrements they justify, the invariant the
+// distributed safety argument rests on. The fabric's BroadcastProgress is an
+// ordered non-blocking enqueue, so holding the mutex across it is safe.
 func (tr *tracker) apply(pb *progressBatch) {
 	if pb.empty() {
 		return
@@ -198,9 +221,34 @@ func (tr *tracker) apply(pb *progressBatch) {
 	}
 	tr.dirty = true
 	tr.version++
+	if tr.dist {
+		ds := make([]ProgressDelta, 0, len(pb.plus)+len(pb.minus))
+		for _, d := range pb.plus {
+			ds = append(ds, ProgressDelta{Op: d.key.op, Port: d.key.port, Out: d.key.out, Time: d.t, Diff: d.diff})
+		}
+		for _, d := range pb.minus {
+			ds = append(ds, ProgressDelta{Op: d.key.op, Port: d.key.port, Out: d.key.out, Time: d.t, Diff: d.diff})
+		}
+		tr.rt.fab.BroadcastProgress(tr.seq, ds)
+	}
 	tr.mu.Unlock()
 	pb.plus = pb.plus[:0]
 	pb.minus = pb.minus[:0]
+}
+
+// applyRemote commits one peer's broadcast batch to this replica.
+func (tr *tracker) applyRemote(ds []ProgressDelta) {
+	if len(ds) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	for _, d := range ds {
+		tr.bump(delta{portKey{d.Op, d.Port, d.Out}, d.Time, d.Diff})
+	}
+	tr.dirty = true
+	tr.version++
+	tr.mu.Unlock()
+	tr.rt.wake()
 }
 
 func (tr *tracker) bump(d delta) {
@@ -212,7 +260,12 @@ func (tr *tracker) bump(d delta) {
 	m[pt] += d.diff
 	if m[pt] == 0 {
 		delete(m, pt)
-	} else if m[pt] < 0 {
+	} else if m[pt] < 0 && !tr.dist {
+		// A negative count in a single-process tracker is a progress-protocol
+		// bug. Across processes it is a legal transient: a local worker may
+		// consume a remote message (or drop a capability justified by one)
+		// before the sending peer's increment batch arrives. recompute reads
+		// positive counts only, so the frontier stays conservative.
 		panic(fmt.Sprintf("timely: negative pointstamp count at op %d port %d out=%v time %v",
 			d.key.op, d.key.port, d.key.out, d.t))
 	}
@@ -289,6 +342,12 @@ func (tr *tracker) recompute() {
 			}
 		} else {
 			// Input port: times flow through the operator via its summaries.
+			// Remote deltas can reference operators this replica has not yet
+			// registered (peers install without a barrier); their times stall
+			// here, conservatively, until registration recomputes.
+			if it.key.op >= len(tr.nodes) {
+				continue
+			}
 			spec := tr.nodes[it.key.op]
 			if spec.summaries == nil {
 				continue

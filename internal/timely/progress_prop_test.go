@@ -1,0 +1,352 @@
+package timely
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// Property tests for the progress tracker in isolation: random operator
+// graphs driven by random but *legal* executions (every decrement justified
+// by a prior local increment — messages are consumed only after being sent,
+// capabilities dropped only after being seeded or minted).
+//
+// Two properties anchor the protocol:
+//
+//  1. Single-replica frontier monotonicity: under atomic batches that apply
+//     increments before decrements, no input-port frontier ever retreats.
+//  2. Distributed convergence: with one tracker replica per process applying
+//     its own mutations eagerly and every peer's broadcast batches in
+//     per-sender order, all replicas reach the exact same counts and
+//     frontiers once every batch is delivered — regardless of how the
+//     per-sender streams interleave.
+
+// recordingFabric is a multi-process-shaped fabric that records progress
+// broadcasts instead of shipping them, so a test can deliver them to peer
+// replicas in any per-sender-ordered interleaving it likes.
+type recordingFabric struct {
+	workers, first int
+	batches        [][]ProgressDelta
+}
+
+func (f *recordingFabric) Workers() int                                                      { return f.workers }
+func (f *recordingFabric) FirstLocal() int                                                   { return f.first }
+func (f *recordingFabric) LocalWorkers() int                                                 { return 1 }
+func (f *recordingFabric) Start(FabricHost)                                                  {}
+func (f *recordingFabric) SendData(df, ch, worker int, stamp []lattice.Time, payload []byte) {}
+func (f *recordingFabric) BroadcastProgress(df int, deltas []ProgressDelta) {
+	f.batches = append(f.batches, append([]ProgressDelta(nil), deltas...))
+}
+func (f *recordingFabric) Fail(error)   {}
+func (f *recordingFabric) Close() error { return nil }
+
+// propOp is one random operator: a single in and out port joined by either an
+// identity or a step (strictly advancing) summary, optionally seeded with an
+// initial capability at Ts(0).
+type propOp struct {
+	summary Summary
+	seeded  bool
+}
+
+type propToken struct {
+	op int
+	t  lattice.Time
+}
+
+// propState is what one simulated worker owns: capabilities it may send with
+// or drop, and messages addressed to it that it may consume.
+type propState struct {
+	caps []propToken
+	msgs []propToken
+}
+
+// propSim drives a random legal execution over a random operator graph.
+// Summaries are restricted to SumID/SumStep at depth 1: enough to exercise
+// cyclic reachability (identity cycles terminate, step cycles advance)
+// without scope-depth bookkeeping.
+type propSim struct {
+	r      *rand.Rand
+	ops    []propOp
+	edges  [][]int // op -> successor ops (out port 0 -> in port 0)
+	states []*propState
+}
+
+func newPropSim(r *rand.Rand, replicas int) *propSim {
+	n := 3 + r.Intn(4)
+	s := &propSim{r: r}
+	for i := 0; i < n; i++ {
+		sum := SumID
+		if r.Intn(2) == 0 {
+			sum = SumStep
+		}
+		s.ops = append(s.ops, propOp{summary: sum, seeded: i == 0 || r.Intn(2) == 0})
+	}
+	s.edges = make([][]int, n)
+	for i := range s.edges {
+		for k := 0; k < 1+r.Intn(2); k++ {
+			s.edges[i] = append(s.edges[i], r.Intn(n))
+		}
+	}
+	for p := 0; p < replicas; p++ {
+		st := &propState{}
+		for op, o := range s.ops {
+			if o.seeded {
+				st.caps = append(st.caps, propToken{op, lattice.Ts(0)})
+			}
+		}
+		s.states = append(s.states, st)
+	}
+	return s
+}
+
+// register installs the graph into a tracker; every replica registers the
+// identical dataflow, exactly as real workers do.
+func (s *propSim) register(tr *tracker) {
+	for i, o := range s.ops {
+		caps := []lattice.Frontier{{}}
+		if o.seeded {
+			caps = []lattice.Frontier{lattice.NewFrontier(lattice.Ts(0))}
+		}
+		tr.registerNode(i, nodeSpec{
+			name:        "prop",
+			inPorts:     1,
+			outPorts:    1,
+			summaries:   [][]Summary{{o.summary}},
+			initialCaps: caps,
+		})
+	}
+	for src, dsts := range s.edges {
+		for _, d := range dsts {
+			tr.registerEdge(edgeSpec{srcOp: src, srcPort: 0, dstOp: d, dstPort: 0})
+		}
+	}
+}
+
+// applyTo replays one batch into each target tracker (a replica's own, plus a
+// sequential reference when one is kept). apply consumes the batch, so each
+// target gets its own copy.
+func applyTo(pb *progressBatch, targets []*tracker) {
+	for _, tr := range targets {
+		b := progressBatch{
+			plus:  append([]delta(nil), pb.plus...),
+			minus: append([]delta(nil), pb.minus...),
+		}
+		tr.apply(&b)
+	}
+}
+
+// step performs one random legal move for replica p against the given
+// trackers: send a message along an edge under a held capability, consume an
+// owned message (maybe minting a capability at its summary-advanced time), or
+// drop a capability. Returns false when p has no legal move.
+func (s *propSim) step(p int, targets []*tracker) bool {
+	st := s.states[p]
+	var moves []int
+	if len(st.caps) > 0 {
+		moves = append(moves, 0, 2)
+	}
+	if len(st.msgs) > 0 {
+		moves = append(moves, 1)
+	}
+	if len(moves) == 0 {
+		return false
+	}
+	switch moves[s.r.Intn(len(moves))] {
+	case 0: // send
+		c := st.caps[s.r.Intn(len(st.caps))]
+		dsts := s.edges[c.op]
+		d := dsts[s.r.Intn(len(dsts))]
+		for _, tr := range targets {
+			tr.msgArrived(d, 0, []lattice.Time{c.t}, 1)
+		}
+		q := s.r.Intn(len(s.states))
+		s.states[q].msgs = append(s.states[q].msgs, propToken{d, c.t})
+	case 1: // consume, maybe mint
+		i := s.r.Intn(len(st.msgs))
+		m := st.msgs[i]
+		st.msgs = append(st.msgs[:i], st.msgs[i+1:]...)
+		var pb progressBatch
+		if s.r.Intn(2) == 0 {
+			if t2, ok := s.ops[m.op].summary.Apply(m.t); ok {
+				pb.capPlus(m.op, 0, t2, 1)
+				st.caps = append(st.caps, propToken{m.op, t2})
+			}
+		}
+		pb.msgMinus(m.op, 0, m.t, 1)
+		applyTo(&pb, targets)
+	case 2: // drop
+		i := s.r.Intn(len(st.caps))
+		c := st.caps[i]
+		st.caps = append(st.caps[:i], st.caps[i+1:]...)
+		var pb progressBatch
+		pb.capMinus(c.op, 0, c.t, 1)
+		applyTo(&pb, targets)
+	}
+	return true
+}
+
+// drainMsgs consumes every outstanding message owned by replica p, without
+// minting, and dropCaps drops each held capability with the given probability.
+func (s *propSim) drainMsgs(p int, targets []*tracker) {
+	st := s.states[p]
+	for _, m := range st.msgs {
+		var pb progressBatch
+		pb.msgMinus(m.op, 0, m.t, 1)
+		applyTo(&pb, targets)
+	}
+	st.msgs = nil
+}
+
+func (s *propSim) dropCaps(p int, prob float64, targets []*tracker) {
+	st := s.states[p]
+	kept := st.caps[:0]
+	for _, c := range st.caps {
+		if s.r.Float64() < prob {
+			var pb progressBatch
+			pb.capMinus(c.op, 0, c.t, 1)
+			applyTo(&pb, targets)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	st.caps = kept
+}
+
+// TestProgressFrontierMonotonic checks that a single tracker's input-port
+// frontiers never retreat across a random legal execution, and that fully
+// draining the execution leaves the tracker quiescent with empty frontiers.
+func TestProgressFrontierMonotonic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sim := newPropSim(r, 1)
+		tr := newTracker(newRuntime(NewLocalFabric(1)), 0)
+		sim.register(tr)
+		targets := []*tracker{tr}
+
+		prev := make([]lattice.Frontier, len(sim.ops))
+		for op := range sim.ops {
+			prev[op] = tr.frontierAt(op, 0).Clone()
+		}
+		check := func() {
+			for op := range sim.ops {
+				cur := tr.frontierAt(op, 0)
+				if !prev[op].Dominates(cur) {
+					t.Fatalf("seed %d: frontier at op %d retreated: %v -> %v",
+						seed, op, prev[op], cur)
+				}
+				prev[op] = cur.Clone()
+			}
+		}
+		for i := 0; i < 150; i++ {
+			if !sim.step(0, targets) {
+				break
+			}
+			check()
+		}
+		sim.dropCaps(0, 1.0, targets)
+		check()
+		// Draining a message can re-expose... nothing: consumption only
+		// removes pointstamps, so the frontier keeps advancing to empty.
+		sim.drainMsgs(0, targets)
+		check()
+		if !tr.quiescent() {
+			t.Fatalf("seed %d: drained tracker not quiescent: msgs=%v caps=%v",
+				seed, tr.msgs, tr.caps)
+		}
+		for op := range sim.ops {
+			if f := tr.frontierAt(op, 0); !f.Empty() {
+				t.Fatalf("seed %d: drained tracker still has frontier %v at op %d", seed, f, op)
+			}
+		}
+	}
+}
+
+// TestProgressInterleavedDeltasConverge runs one legal execution across three
+// tracker replicas (each broadcasting its mutations through a recording
+// fabric) plus an exact sequential reference, then delivers every replica's
+// batch stream to every peer in a random per-sender-ordered interleaving.
+// However the streams interleave, each replica's counts and frontiers must
+// converge to exactly the reference's.
+func TestProgressInterleavedDeltasConverge(t *testing.T) {
+	const replicas = 3
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		sim := newPropSim(r, replicas)
+
+		fabs := make([]*recordingFabric, replicas)
+		trs := make([]*tracker, replicas)
+		for p := 0; p < replicas; p++ {
+			fabs[p] = &recordingFabric{workers: replicas, first: p}
+			trs[p] = newTracker(newRuntime(fabs[p]), 0)
+			if !trs[p].dist {
+				t.Fatal("replica tracker not in distributed mode")
+			}
+			sim.register(trs[p])
+		}
+		ref := newTracker(newRuntime(NewLocalFabric(replicas)), 0)
+		sim.register(ref)
+
+		for i := 0; i < 250; i++ {
+			p := r.Intn(replicas)
+			sim.step(p, []*tracker{trs[p], ref})
+		}
+		// Partial drain: all messages consumed, ~70% of capabilities dropped,
+		// so the converged state is non-trivial (frontiers neither minimal nor
+		// empty).
+		for p := 0; p < replicas; p++ {
+			sim.drainMsgs(p, []*tracker{trs[p], ref})
+			sim.dropCaps(p, 0.7, []*tracker{trs[p], ref})
+		}
+
+		// Deliver every peer's stream to every replica, merged in a random
+		// order that preserves each sender's sequence — the only ordering the
+		// fabric guarantees.
+		for q := 0; q < replicas; q++ {
+			streams := map[int][][]ProgressDelta{}
+			for p := 0; p < replicas; p++ {
+				if p != q {
+					streams[p] = fabs[p].batches
+				}
+			}
+			for len(streams) > 0 {
+				ps := make([]int, 0, len(streams))
+				for p := range streams {
+					ps = append(ps, p)
+				}
+				p := ps[r.Intn(len(ps))]
+				trs[q].applyRemote(streams[p][0])
+				if streams[p] = streams[p][1:]; len(streams[p]) == 0 {
+					delete(streams, p)
+				}
+			}
+		}
+
+		for q := 0; q < replicas; q++ {
+			for op := range sim.ops {
+				want := ref.frontierAt(op, 0)
+				got := trs[q].frontierAt(op, 0)
+				if !want.Equal(got) {
+					t.Fatalf("seed %d: replica %d frontier at op %d diverged: got %v want %v",
+						seed, q, op, got, want)
+				}
+			}
+			// Stronger than frontier agreement: the count tables themselves
+			// must match the exact reference once every delta landed.
+			for _, pair := range []struct{ got, want map[portTime]int64 }{
+				{trs[q].msgs, ref.msgs}, {trs[q].caps, ref.caps},
+			} {
+				if len(pair.got) != len(pair.want) {
+					t.Fatalf("seed %d: replica %d count table size %d, want %d",
+						seed, q, len(pair.got), len(pair.want))
+				}
+				for pt, n := range pair.want {
+					if pair.got[pt] != n {
+						t.Fatalf("seed %d: replica %d count at %+v = %d, want %d",
+							seed, q, pt, pair.got[pt], n)
+					}
+				}
+			}
+		}
+	}
+}

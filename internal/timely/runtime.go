@@ -6,9 +6,12 @@
 // it may still receive. Dataflow graphs may contain cycles through Feedback
 // operators, whose progress summaries increment a loop coordinate.
 //
-// The runtime is single-process: workers are goroutines and the progress
-// protocol is a shared per-dataflow tracker updated with atomic batches,
-// semantically equivalent to Naiad's distributed could-result-in protocol.
+// Workers are goroutines; a process runs a contiguous shard of the global
+// worker set over a pluggable communication fabric (see fabric.go). In the
+// default single-process mode the progress protocol is a shared per-dataflow
+// tracker updated with atomic batches; across processes each holds a full
+// replica of the tracker and pointstamp-delta batches are broadcast through
+// the fabric — Naiad's distributed could-result-in protocol.
 package timely
 
 import (
@@ -17,10 +20,14 @@ import (
 	"repro/internal/lattice"
 )
 
-// runtime is the state shared by all workers of one Execute call or one
-// Cluster.
+// runtime is the state shared by the local workers of one Execute call or
+// one Cluster. peers is the global worker count across every process of the
+// fabric; this process runs the contiguous index range [first, first+nlocal).
 type runtime struct {
-	peers int
+	peers  int
+	first  int
+	nlocal int
+	fab    Fabric
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -29,9 +36,17 @@ type runtime struct {
 	trackers  []*tracker // per dataflow sequence number
 	mailboxes map[mailboxKey]any
 
-	// actions holds, per worker, closures posted from other goroutines to be
-	// run on that worker's goroutine (live dataflow installation, trace
-	// handle maintenance, teardown). Only Cluster workers drain them.
+	// inbound maps (dataflow, channel) to the decode-and-enqueue handler for
+	// remote data partitions; pending stashes frames that arrive before the
+	// local process has built the channel (peers install dataflows without a
+	// barrier, so a fast peer's first flush can beat our construction).
+	inbound map[[2]int]inboundHandler
+	pending map[[2]int][]pendingFrame
+
+	// actions holds, per worker (global index), closures posted from other
+	// goroutines to be run on that worker's goroutine (live dataflow
+	// installation, trace handle maintenance, teardown). Only Cluster workers
+	// drain them; only local slots are used.
 	actions [][]func(w *Worker)
 	stopped bool // set by Cluster.Shutdown; serving workers exit when idle
 }
@@ -42,14 +57,86 @@ type mailboxKey struct {
 	worker   int
 }
 
-func newRuntime(peers int) *runtime {
+// inboundHandler decodes one remote data partition and enqueues it on the
+// destination worker's mailbox. Registered once per exchanged channel.
+type inboundHandler func(worker int, stamp []lattice.Time, payload []byte) error
+
+type pendingFrame struct {
+	worker  int
+	stamp   []lattice.Time
+	payload []byte
+}
+
+func newRuntime(fab Fabric) *runtime {
 	rt := &runtime{
-		peers:     peers,
+		peers:     fab.Workers(),
+		first:     fab.FirstLocal(),
+		nlocal:    fab.LocalWorkers(),
+		fab:       fab,
 		mailboxes: make(map[mailboxKey]any),
-		actions:   make([][]func(w *Worker), peers),
+		inbound:   make(map[[2]int]inboundHandler),
+		pending:   make(map[[2]int][]pendingFrame),
+		actions:   make([][]func(w *Worker), fab.Workers()),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	return rt
+}
+
+// remote reports whether other processes exist (progress must be broadcast
+// and exchanged partitions may need the wire).
+func (rt *runtime) remote() bool { return rt.nlocal < rt.peers }
+
+// localWorker reports whether global worker index w runs in this process.
+func (rt *runtime) localWorker(w int) bool { return w >= rt.first && w < rt.first+rt.nlocal }
+
+// registerInbound installs the remote-partition handler for one exchanged
+// channel (first local worker to attach wins) and replays any frames that
+// arrived before construction.
+func (rt *runtime) registerInbound(df, ch int, h inboundHandler) {
+	key := [2]int{df, ch}
+	rt.mu.Lock()
+	if _, dup := rt.inbound[key]; dup {
+		rt.mu.Unlock()
+		return
+	}
+	rt.inbound[key] = h
+	stash := rt.pending[key]
+	delete(rt.pending, key)
+	rt.mu.Unlock()
+	for _, f := range stash {
+		if err := h(f.worker, f.stamp, f.payload); err != nil {
+			rt.fab.Fail(err)
+			return
+		}
+	}
+	if len(stash) > 0 {
+		rt.wake()
+	}
+}
+
+// DeliverData implements FabricHost: route one remote data partition to the
+// destination worker's mailbox, stashing it if the channel is not built yet.
+func (rt *runtime) DeliverData(df, ch, worker int, stamp []lattice.Time, payload []byte) error {
+	key := [2]int{df, ch}
+	rt.mu.Lock()
+	h, ok := rt.inbound[key]
+	if !ok {
+		rt.pending[key] = append(rt.pending[key], pendingFrame{worker, stamp, payload})
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.mu.Unlock()
+	if err := h(worker, stamp, payload); err != nil {
+		return err
+	}
+	rt.wake()
+	return nil
+}
+
+// DeliverProgress implements FabricHost: apply one peer's pointstamp-delta
+// batch to the local replica of the dataflow's tracker.
+func (rt *runtime) DeliverProgress(df int, deltas []ProgressDelta) {
+	rt.trackerFor(df).applyRemote(deltas)
 }
 
 // trackerFor returns (creating if needed) the progress tracker for the given
@@ -60,10 +147,10 @@ func (rt *runtime) trackerFor(seq int) *tracker {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for seq >= len(rt.trackers) {
-		rt.trackers = append(rt.trackers, newTracker(rt))
+		rt.trackers = append(rt.trackers, newTracker(rt, len(rt.trackers)))
 	}
 	if rt.trackers[seq] == nil {
-		rt.trackers[seq] = newTracker(rt)
+		rt.trackers[seq] = newTracker(rt, seq)
 	}
 	return rt.trackers[seq]
 }
@@ -156,8 +243,12 @@ func (m *mailbox[D]) empty() bool {
 }
 
 // mailboxFor returns (creating if needed) the typed mailbox for a
-// (dataflow, channel, worker) triple.
+// (dataflow, channel, worker) triple. Mailboxes exist only for local
+// workers; remote destinations go through the fabric.
 func mailboxFor[D any](rt *runtime, df, ch, worker int) *mailbox[D] {
+	if !rt.localWorker(worker) {
+		panic("timely: mailbox for non-local worker")
+	}
 	key := mailboxKey{df, ch, worker}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -174,18 +265,5 @@ func mailboxFor[D any](rt *runtime, df, ch, worker int) *mailbox[D] {
 // (operator identifiers are assigned by construction order). Worker indices
 // are 0..peers-1.
 func Execute(peers int, program func(w *Worker)) {
-	if peers < 1 {
-		panic("timely: need at least one worker")
-	}
-	rt := newRuntime(peers)
-	var wg sync.WaitGroup
-	wg.Add(peers)
-	for i := 0; i < peers; i++ {
-		w := &Worker{index: i, rt: rt}
-		go func() {
-			defer wg.Done()
-			program(w)
-		}()
-	}
-	wg.Wait()
+	ExecuteFabric(NewLocalFabric(peers), program)
 }
