@@ -98,6 +98,14 @@ func benchCases() []benchCase {
 		{"mesh_exchange_roundtrip_ns", func(d *tpch.Data) float64 {
 			return meshRoundtrip()
 		}},
+		{"mesh_rejoin_resync_ns", func(d *tpch.Data) float64 {
+			ns, _ := meshRejoinMetrics()
+			return ns
+		}},
+		{"mesh_redial_count", func(d *tpch.Data) float64 {
+			_, redials := meshRejoinMetrics()
+			return redials
+		}},
 	}
 }
 
@@ -171,6 +179,106 @@ func meshRoundtrip() float64 {
 	nodes[0].Close()
 	nodes[1].Close()
 	return float64(elapsed.Nanoseconds()) / iters
+}
+
+// meshRejoinMetrics runs the rejoin scenario once and caches both readings:
+// the two metrics come from the same incident, and restarting a mesh twice
+// per bench invocation would double its (port-binding) flakiness surface.
+var rejoinOnce sync.Once
+var rejoinNs, rejoinRedials float64
+
+func meshRejoinMetrics() (float64, float64) {
+	rejoinOnce.Do(func() { rejoinNs, rejoinRedials = meshRejoin() })
+	return rejoinNs, rejoinRedials
+}
+
+// meshRejoin measures a full peer rejoin on a two-node loopback mesh: node 1
+// is closed, a successor with the next incarnation binds the same port, and
+// the metric is the span from the successor's Connect to both sides
+// completing the generation resync (handshake, barrier exchange, replay-
+// buffer splice). The redial count is the survivor's successful
+// re-handshakes — how many dials its capped-backoff loop needed before the
+// successor was listening. Both informational: recovery latency on a loaded
+// CI box is jittery, so nothing gates on them.
+func meshRejoin() (float64, float64) {
+	die := func(stage string, err error) {
+		fmt.Fprintf(os.Stderr, "bench: mesh rejoin %s: %v\n", stage, err)
+		os.Exit(1)
+	}
+	resynced := make(chan uint64, 1)
+	mk := func(p int, incarnation uint64, addrs []string) *mesh.Node {
+		opt := mesh.Options{
+			Addrs:       addrs,
+			Process:     p,
+			Workers:     2,
+			ClusterKey:  0xbe9c5,
+			Incarnation: incarnation,
+			PeerGrace:   time.Minute,
+			OnUser:      func(int, []byte) {},
+		}
+		if p == 0 {
+			opt.OnResync = func(gen uint64) { resynced <- gen }
+		}
+		n, err := mesh.Listen(opt)
+		if err != nil {
+			die("listen", err)
+		}
+		return n
+	}
+	n0 := mk(0, 0, []string{"127.0.0.1:0", "127.0.0.1:0"})
+	n1 := mk(1, 0, []string{"127.0.0.1:0", "127.0.0.1:0"})
+	real := []string{n0.Addr().String(), n1.Addr().String()}
+	var wg sync.WaitGroup
+	for _, n := range []*mesh.Node{n0, n1} {
+		if err := n.SetAddrs(real); err != nil {
+			die("addrs", err)
+		}
+		wg.Add(1)
+		go func(n *mesh.Node) {
+			defer wg.Done()
+			if err := n.Connect(); err != nil {
+				die("connect", err)
+			}
+		}(n)
+	}
+	wg.Wait()
+	n0.Start(benchMeshHost{})
+	n1.Start(benchMeshHost{})
+
+	// Kill node 1 and bring up its successor on the same port.
+	n1.Close()
+	start := time.Now()
+	n1b := mk(1, 1, []string{real[0], real[1]})
+	n1b.Start(benchMeshHost{})
+	if err := n1b.Connect(); err != nil {
+		die("reconnect", err)
+	}
+	gen := n1b.Generation()
+	n1b.Resync(gen)
+	var werr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		werr = n1b.WaitResynced(gen, 30*time.Second)
+	}()
+	select {
+	case g := <-resynced:
+		n0.Resync(g)
+		if err := n0.WaitResynced(g, 30*time.Second); err != nil {
+			die("survivor resync", err)
+		}
+	case <-time.After(30 * time.Second):
+		die("survivor resync", fmt.Errorf("no resync signal within 30s"))
+	}
+	<-done
+	if werr != nil {
+		die("successor resync", werr)
+	}
+	elapsed := time.Since(start)
+	redials := n0.Stats().Redials
+	n0.Close()
+	n1b.Close()
+	return float64(elapsed.Nanoseconds()), float64(redials)
 }
 
 // installLatency measures install-to-first-result of a one-hop query against

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestMeshRejoinMetric exercises the bench's rejoin scenario end to end: a
+// two-node loopback mesh loses node 1, a successor with the next incarnation
+// rebinds the same port, and both sides complete the generation resync. The
+// readings are informational, but the scenario itself must work — it is the
+// in-process twin of scripts/chaos_smoke.sh.
+func TestMeshRejoinMetric(t *testing.T) {
+	ns, redials := meshRejoin()
+	if ns <= 0 {
+		t.Fatalf("rejoin resync took %v ns", ns)
+	}
+	if redials < 1 {
+		t.Fatalf("survivor reported %v successful redials, want >= 1", redials)
+	}
+	t.Logf("rejoin resync %.0f ns, %v redials", ns, redials)
+}

@@ -45,12 +45,47 @@
 // and therefore advance only once every peer's deltas have been applied in
 // sequence.
 //
-// # Failure
+// # Failure: quiesce, redial, fail-stop
 //
-// Peer loss is cluster-fatal: the protocol cannot prove progress without
-// every peer's delta stream. The first connection error — EOF, reset,
-// checksum, decode, or sequence violation — is wrapped in a *PeerError,
-// reported once through Options.OnFailure, and tears the node down. Close,
-// by contrast, drains outboxes (bounded by a write deadline) and shuts down
-// without invoking OnFailure.
+// A dropped connection is first treated as transient. The link enters a
+// redial loop (capped exponential backoff with jitter, RedialMin..RedialMax)
+// while its outbox keeps buffering frames — bounded by ReplayBudget — so a
+// blip costs a reconnect, not the cluster. Per-channel sequence numbers are
+// preserved across the reconnect: the receiver's hello response reports how
+// many countable frames it has received, the sender discards the acked
+// prefix and replays the rest, and the receive-side sequence check still
+// proves exactly-once, in-order delivery. Sequence violations, version or
+// key mismatches, and stale incarnations remain protocol violations and are
+// immediately fatal.
+//
+// Recovery beyond a blip is governed by Options.PeerGrace. With a zero
+// grace (the default), peer loss is cluster-fatal: the protocol cannot
+// prove progress without every peer's delta stream, so the first connection
+// error is wrapped in a *PeerError, reported once through Options.OnFailure,
+// and tears the node down. With a non-zero grace the node instead quiesces:
+// OnPeerDown fires, outboxes buffer, frontiers hold (no frontier can
+// advance without the lost peer's deltas, so holding is safe by
+// construction), and only if the link is still down after the grace
+// deadline does the *PeerError fail-stop fire as before.
+//
+// # Incarnations and resync
+//
+// A process that restarts after a crash comes back with a higher
+// incarnation number in its hello. Peers accept the bump (a hello from a
+// lower incarnation than one already seen is refused as stale), retire any
+// connection state belonging to the predecessor, and gate their outboxes.
+// The cluster then agrees on a new generation — the sum of all pinned
+// incarnations — and every node calls Resync(gen): each outbox emits a
+// barrier frame as the generation's first countable frame, the hello
+// response carries (incarnation, received-count, generation) so senders can
+// splice their replay queues to exactly the frames the receiver has not
+// seen, and acks are generation-tagged so a predecessor's acks cannot
+// shrink a successor's replay. The restarted replica's progress tracker is
+// re-seeded from a survivor's snapshot of the positive count table, then
+// catches up on deltas — preserving plus-before-minus across the resync.
+// WaitResynced blocks until every link has spliced past its barrier;
+// Options.OnResync tells the driver which generation to rebuild against.
+//
+// Close, by contrast, drains outboxes (bounded by a write deadline) and
+// shuts down without invoking OnFailure.
 package mesh

@@ -21,7 +21,10 @@ import (
 const MaxFrame uint32 = 1 << 26
 
 // Protocol version. Peers with mismatched versions refuse the handshake.
-const Version uint32 = 1
+// Version 2 added incarnations to the hello, the hello response (incarnation
+// plus delivered-frame count, for replay after a reconnect), cumulative acks,
+// and resync barriers.
+const Version uint32 = 2
 
 // helloMagic begins every hello payload, distinguishing a kpg peer from a
 // stray client dialing the mesh port.
@@ -29,20 +32,26 @@ const helloMagic uint32 = 0x4b50474d // "KPGM"
 
 // Frame kinds.
 const (
-	KindHello    = byte('H') // handshake: identity and cluster shape
-	KindData     = byte('D') // one exchanged data partition
-	KindProgress = byte('P') // one pointstamp-delta batch
-	KindUser     = byte('U') // opaque application payload (result gathering)
+	KindHello     = byte('H') // handshake: identity, incarnation, cluster shape
+	KindHelloResp = byte('R') // handshake reply: incarnation + delivered count
+	KindData      = byte('D') // one exchanged data partition
+	KindProgress  = byte('P') // one pointstamp-delta batch
+	KindUser      = byte('U') // opaque application payload (result gathering)
+	KindAck       = byte('A') // cumulative delivery ack (bounds replay buffers)
+	KindBarrier   = byte('B') // resync barrier: flushes a stale generation
 )
 
 // Hello is the handshake frame: each side of a connection announces its
 // identity and its view of the cluster shape; any disagreement is fatal.
+// Incarnation counts the sender's restarts — a peer whose pinned incarnation
+// for this rank is higher refuses the connection as stale.
 type Hello struct {
-	Version    uint32
-	ClusterKey uint64 // workload-configuration hash; all peers must agree
-	Src        int    // sender's process rank
-	Processes  int
-	Workers    int
+	Version     uint32
+	ClusterKey  uint64 // workload-configuration hash; all peers must agree
+	Src         int    // sender's process rank
+	Processes   int
+	Workers     int
+	Incarnation uint64
 }
 
 // Frame is one decoded peer frame.
@@ -54,11 +63,15 @@ type Frame struct {
 	DF     int    // KindData, KindProgress: dataflow sequence number
 	Ch     int    // KindData: channel id
 	Worker int    // KindData: destination worker (global index)
-	Seq    uint64 // KindData: per-(df,ch,worker) sequence; KindProgress: per-df
+	Seq    uint64 // KindData: per-(df,ch,worker) sequence; KindProgress: per-(link,df)
 
 	Stamp   []lattice.Time         // KindData
 	Payload []byte                 // KindData, KindUser (aliases input)
 	Deltas  []timely.ProgressDelta // KindProgress
+
+	Inc   uint64 // KindHelloResp: responder's incarnation
+	Count uint64 // KindHelloResp, KindAck: cumulative delivered-frame count
+	Gen   uint64 // KindHelloResp, KindAck, KindBarrier: generation the frame belongs to
 }
 
 func appendZigzag(dst []byte, v int64) []byte {
@@ -94,6 +107,37 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = wal.AppendUvarint(dst, uint64(h.Src))
 	dst = wal.AppendUvarint(dst, uint64(h.Processes))
 	dst = wal.AppendUvarint(dst, uint64(h.Workers))
+	dst = wal.AppendU64(dst, h.Incarnation)
+	return dst
+}
+
+// AppendHelloResp encodes a handshake reply: the responder's incarnation, the
+// cumulative count of countable frames (data/progress/user/barrier) it has
+// delivered on this link, and the generation of the last barrier it processed
+// from the dialer. The dialer replays its unacked tail from the count when the
+// generations agree; a responder still behind the dialer's generation has by
+// definition processed none of the dialer's current-generation frames, so the
+// dialer replays that generation from its start instead.
+func AppendHelloResp(dst []byte, incarnation, recvCount, barrierGen uint64) []byte {
+	dst = append(dst, KindHelloResp)
+	dst = wal.AppendU64(dst, incarnation)
+	dst = wal.AppendU64(dst, recvCount)
+	dst = wal.AppendU64(dst, barrierGen)
+	return dst
+}
+
+// AppendAck encodes a cumulative delivery ack for the given generation.
+func AppendAck(dst []byte, gen, count uint64) []byte {
+	dst = append(dst, KindAck)
+	dst = wal.AppendU64(dst, gen)
+	dst = wal.AppendU64(dst, count)
+	return dst
+}
+
+// AppendBarrier encodes a resync barrier for the given generation.
+func AppendBarrier(dst []byte, gen uint64) []byte {
+	dst = append(dst, KindBarrier)
+	dst = wal.AppendU64(dst, gen)
 	return dst
 }
 
@@ -169,6 +213,39 @@ func DecodeFrame(payload []byte) (Frame, error) {
 			return Frame{}, err
 		}
 		if f.Hello.Workers, err = uvInt(d, "hello workers"); err != nil {
+			return Frame{}, err
+		}
+		if f.Hello.Incarnation, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		return f, nil
+
+	case KindHelloResp:
+		var err error
+		if f.Inc, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		if f.Count, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		if f.Gen, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		return f, nil
+
+	case KindAck:
+		var err error
+		if f.Gen, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		if f.Count, err = d.U64(); err != nil {
+			return Frame{}, err
+		}
+		return f, nil
+
+	case KindBarrier:
+		var err error
+		if f.Gen, err = d.U64(); err != nil {
 			return Frame{}, err
 		}
 		return f, nil

@@ -24,10 +24,17 @@ func FuzzMeshFrameDecode(f *testing.F) {
 		{Op: 0, Port: 0, Out: false, Time: lattice.Ts(0), Diff: 1},
 	}))
 	f.Add(AppendUser(nil, []byte("payload")))
+	f.Add(AppendHello(nil, Hello{Version: Version, ClusterKey: 7, Src: 1, Processes: 2, Workers: 4, Incarnation: 9}))
+	f.Add(AppendHelloResp(nil, 2, 1<<20, 3))
+	f.Add(AppendAck(nil, 1, 1<<32))
+	f.Add(AppendBarrier(nil, 5))
 	// Adversarial shapes: huge counts, truncated times, depth overflow.
 	f.Add([]byte{'D', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{'P', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{'H', 0x4d, 0x47, 0x50, 0x4b, 1, 0, 0, 0})
+	f.Add([]byte{'R', 1})
+	f.Add([]byte{'A', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{'B'})
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		frame, err := DecodeFrame(payload)
@@ -41,6 +48,21 @@ func FuzzMeshFrameDecode(f *testing.F) {
 			rt, err := DecodeFrame(AppendHello(nil, frame.Hello))
 			if err != nil || rt.Hello != frame.Hello {
 				t.Fatalf("hello re-encode mismatch: %+v vs %+v (%v)", rt.Hello, frame.Hello, err)
+			}
+		case KindHelloResp:
+			rt, err := DecodeFrame(AppendHelloResp(nil, frame.Inc, frame.Count, frame.Gen))
+			if err != nil || rt.Inc != frame.Inc || rt.Count != frame.Count || rt.Gen != frame.Gen {
+				t.Fatalf("hello response re-encode mismatch (%v)", err)
+			}
+		case KindAck:
+			rt, err := DecodeFrame(AppendAck(nil, frame.Gen, frame.Count))
+			if err != nil || rt.Gen != frame.Gen || rt.Count != frame.Count {
+				t.Fatalf("ack re-encode mismatch (%v)", err)
+			}
+		case KindBarrier:
+			rt, err := DecodeFrame(AppendBarrier(nil, frame.Gen))
+			if err != nil || rt.Gen != frame.Gen {
+				t.Fatalf("barrier re-encode mismatch (%v)", err)
 			}
 		case KindProgress:
 			rt, err := DecodeFrame(AppendProgress(nil, frame.DF, frame.Seq, frame.Deltas))

@@ -1,12 +1,10 @@
 package mesh
 
 import (
-	"bufio"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lattice"
@@ -15,10 +13,13 @@ import (
 )
 
 // PeerError reports a failed peer connection: a dropped or reset link, a
-// frame that failed its checksum, or a protocol violation (out-of-sequence
-// delivery). Peer loss is cluster-fatal — the progress protocol cannot
-// advance without every peer's deltas — so a PeerError reaches the node's
-// OnFailure hook exactly once and the survivor is expected to exit.
+// frame that failed its checksum, a protocol violation (out-of-sequence
+// delivery, stale incarnation), or a peer that stayed down past the grace
+// deadline. With PeerGrace zero, peer loss is cluster-fatal — the progress
+// protocol cannot advance without every peer's deltas — and a PeerError
+// reaches the node's OnFailure hook exactly once. With a positive grace the
+// node first quiesces and redials; the PeerError fires only when the peer
+// stays down past the deadline or a protocol invariant breaks.
 type PeerError struct {
 	Peer int // remote process rank, -1 if unknown (handshake not completed)
 	Err  error
@@ -47,76 +48,150 @@ type Options struct {
 	// whose keys differ refuse the handshake. Hash the scenario parameters
 	// into it.
 	ClusterKey uint64
-	// DialTimeout bounds how long Start waits for peers to come up
+	// DialTimeout bounds how long Connect waits for peers to come up
 	// (default 15s).
 	DialTimeout time.Duration
-	// OnFailure, if set, is called (once, from a mesh goroutine) when a peer
-	// connection fails after Start. After the call the node is torn down.
+	// Incarnation counts this process's restarts at this rank. Peers pin the
+	// highest incarnation they have seen per rank and refuse lower ones as
+	// stale; a higher one announces a restart and raises the cluster
+	// generation (the sum of all incarnations). Durable drivers persist it
+	// next to their WAL; zero is a fresh start.
+	Incarnation uint64
+	// PeerGrace selects the failure mode. Zero (the default) is fail-stop:
+	// any peer loss after Connect surfaces immediately as a *PeerError.
+	// Positive, the node quiesces instead: outboxes buffer (bounded by
+	// ReplayBudget), the survivor redials with capped exponential backoff,
+	// and the PeerError fires only if the link is still down PeerGrace after
+	// it first dropped.
+	PeerGrace time.Duration
+	// RedialMin and RedialMax bound the redial backoff (defaults 50ms, 2s).
+	RedialMin time.Duration
+	RedialMax time.Duration
+	// ReplayBudget bounds, per link, the bytes held for a down or slow peer:
+	// queued frames plus written-but-unacked frames kept for replay. At the
+	// budget the quiesce promise is broken honestly — the link fails with a
+	// *PeerError rather than buffering unboundedly. Default 64 MiB.
+	ReplayBudget int64
+	// AckEvery is the cumulative-ack cadence in countable frames (default
+	// 128): receivers ack so senders can prune their replay buffers.
+	AckEvery int
+	// OnFailure, if set, is called (once, from a node-tracked goroutine that
+	// Close joins) when a peer connection fails past recovery. It must not
+	// call Close synchronously — tear down from another goroutine or exit.
 	OnFailure func(error)
-	// OnUser, if set, receives user-frame payloads (result gathering). The
-	// payload is owned by the callee.
+	// OnUser, if set, receives user-frame payloads (result gathering,
+	// recovery cut exchange). The payload is owned by the callee.
 	OnUser func(src int, payload []byte)
-}
-
-// outbox is one peer's ordered send queue. Enqueue never blocks (the
-// progress tracker broadcasts while holding its mutex); a dedicated writer
-// goroutine drains the queue into the connection.
-type outbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   [][]byte // each element one full wal record (header + payload)
-	closing bool     // drain remaining queue, then exit
-	dead    bool     // drop enqueues immediately (failure path)
-}
-
-func newOutbox() *outbox {
-	ob := &outbox{}
-	ob.cond = sync.NewCond(&ob.mu)
-	return ob
-}
-
-func (ob *outbox) enqueue(rec []byte) {
-	ob.mu.Lock()
-	if ob.dead {
-		ob.mu.Unlock()
-		return
-	}
-	ob.queue = append(ob.queue, rec)
-	ob.mu.Unlock()
-	ob.cond.Signal()
+	// OnResync, if set, is called (on a tracked goroutine) when the cluster
+	// generation rises above the value it had when Connect returned and every
+	// link is up again: a restarted peer has rejoined and the application
+	// must tear down its dataflow world, call Resync, and rebuild. Fires once
+	// per generation.
+	OnResync func(gen uint64)
+	// OnPeerDown and OnPeerUp, if set, observe link state transitions
+	// (logging, metrics). Called on tracked goroutines.
+	OnPeerDown func(peer int, err error)
+	OnPeerUp   func(peer int)
 }
 
 // Node is a process's endpoint in the worker mesh: it implements
-// timely.Fabric over one TCP connection per ordered peer pair. See doc.go
-// for the protocol.
+// timely.Fabric over one TCP connection per ordered peer pair, with
+// per-link crash recovery (incarnations, redial, replay, generation
+// barriers). See doc.go for the protocol.
 type Node struct {
-	opt Options
-	wpp int // workers per process
+	opt   Options
+	wpp   int  // workers per process
+	grace bool // PeerGrace > 0: quiesce-and-redial instead of fail-stop
 
 	listener net.Listener
-	hostSet  chan struct{} // closed once Start(host) ran; gates readers
-	host     timely.FabricHost
 
-	outboxes []*outbox  // by rank; nil at own rank
-	conns    []net.Conn // outbound conns, by rank; nil at own rank
-	inConns  []net.Conn // inbound conns, by src rank; nil at own rank
+	// mu guards generation state, the host gate, and the pre-Start stash.
+	// cond broadcasts on any change (reader parking, WaitResynced). Lock
+	// ordering: never acquire mu while holding a link or outbox mutex.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	host       timely.FabricHost
+	hostGen    uint64 // generation the host was attached for
+	stash      []stashed
+	stashBytes int64
+	incs       []uint64 // highest incarnation seen per rank (own slot = own)
+	connected  bool     // Connect completed; OnResync may fire
+	firedGen   uint64   // last generation OnResync fired for
+	flushedGen uint64   // generation our outboxes and send seqs are clean for
+	resyncFrom time.Time
 
-	writerWG sync.WaitGroup
-	readerWG sync.WaitGroup
+	// flushedA mirrors flushedGen for lock-free reads on the per-frame
+	// receive path (stale-generation filtering, ack validation).
+	flushedA atomic.Uint64
+
+	links []*link // by rank; nil at own rank
 
 	sendMu  sync.Mutex
-	dataSeq map[[3]int]uint64 // (df, ch, worker) -> next seq
-	progSeq map[int]uint64    // df -> next seq
+	dataSeq map[[3]int]uint64 // (df, ch, worker) -> next seq, reset per generation
 
 	failMu   sync.Mutex
 	failed   bool
 	failErr  error
 	closed   bool
-	teardown sync.Once
+	stop     chan struct{} // closed on Close/fail: stops accept, redial, grace timers
+	stopOnce sync.Once
+
+	acceptWG sync.WaitGroup
+	writerWG sync.WaitGroup
+	readerWG sync.WaitGroup
+	cbWG     sync.WaitGroup // OnFailure/OnResync/OnPeerDown/OnPeerUp goroutines
+
+	st statCounters
+}
+
+// stashed is one data/progress frame received before the current
+// generation's host attached (Start not yet called).
+type stashed struct {
+	prog    bool
+	df, ch  int
+	worker  int
+	stamp   []lattice.Time
+	payload []byte
+	deltas  []timely.ProgressDelta
+}
+
+// Stats is a snapshot of the node's informational counters (kpg bench
+// surfaces some of these; none gate anything).
+type Stats struct {
+	RedialAttempts  uint64 // dial attempts made after a link dropped
+	Redials         uint64 // successful re-handshakes (link restored)
+	Resyncs         uint64 // generation resyncs completed (WaitResynced)
+	LastResyncNs    int64  // wall time of the last Resync..WaitResynced span
+	ProgressBatches uint64 // pointstamp batches offered by the tracker
+	ProgressFrames  uint64 // progress frames actually sent (all links)
+}
+
+type statCounters struct {
+	mu              sync.Mutex
+	redialAttempts  uint64
+	redials         uint64
+	resyncs         uint64
+	lastResyncNs    int64
+	progressBatches uint64
+	progressFrames  uint64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.st.mu.Lock()
+	defer n.st.mu.Unlock()
+	return Stats{
+		RedialAttempts:  n.st.redialAttempts,
+		Redials:         n.st.redials,
+		Resyncs:         n.st.resyncs,
+		LastResyncNs:    n.st.lastResyncNs,
+		ProgressBatches: n.st.progressBatches,
+		ProgressFrames:  n.st.progressFrames,
+	}
 }
 
 // Listen validates the options, binds this rank's listen address, and
-// returns a node ready for Start. The address may use port 0; Addr reports
+// returns a node ready for Connect. The address may use port 0; Addr reports
 // the bound address (single-machine tests), but then peers must be told the
 // real port out of band, so fixed ports are the norm.
 func Listen(opt Options) (*Node, error) {
@@ -133,6 +208,18 @@ func Listen(opt Options) (*Node, error) {
 	if opt.DialTimeout <= 0 {
 		opt.DialTimeout = 15 * time.Second
 	}
+	if opt.RedialMin <= 0 {
+		opt.RedialMin = 50 * time.Millisecond
+	}
+	if opt.RedialMax <= 0 {
+		opt.RedialMax = 2 * time.Second
+	}
+	if opt.ReplayBudget <= 0 {
+		opt.ReplayBudget = 64 << 20
+	}
+	if opt.AckEvery <= 0 {
+		opt.AckEvery = 128
+	}
 	ln, err := net.Listen("tcp", opt.Addrs[opt.Process])
 	if err != nil {
 		return nil, fmt.Errorf("mesh: listen %s: %w", opt.Addrs[opt.Process], err)
@@ -140,17 +227,18 @@ func Listen(opt Options) (*Node, error) {
 	n := &Node{
 		opt:      opt,
 		wpp:      opt.Workers / p,
+		grace:    opt.PeerGrace > 0,
 		listener: ln,
-		hostSet:  make(chan struct{}),
-		outboxes: make([]*outbox, p),
-		conns:    make([]net.Conn, p),
-		inConns:  make([]net.Conn, p),
+		incs:     make([]uint64, p),
+		links:    make([]*link, p),
 		dataSeq:  make(map[[3]int]uint64),
-		progSeq:  make(map[int]uint64),
+		stop:     make(chan struct{}),
 	}
-	for r := range n.outboxes {
+	n.cond = sync.NewCond(&n.mu)
+	n.incs[opt.Process] = opt.Incarnation
+	for r := range n.links {
 		if r != opt.Process {
-			n.outboxes[r] = newOutbox()
+			n.links[r] = newLink(n, r)
 		}
 	}
 	return n, nil
@@ -171,133 +259,132 @@ func (n *Node) SetAddrs(addrs []string) error {
 	return nil
 }
 
-// Connect dials every peer and accepts every peer's dial, exchanging hello
-// frames. It returns once the mesh is fully connected — an implicit barrier:
-// after Connect, every process has reached Connect. Call before Start.
+// Connect brings every link up: it starts the persistent accept loop (which
+// also serves later re-handshakes from restarted peers), dials every peer,
+// and returns once the mesh is fully connected — an implicit barrier: after
+// Connect, every process has reached Connect. On a rejoin (Incarnation > 0,
+// or peers restarted while this node was connecting) the links come up
+// pinned to the exchanged incarnations and Generation reflects the sum.
 func (n *Node) Connect() error {
-	p := len(n.opt.Addrs)
-	errs := make(chan error, 2)
-
-	// Accept p-1 inbound connections, each opening with a valid hello.
-	go func() {
-		deadline := time.Now().Add(n.opt.DialTimeout)
-		for got := 0; got < p-1; got++ {
-			if d, ok := n.listener.(*net.TCPListener); ok {
-				d.SetDeadline(deadline)
-			}
-			conn, err := n.listener.Accept()
-			if err != nil {
-				errs <- fmt.Errorf("mesh: accept: %w", err)
-				return
-			}
-			conn.SetReadDeadline(deadline)
-			// Read the hello from the raw conn: ReadRecord uses io.ReadFull and
-			// never over-reads, so no frame bytes are lost to a throwaway
-			// buffered reader before readLoop attaches its own.
-			payload, err := wal.ReadRecord(conn, MaxFrame)
-			if err != nil {
-				conn.Close()
-				errs <- fmt.Errorf("mesh: inbound handshake: %w", err)
-				return
-			}
-			f, err := DecodeFrame(payload)
-			if err != nil || f.Kind != KindHello {
-				conn.Close()
-				errs <- fmt.Errorf("mesh: inbound handshake: bad hello (%v)", err)
-				return
-			}
-			h := f.Hello
-			switch {
-			case h.Version != Version:
-				err = fmt.Errorf("version %d (want %d)", h.Version, Version)
-			case h.ClusterKey != n.opt.ClusterKey:
-				err = fmt.Errorf("cluster key %016x (want %016x)", h.ClusterKey, n.opt.ClusterKey)
-			case h.Processes != p || h.Workers != n.opt.Workers:
-				err = fmt.Errorf("cluster shape %d×%d (want %d×%d)", h.Processes, h.Workers, p, n.opt.Workers)
-			case h.Src < 0 || h.Src >= p || h.Src == n.opt.Process:
-				err = fmt.Errorf("peer rank %d out of range", h.Src)
-			case n.inConns[h.Src] != nil:
-				err = fmt.Errorf("duplicate connection from peer %d", h.Src)
-			}
-			if err != nil {
-				conn.Close()
-				errs <- fmt.Errorf("mesh: inbound handshake: %w", err)
-				return
-			}
-			conn.SetReadDeadline(time.Time{})
-			n.inConns[h.Src] = conn
-		}
-		errs <- nil
-	}()
-
-	// Dial every peer, retrying while it comes up, and send our hello.
-	go func() {
-		hello := wal.AppendRecord(nil, AppendHello(nil, Hello{
-			Version:    Version,
-			ClusterKey: n.opt.ClusterKey,
-			Src:        n.opt.Process,
-			Processes:  p,
-			Workers:    n.opt.Workers,
-		}))
-		deadline := time.Now().Add(n.opt.DialTimeout)
-		for r := 0; r < p; r++ {
-			if r == n.opt.Process {
-				continue
-			}
-			var conn net.Conn
-			var err error
-			for {
-				conn, err = net.DialTimeout("tcp", n.opt.Addrs[r], time.Until(deadline))
-				if err == nil || time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(50 * time.Millisecond)
-			}
-			if err != nil {
-				errs <- fmt.Errorf("mesh: dial peer %d (%s): %w", r, n.opt.Addrs[r], err)
-				return
-			}
-			if _, err := conn.Write(hello); err != nil {
-				conn.Close()
-				errs <- fmt.Errorf("mesh: hello to peer %d: %w", r, err)
-				return
-			}
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
-			n.conns[r] = conn
-		}
-		errs <- nil
-	}()
-
-	var firstErr error
-	for i := 0; i < 2; i++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+	n.acceptWG.Add(1)
+	go n.acceptLoop()
+	for _, l := range n.links {
+		if l != nil {
+			l.startRedial(true)
 		}
 	}
-	if firstErr != nil {
-		n.closeConns()
-		return firstErr
-	}
-
-	// Connected: start the writer and reader machinery. Readers park until
-	// Start provides the host.
-	for r := range n.conns {
-		if n.conns[r] == nil {
-			continue
+	deadline := time.Now().Add(n.opt.DialTimeout)
+	for {
+		if err := n.Err(); err != nil {
+			return err
 		}
-		n.writerWG.Add(1)
-		go n.writeLoop(r, n.conns[r], n.outboxes[r])
-	}
-	for r := range n.inConns {
-		if n.inConns[r] == nil {
-			continue
+		lagging := -1
+		for r, l := range n.links {
+			if l != nil && !l.fullyUp() {
+				lagging = r
+				break
+			}
 		}
-		n.readerWG.Add(1)
-		go n.readLoop(r, n.inConns[r])
+		if lagging < 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			err := fmt.Errorf("mesh: dial peer %d (%s): timed out after %v",
+				lagging, n.opt.Addrs[lagging], n.opt.DialTimeout)
+			n.fail(&PeerError{Peer: lagging, Err: err})
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
+	n.mu.Lock()
+	n.connected = true
+	n.firedGen = n.generationLocked()
+	n.mu.Unlock()
 	return nil
+}
+
+// acceptLoop accepts inbound connections for the node's whole lifetime: the
+// initial mesh bring-up and every later re-handshake from a redialing or
+// restarted peer.
+func (n *Node) acceptLoop() {
+	defer n.acceptWG.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			// The listener itself failing outside teardown is unrecoverable:
+			// restarted peers could never rejoin through it.
+			n.fail(&PeerError{Peer: -1, Err: fmt.Errorf("mesh: accept: %w", err)})
+			return
+		}
+		n.acceptWG.Add(1)
+		go func() {
+			defer n.acceptWG.Done()
+			n.handleInbound(conn)
+		}()
+	}
+}
+
+// handleInbound validates one inbound hello, pins the peer's incarnation,
+// answers with this node's incarnation and the link's delivered-frame count
+// (the replay resume point), and installs the connection as the link's
+// inbound side.
+func (n *Node) handleInbound(conn net.Conn) {
+	p := len(n.opt.Addrs)
+	conn.SetReadDeadline(time.Now().Add(n.opt.DialTimeout))
+	// Read the hello from the raw conn: ReadRecord uses io.ReadFull and
+	// never over-reads, so no frame bytes are lost to a throwaway buffered
+	// reader before readLoop attaches its own.
+	payload, err := wal.ReadRecord(conn, MaxFrame)
+	if err != nil {
+		conn.Close()
+		return // a stray dialer or a dead peer's half-open socket; not fatal
+	}
+	f, err := DecodeFrame(payload)
+	if err != nil || f.Kind != KindHello {
+		conn.Close()
+		return
+	}
+	h := f.Hello
+	switch {
+	case h.Version != Version:
+		err = fmt.Errorf("version %d (want %d)", h.Version, Version)
+	case h.ClusterKey != n.opt.ClusterKey:
+		err = fmt.Errorf("cluster key %016x (want %016x)", h.ClusterKey, n.opt.ClusterKey)
+	case h.Processes != p || h.Workers != n.opt.Workers:
+		err = fmt.Errorf("cluster shape %d×%d (want %d×%d)", h.Processes, h.Workers, p, n.opt.Workers)
+	case h.Src < 0 || h.Src >= p || h.Src == n.opt.Process:
+		err = fmt.Errorf("peer rank %d out of range", h.Src)
+	}
+	if err != nil {
+		conn.Close()
+		n.fail(&PeerError{Peer: -1, Err: fmt.Errorf("mesh: inbound handshake: %w", err)})
+		return
+	}
+	l := n.links[h.Src]
+	recvCount, barrierGen, ok := l.acceptIn(conn, h.Incarnation)
+	if !ok {
+		conn.Close() // stale incarnation (or a duplicate raced a newer conn)
+		return
+	}
+	resp := wal.AppendRecord(nil, AppendHelloResp(nil, n.opt.Incarnation, recvCount, barrierGen))
+	if _, err := conn.Write(resp); err != nil {
+		conn.Close()
+		l.inDown(conn, fmt.Errorf("hello response: %w", err))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	n.readerWG.Add(1)
+	go n.readLoop(h.Src, conn)
+	n.noteIncarnation(h.Src, h.Incarnation)
+	n.linkStateChanged(h.Src)
 }
 
 // --- timely.Fabric ---
@@ -311,16 +398,35 @@ func (n *Node) FirstLocal() int { return n.opt.Process * n.wpp }
 // LocalWorkers returns the per-process worker count.
 func (n *Node) LocalWorkers() int { return n.wpp }
 
-// Start provides the delivery target and releases the reader goroutines.
+// Start attaches the delivery target for the current generation and replays
+// any frames stashed while no host was attached. Called once per generation:
+// at initial bring-up and again after each Resync, when the application has
+// rebuilt its runtime.
 func (n *Node) Start(h timely.FabricHost) {
+	n.mu.Lock()
 	n.host = h
-	close(n.hostSet)
+	n.hostGen = n.flushedGen
+	stash := n.stash
+	n.stash, n.stashBytes = nil, 0
+	// Deliver the stash while holding mu: readers that race us park on cond
+	// rather than delivering ahead of stashed frames from their own link.
+	for _, s := range stash {
+		if s.prog {
+			h.DeliverProgress(s.df, s.deltas)
+		} else if err := h.DeliverData(s.df, s.ch, s.worker, s.stamp, s.payload); err != nil {
+			n.mu.Unlock()
+			n.Fail(err)
+			return
+		}
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
 }
 
 // SendData ships one exchanged data partition to the process owning the
 // destination worker, stamped with the next per-(df, ch, worker) sequence
 // number. Per-channel FIFO to each destination follows from the single
-// per-peer ordered connection.
+// per-peer ordered connection (plus replay across reconnects).
 func (n *Node) SendData(df, ch, worker int, stamp []lattice.Time, payload []byte) {
 	dst := worker / n.wpp
 	n.sendMu.Lock()
@@ -330,45 +436,226 @@ func (n *Node) SendData(df, ch, worker int, stamp []lattice.Time, payload []byte
 	rec := wal.AppendRecord(nil, AppendData(nil, df, ch, worker, seq, stamp, payload))
 	// Enqueue under sendMu: queue order must match sequence order, and a
 	// concurrent sender to the same destination could otherwise interleave.
-	n.outboxes[dst].enqueue(rec)
+	ok := n.links[dst].ob.enqueueRec(rec, true)
 	n.sendMu.Unlock()
+	if !ok {
+		n.budgetFail(dst)
+	}
 }
 
-// BroadcastProgress ships one pointstamp-delta batch to every peer, stamped
-// with the next per-dataflow sequence number. It is a non-blocking enqueue:
-// the caller holds the progress tracker's mutex. All peers receive the same
-// record bytes; per-sender application order is preserved by the sequence
-// check on the receive side.
+// budgetFail reports a replay-budget overflow: the peer has been down or
+// slow past what bounded quiescence can absorb.
+func (n *Node) budgetFail(peer int) {
+	n.fail(&PeerError{Peer: peer, Err: fmt.Errorf("replay budget %d bytes exhausted while peer unreachable", n.opt.ReplayBudget)})
+}
+
+// BroadcastProgress offers one pointstamp-delta batch to every peer. Batches
+// coalesce: if the tail of a link's outbox is still an unflushed progress
+// entry (no data or user frame has been enqueued behind it), the new batch
+// appends to it and the two ship as one frame — under churn or a down link,
+// many applied batches collapse into few frames. Adjacency is the safety
+// line: a batch never migrates across a later data frame, so the sender's
+// increment still reaches a receiver no later than the message it counts,
+// and concatenation in offer order keeps increments ahead of the decrements
+// they justify. Non-blocking: the caller holds the progress tracker's mutex.
 func (n *Node) BroadcastProgress(df int, deltas []timely.ProgressDelta) {
 	n.sendMu.Lock()
-	seq := n.progSeq[df]
-	n.progSeq[df] = seq + 1
-	rec := wal.AppendRecord(nil, AppendProgress(nil, df, seq, deltas))
-	// Enqueue under sendMu so queue order matches sequence order (progress
-	// broadcasts race per dataflow only through here).
-	for _, ob := range n.outboxes {
-		if ob != nil {
-			ob.enqueue(rec)
+	over := -1
+	for r, l := range n.links {
+		if l != nil && !l.ob.enqueueProgress(df, deltas) {
+			over = r
 		}
 	}
 	n.sendMu.Unlock()
+	n.st.mu.Lock()
+	n.st.progressBatches++
+	n.st.mu.Unlock()
+	if over >= 0 {
+		n.budgetFail(over)
+	}
+}
+
+// Pause suspends outbound traffic to the given peer: frames buffer in the
+// outbox (bounded by ReplayBudget) until Resume. The node pauses links
+// internally while a peer is down; this is the explicit driver/test hook.
+func (n *Node) Pause(peer int) {
+	if l := n.links[peer]; l != nil {
+		l.ob.setPaused(true)
+	}
+}
+
+// Resume releases a Pause: the writer drains the buffered frames in order.
+func (n *Node) Resume(peer int) {
+	if l := n.links[peer]; l != nil {
+		l.ob.setPaused(false)
+	}
 }
 
 // SendUser ships an opaque payload to one peer, for coordination outside the
-// dataflow (result gathering). Delivery is ordered with respect to data and
-// progress frames on the same link.
+// dataflow (result gathering, recovery cut exchange). Delivery is ordered
+// with respect to data and progress frames on the same link.
 func (n *Node) SendUser(dst int, payload []byte) {
 	rec := wal.AppendRecord(nil, AppendUser(nil, payload))
-	n.outboxes[dst].enqueue(rec)
+	if !n.links[dst].ob.enqueueRec(rec, true) {
+		n.budgetFail(dst)
+	}
 }
 
 // Fail reports an error from the host (e.g. an undecodable stashed frame)
 // into the node's failure path.
 func (n *Node) Fail(err error) { n.fail(&PeerError{Peer: -1, Err: err}) }
 
+// --- generation resync ---
+
+// Generation returns the cluster generation: the sum of the highest
+// incarnation seen for every rank. All nodes converge on it without
+// coordination, and it rises exactly when some peer restarts.
+func (n *Node) Generation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.generationLocked()
+}
+
+func (n *Node) generationLocked() uint64 {
+	var g uint64
+	for _, inc := range n.incs {
+		g += inc
+	}
+	return g
+}
+
+// Resync flushes the node to the given generation after the application has
+// torn down its dataflow world: the old host is detached, outboxes and send
+// sequences are cleared, and a barrier frame is enqueued to every peer. The
+// receive side of each link discards frames until the peer's own barrier for
+// this generation arrives. Call with the value Generation returned; follow
+// with WaitResynced, then rebuild the runtime and call Start again.
+func (n *Node) Resync(gen uint64) {
+	n.mu.Lock()
+	if gen <= n.flushedGen {
+		n.mu.Unlock()
+		return
+	}
+	n.flushedGen = gen
+	n.flushedA.Store(gen)
+	n.host = nil
+	n.hostGen = 0
+	n.stash, n.stashBytes = nil, 0
+	n.resyncFrom = time.Now()
+	n.mu.Unlock()
+	n.sendMu.Lock()
+	n.dataSeq = make(map[[3]int]uint64)
+	barrier := wal.AppendRecord(nil, AppendBarrier(nil, gen))
+	for _, l := range n.links {
+		if l != nil {
+			l.ob.reset()
+			l.ob.enqueueRec(barrier, true)
+		}
+	}
+	n.sendMu.Unlock()
+	n.cond.Broadcast()
+}
+
+// WaitResynced blocks until every link is up and has received its peer's
+// barrier for the given generation, or the timeout elapses, or the node
+// fails. Returning nil means the whole cluster has flushed generation gen:
+// every peer's stale frames are discarded and fresh sequence spaces are in
+// effect on every link.
+func (n *Node) WaitResynced(gen uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := n.Err(); err != nil {
+			return err
+		}
+		n.failMu.Lock()
+		closed := n.closed
+		n.failMu.Unlock()
+		if closed {
+			return fmt.Errorf("mesh: node closed during resync")
+		}
+		ready := true
+		for _, l := range n.links {
+			if l == nil {
+				continue
+			}
+			if !l.fullyUp() || l.barrier() < gen {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			n.mu.Lock()
+			elapsed := time.Since(n.resyncFrom)
+			n.mu.Unlock()
+			n.st.mu.Lock()
+			n.st.resyncs++
+			n.st.lastResyncNs = elapsed.Nanoseconds()
+			n.st.mu.Unlock()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mesh: resync to generation %d timed out after %v", gen, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// noteIncarnation records a (possibly new) incarnation for a rank and, if
+// the generation rose past the last fired one while all links are up, fires
+// OnResync on a tracked goroutine.
+func (n *Node) noteIncarnation(peer int, inc uint64) {
+	n.mu.Lock()
+	if inc > n.incs[peer] {
+		n.incs[peer] = inc
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
+}
+
+// linkStateChanged re-evaluates the OnResync trigger after a link came up or
+// an incarnation advanced.
+func (n *Node) linkStateChanged(peer int) {
+	for _, l := range n.links {
+		if l != nil && !l.fullyUp() {
+			return
+		}
+	}
+	n.mu.Lock()
+	gen := n.generationLocked()
+	fire := n.connected && n.opt.OnResync != nil && gen > n.firedGen
+	if fire {
+		n.firedGen = gen
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	if fire {
+		n.cbWG.Add(1)
+		go func() {
+			defer n.cbWG.Done()
+			n.opt.OnResync(gen)
+		}()
+	}
+	_ = peer
+}
+
+// callback runs a notification hook on a tracked goroutine.
+func (n *Node) callback(f func()) {
+	if f == nil {
+		return
+	}
+	n.cbWG.Add(1)
+	go func() {
+		defer n.cbWG.Done()
+		f()
+	}()
+}
+
+// --- lifecycle ---
+
 // Close shuts the mesh down deterministically: outboxes drain (bounded by a
-// write deadline), then connections close and readers exit without invoking
-// OnFailure. Safe to call more than once.
+// write deadline), then connections close, readers exit without invoking
+// OnFailure, and all tracked callback goroutines are joined. Safe to call
+// more than once. Must not be called from inside an Options callback.
 func (n *Node) Close() error {
 	n.failMu.Lock()
 	if n.closed {
@@ -377,34 +664,29 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.failMu.Unlock()
+	n.stopOnce.Do(func() { close(n.stop) })
 
 	// Bound the drain: a stuck peer must not wedge shutdown.
 	deadline := time.Now().Add(5 * time.Second)
-	for _, c := range n.conns {
-		if c != nil {
-			c.SetWriteDeadline(deadline)
-		}
-	}
-	for _, ob := range n.outboxes {
-		if ob == nil {
+	for _, l := range n.links {
+		if l == nil {
 			continue
 		}
-		ob.mu.Lock()
-		ob.closing = true
-		ob.mu.Unlock()
-		ob.cond.Signal()
+		l.setWriteDeadline(deadline)
+		l.ob.beginClose()
 	}
 	n.writerWG.Wait()
-	for _, ob := range n.outboxes {
-		if ob == nil {
-			continue
+	for _, l := range n.links {
+		if l != nil {
+			l.ob.kill()
+			l.stopTimers()
 		}
-		ob.mu.Lock()
-		ob.dead = true // late sends (workers still winding down) drop cleanly
-		ob.mu.Unlock()
 	}
 	n.closeConns()
+	n.cond.Broadcast()
 	n.readerWG.Wait()
+	n.acceptWG.Wait()
+	n.cbWG.Wait()
 	return nil
 }
 
@@ -415,9 +697,9 @@ func (n *Node) Err() error {
 	return n.failErr
 }
 
-// fail records the first failure, invokes OnFailure, and tears the node
-// down. After Close it is a no-op: teardown-induced read errors are not
-// failures.
+// fail records the first failure, invokes OnFailure on a tracked goroutine,
+// and tears the node down. After Close it is a no-op: teardown-induced read
+// errors are not failures.
 func (n *Node) fail(err error) {
 	n.failMu.Lock()
 	if n.closed || n.failed {
@@ -427,127 +709,76 @@ func (n *Node) fail(err error) {
 	n.failed = true
 	n.failErr = err
 	n.failMu.Unlock()
+	n.stopOnce.Do(func() { close(n.stop) })
 
-	for _, ob := range n.outboxes {
-		if ob == nil {
-			continue
+	for _, l := range n.links {
+		if l != nil {
+			l.ob.kill()
+			l.stopTimers()
 		}
-		ob.mu.Lock()
-		ob.dead = true
-		ob.closing = true
-		ob.mu.Unlock()
-		ob.cond.Signal()
 	}
 	n.closeConns()
+	n.cond.Broadcast()
 	if n.opt.OnFailure != nil {
-		go n.opt.OnFailure(err)
+		n.cbWG.Add(1)
+		go func() {
+			defer n.cbWG.Done()
+			n.opt.OnFailure(err)
+		}()
 	}
 }
 
 func (n *Node) closeConns() {
 	n.listener.Close()
-	for _, c := range n.conns {
-		if c != nil {
-			c.Close()
-		}
-	}
-	for _, c := range n.inConns {
-		if c != nil {
-			c.Close()
+	for _, l := range n.links {
+		if l != nil {
+			l.closeConns()
 		}
 	}
 }
 
-// writeLoop drains one peer's outbox into its connection.
-func (n *Node) writeLoop(peer int, conn net.Conn, ob *outbox) {
-	defer n.writerWG.Done()
-	w := bufio.NewWriterSize(conn, 64<<10)
-	for {
-		ob.mu.Lock()
-		for len(ob.queue) == 0 && !ob.closing {
-			ob.cond.Wait()
+// deliver hands one decoded countable frame to the current generation's
+// host, stashing data/progress frames that arrive before Start. Returns
+// false only on a delivery error (undecodable payload).
+func (n *Node) deliver(peer int, f *Frame) error {
+	switch f.Kind {
+	case KindUser:
+		if n.opt.OnUser != nil {
+			// The frame payload aliases the record buffer; copy before
+			// handing ownership out.
+			cp := make([]byte, len(f.Payload))
+			copy(cp, f.Payload)
+			n.opt.OnUser(peer, cp)
 		}
-		batch := ob.queue
-		ob.queue = nil
-		closing := ob.closing
-		ob.mu.Unlock()
-		for _, rec := range batch {
-			if _, err := w.Write(rec); err != nil {
-				n.fail(&PeerError{Peer: peer, Err: err})
-				return
+		return nil
+	case KindData:
+		n.mu.Lock()
+		if n.host == nil || n.hostGen != n.flushedGen {
+			n.stash = append(n.stash, stashed{
+				df: f.DF, ch: f.Ch, worker: f.Worker, stamp: f.Stamp, payload: f.Payload,
+			})
+			n.stashBytes += int64(len(f.Payload))
+			over := n.stashBytes > n.opt.ReplayBudget
+			n.mu.Unlock()
+			if over {
+				return fmt.Errorf("mesh: %d bytes stashed before Start; host never attached?", n.stashBytes)
 			}
+			return nil
 		}
-		if err := w.Flush(); err != nil {
-			n.fail(&PeerError{Peer: peer, Err: err})
-			return
+		h := n.host
+		n.mu.Unlock()
+		return h.DeliverData(f.DF, f.Ch, f.Worker, f.Stamp, f.Payload)
+	case KindProgress:
+		n.mu.Lock()
+		if n.host == nil || n.hostGen != n.flushedGen {
+			n.stash = append(n.stash, stashed{prog: true, df: f.DF, deltas: f.Deltas})
+			n.mu.Unlock()
+			return nil
 		}
-		if closing {
-			ob.mu.Lock()
-			done := len(ob.queue) == 0
-			ob.mu.Unlock()
-			if done {
-				return
-			}
-		}
+		h := n.host
+		n.mu.Unlock()
+		h.DeliverProgress(f.DF, f.Deltas)
+		return nil
 	}
-}
-
-// readLoop decodes frames from one peer, enforcing per-sender sequence
-// numbers, and delivers them to the host. Any malformation — framing,
-// checksum, decode, sequence — is a typed connection-fatal error.
-func (n *Node) readLoop(peer int, conn net.Conn) {
-	defer n.readerWG.Done()
-	<-n.hostSet
-	r := bufio.NewReaderSize(conn, 64<<10)
-	dataSeq := make(map[[3]int]uint64)
-	progSeq := make(map[int]uint64)
-	for {
-		payload, err := wal.ReadRecord(r, MaxFrame)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				err = fmt.Errorf("connection closed by peer: %w", err)
-			}
-			n.fail(&PeerError{Peer: peer, Err: err})
-			return
-		}
-		f, err := DecodeFrame(payload)
-		if err != nil {
-			n.fail(&PeerError{Peer: peer, Err: err})
-			return
-		}
-		switch f.Kind {
-		case KindData:
-			key := [3]int{f.DF, f.Ch, f.Worker}
-			if f.Seq != dataSeq[key] {
-				n.fail(&PeerError{Peer: peer, Err: fmt.Errorf(
-					"mesh: data frame df=%d ch=%d worker=%d seq %d, want %d",
-					f.DF, f.Ch, f.Worker, f.Seq, dataSeq[key])})
-				return
-			}
-			dataSeq[key] = f.Seq + 1
-			if err := n.host.DeliverData(f.DF, f.Ch, f.Worker, f.Stamp, f.Payload); err != nil {
-				n.fail(&PeerError{Peer: peer, Err: err})
-				return
-			}
-		case KindProgress:
-			if f.Seq != progSeq[f.DF] {
-				n.fail(&PeerError{Peer: peer, Err: fmt.Errorf(
-					"mesh: progress frame df=%d seq %d, want %d", f.DF, f.Seq, progSeq[f.DF])})
-				return
-			}
-			progSeq[f.DF] = f.Seq + 1
-			n.host.DeliverProgress(f.DF, f.Deltas)
-		case KindUser:
-			if n.opt.OnUser != nil {
-				// The frame payload aliases the record buffer; copy before
-				// handing ownership out.
-				cp := make([]byte, len(f.Payload))
-				copy(cp, f.Payload)
-				n.opt.OnUser(peer, cp)
-			}
-		default:
-			n.fail(&PeerError{Peer: peer, Err: fmt.Errorf("mesh: unexpected frame kind %q", f.Kind)})
-			return
-		}
-	}
+	return fmt.Errorf("mesh: undeliverable frame kind %q", f.Kind)
 }

@@ -124,9 +124,11 @@ func NewOpts(workers int, opts Options) *Server {
 // NewFabric starts a server over an explicit worker fabric — this process's
 // shard of a (possibly multi-process) cluster. Every process must register
 // the same sources and install the same queries in the same order; the
-// fabric's lifecycle (Close) stays with the caller. Durability is
-// single-process only: durable sources refuse to register on a multi-process
-// fabric.
+// fabric's lifecycle (Close) stays with the caller, which is what lets a
+// crash-recovery driver tear the server down and rebuild it over the same
+// mesh. Durable sources work per-rank: each process owns shard logs for its
+// local workers only (named by global worker index), and recovery clamps
+// every rank to the cluster-wide minimum cut via RecoverableEpoch/RestoreTo.
 func NewFabric(fab timely.Fabric, opts Options) *Server {
 	return newServer(timely.StartClusterFabric(fab), opts)
 }
@@ -339,10 +341,6 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 		return nil, fmt.Errorf("server: source %q requests spilling without durability; "+
 			"block files need a manifest to own their lifecycle", name)
 	}
-	if opt.Durable && s.c.LocalWorkers() < peers {
-		return nil, fmt.Errorf("server: durable source %q on a multi-process cluster; "+
-			"shard logs are single-process only", name)
-	}
 	if opt.Durable {
 		if s.opts.DataDir == "" {
 			return nil, fmt.Errorf("server: durable source %q requires a server DataDir", name)
@@ -351,11 +349,14 @@ func NewSourceOpts[K, V any](s *Server, name string, fn core.Funcs[K, V],
 			return nil, fmt.Errorf("server: durable source %q requires key and value codecs", name)
 		}
 		if s.opts.Recover {
+			// Each process owns its local workers' shards only; a rank's data
+			// dir therefore holds LocalWorkers shard logs (global worker
+			// indices keep the directory names distinct across ranks).
 			if n, err := wal.CountShards(s.opts.DataDir, name); err != nil {
 				return nil, err
-			} else if n != 0 && n != peers {
-				return nil, fmt.Errorf("server: source %q logged %d shards, server has %d workers",
-					name, n, peers)
+			} else if n != 0 && n != s.c.LocalWorkers() {
+				return nil, fmt.Errorf("server: source %q logged %d shards, process has %d local workers",
+					name, n, s.c.LocalWorkers())
 			}
 		}
 		src.durable = true
@@ -668,6 +669,46 @@ func (src *Source[K, V]) closeDurable() {
 	}
 }
 
+// localCutLocked computes the consistent prefix this process's shards can
+// restore: the meet of the local shard-log uppers (an empty upper means a
+// closed log — beyond everything — and contributes nothing to the meet).
+// Remote workers' slots are nil on a multi-process cluster; each rank
+// accounts for its own shards only.
+func (src *Source[K, V]) localCutLocked() (lattice.Frontier, error) {
+	fs := make([]lattice.Frontier, 0, len(src.states)+1)
+	for _, st := range src.states {
+		if st != nil {
+			fs = append(fs, st.Upper)
+		}
+	}
+	cut := lattice.MeetAll(fs...)
+	if cut.Empty() {
+		return cut, fmt.Errorf("server: source %q log is closed; nothing can be resumed", src.nm)
+	}
+	if cut.Len() != 1 || cut.Elements()[0].Depth() != 1 {
+		return cut, fmt.Errorf("server: source %q recovered non-epoch frontier %v", src.nm, cut)
+	}
+	return cut, nil
+}
+
+// RecoverableEpoch peeks at the epoch this process's shard logs can restore
+// to, without restoring anything. On a multi-process cluster each rank's
+// logs extend unevenly (shards seal independently), so the ranks exchange
+// these values and everyone restores to the minimum via RestoreTo — the
+// globally consistent cut.
+func (src *Source[K, V]) RecoverableEpoch() (uint64, error) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if !src.durable || !src.pending {
+		return 0, fmt.Errorf("server: source %q has nothing pending to restore", src.nm)
+	}
+	cut, err := src.localCutLocked()
+	if err != nil {
+		return 0, err
+	}
+	return cut.Elements()[0].Epoch(), nil
+}
+
 // Restore rebuilds the arrangement's trace from its logged batches — no
 // source replay — and resumes the epoch clock from the logged frontier. The
 // shards sealed independently, so their logs may extend unevenly; the trace
@@ -675,6 +716,21 @@ func (src *Source[K, V]) closeDurable() {
 // prefix), the logs are rewritten to that prefix, and the resumed epoch is
 // returned: the driver re-issues rounds from there as ordinary new input.
 func (src *Source[K, V]) Restore() (uint64, error) {
+	return src.restoreClamped(nil)
+}
+
+// RestoreTo is Restore clamped to an agreed target epoch: the trace is
+// rebuilt and the logs rewritten to min(local cut, target). Ranks of a
+// multi-process cluster restore to the minimum of their RecoverableEpoch
+// values; batches a rank logged beyond the agreed cut are physically
+// discarded by the rewrite, so the rounds the driver re-issues from the cut
+// cannot double-apply.
+func (src *Source[K, V]) RestoreTo(target uint64) (uint64, error) {
+	clamp := lattice.NewFrontier(lattice.Ts(target))
+	return src.restoreClamped(&clamp)
+}
+
+func (src *Source[K, V]) restoreClamped(clamp *lattice.Frontier) (uint64, error) {
 	src.mu.Lock()
 	defer src.mu.Unlock()
 	if src.s.Closed() {
@@ -687,25 +743,20 @@ func (src *Source[K, V]) Restore() (uint64, error) {
 		return 0, fmt.Errorf("server: source %q has nothing pending to restore", src.nm)
 	}
 
-	// The globally consistent prefix: the meet of the shards' log uppers
-	// (an empty upper means a closed log — beyond everything — and
-	// contributes nothing to the meet).
-	fs := make([]lattice.Frontier, 0, len(src.states)+1)
-	for _, st := range src.states {
-		fs = append(fs, st.Upper)
+	cut, err := src.localCutLocked()
+	if err != nil {
+		return 0, err
 	}
-	cut := lattice.MeetAll(fs...)
-	if cut.Empty() {
-		return 0, fmt.Errorf("server: source %q log is closed; nothing can be resumed", src.nm)
-	}
-	if cut.Len() != 1 || cut.Elements()[0].Depth() != 1 {
-		return 0, fmt.Errorf("server: source %q recovered non-epoch frontier %v", src.nm, cut)
+	if clamp != nil {
+		cut = lattice.MeetAll(cut, *clamp)
 	}
 	// Resume compaction at the weakest promise any shard logged, capped at
 	// the cut (a since beyond the resume point is meaningless).
 	sf := make([]lattice.Frontier, 0, len(src.states)+1)
 	for _, st := range src.states {
-		sf = append(sf, st.Since)
+		if st != nil {
+			sf = append(sf, st.Since)
+		}
 	}
 	sf = append(sf, cut)
 	since := lattice.MeetAll(sf...)
@@ -794,8 +845,12 @@ func (src *Source[K, V]) Restore() (uint64, error) {
 	epoch := cut.Elements()[0].Epoch()
 	src.epoch = epoch
 	if epoch > 0 {
+		// Remote workers' input slots are nil; any local handle can advance
+		// the collection's clock.
 		for _, in := range src.inputs {
-			in.AdvanceTo(epoch)
+			if in != nil {
+				in.AdvanceTo(epoch)
+			}
 		}
 	}
 	src.pending = false

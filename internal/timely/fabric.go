@@ -55,6 +55,19 @@ type FabricHost interface {
 	DeliverProgress(df int, deltas []ProgressDelta)
 }
 
+// ProgressReseeder is the optional FabricHost extension for crash recovery:
+// a host that implements it can export a dataflow's positive pointstamp
+// count table (SnapshotProgress) and replace its own from a peer's export
+// (ReseedProgress). A rejoining replica reseeds after re-registering its
+// topology and before applying any post-resync broadcast delta, so the
+// plus-before-minus invariant holds across the resync boundary — every
+// snapshot diff is positive, and later decrements land on counts the
+// snapshot already established. The cluster runtime implements it.
+type ProgressReseeder interface {
+	SnapshotProgress(df int) []ProgressDelta
+	ReseedProgress(df int, ds []ProgressDelta)
+}
+
 // Fabric is the pluggable transport beneath a runtime. Workers 0..Workers()-1
 // are sharded across processes; this process owns the contiguous range
 // [FirstLocal(), FirstLocal()+LocalWorkers()).
@@ -80,6 +93,12 @@ type Fabric interface {
 	// runtime (an undecodable stashed payload); the fabric surfaces it like
 	// a peer failure.
 	Fail(err error)
+	// Pause suspends outbound traffic to one peer process: frames buffer in
+	// the fabric (bounded) until Resume. Drivers use it to hold a rejoining
+	// peer's traffic while it restores; fabrics without peers ignore it.
+	Pause(peer int)
+	// Resume releases a Pause, draining buffered frames in order.
+	Resume(peer int)
 	// Close releases the transport. Idempotent.
 	Close() error
 }
@@ -109,7 +128,9 @@ func (f localFabric) BroadcastProgress(df int, deltas []ProgressDelta) {}
 func (f localFabric) Fail(err error) {
 	panic(fmt.Sprintf("timely: local fabric failure: %v", err))
 }
-func (f localFabric) Close() error { return nil }
+func (f localFabric) Pause(peer int)  {}
+func (f localFabric) Resume(peer int) {}
+func (f localFabric) Close() error    { return nil }
 
 // WireCodec serializes exchanged records of one element type for transport
 // between processes. Append encodes a partition onto dst; Decode parses one

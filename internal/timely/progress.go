@@ -251,6 +251,51 @@ func (tr *tracker) applyRemote(ds []ProgressDelta) {
 	tr.rt.wake()
 }
 
+// snapshot captures the tracker's positive pointstamp counts as one delta
+// batch: the state a rejoining replica needs to rebuild its view of the
+// cluster's outstanding work. Negative transients (legal in dist mode while
+// a consume races its increment) are deliberately excluded — the snapshot is
+// taken from a quiesced survivor, where a transient would mean in-flight
+// traffic that the resync barrier has already discarded, and re-seeding a
+// negative would hand the replica a minus before its plus. Every emitted
+// diff is positive, so a receiver may apply the batch in any order without
+// violating plus-before-minus.
+func (tr *tracker) snapshot() []ProgressDelta {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ds := make([]ProgressDelta, 0, len(tr.msgs)+len(tr.caps))
+	for pt, n := range tr.msgs {
+		if n > 0 {
+			ds = append(ds, ProgressDelta{Op: pt.key.op, Port: pt.key.port, Out: pt.key.out, Time: pt.t, Diff: n})
+		}
+	}
+	for pt, n := range tr.caps {
+		if n > 0 {
+			ds = append(ds, ProgressDelta{Op: pt.key.op, Port: pt.key.port, Out: pt.key.out, Time: pt.t, Diff: n})
+		}
+	}
+	return ds
+}
+
+// reseed replaces the tracker's count tables with a peer's snapshot. The
+// rejoining replica calls it after re-registering its (identical) dataflow
+// topology and before consuming any post-resync delta: registration's
+// initial capabilities are superseded by the snapshot, and subsequent
+// broadcast deltas apply on top, keeping plus-before-minus across the
+// resync boundary.
+func (tr *tracker) reseed(ds []ProgressDelta) {
+	tr.mu.Lock()
+	tr.msgs = make(map[portTime]int64)
+	tr.caps = make(map[portTime]int64)
+	for _, d := range ds {
+		tr.bump(delta{portKey{d.Op, d.Port, d.Out}, d.Time, d.Diff})
+	}
+	tr.dirty = true
+	tr.version++
+	tr.mu.Unlock()
+	tr.rt.wake()
+}
+
 func (tr *tracker) bump(d delta) {
 	m := tr.msgs
 	if d.key.out {

@@ -39,6 +39,8 @@ func (f *recordingFabric) BroadcastProgress(df int, deltas []ProgressDelta) {
 	f.batches = append(f.batches, append([]ProgressDelta(nil), deltas...))
 }
 func (f *recordingFabric) Fail(error)   {}
+func (f *recordingFabric) Pause(int)    {}
+func (f *recordingFabric) Resume(int)   {}
 func (f *recordingFabric) Close() error { return nil }
 
 // propOp is one random operator: a single in and out port joined by either an
@@ -257,6 +259,103 @@ func TestProgressFrontierMonotonic(t *testing.T) {
 		for op := range sim.ops {
 			if f := tr.frontierAt(op, 0); !f.Empty() {
 				t.Fatalf("seed %d: drained tracker still has frontier %v at op %d", seed, f, op)
+			}
+		}
+	}
+}
+
+// TestProgressReseedConverges simulates the crash-recovery path: two replicas
+// run a legal execution, one is torn down mid-stream, and a fresh replica is
+// re-seeded from the survivor's positive-count snapshot (SnapshotProgress →
+// ReseedProgress) before the execution continues. After every post-reseed
+// batch lands, both the survivor and the rejoined replica must match the
+// sequential reference exactly — counts and frontiers. This is the tracker
+// half of the mesh resync protocol: the snapshot is applicable in any state
+// (all diffs positive), and later decrements land on counts the snapshot
+// already established, preserving plus-before-minus across the boundary.
+func TestProgressReseedConverges(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(2000 + seed))
+		sim := newPropSim(r, 2)
+
+		fab0 := &recordingFabric{workers: 2, first: 0}
+		fab1 := &recordingFabric{workers: 2, first: 1}
+		tr0 := newTracker(newRuntime(fab0), 0)
+		tr1 := newTracker(newRuntime(fab1), 0)
+		sim.register(tr0)
+		sim.register(tr1)
+		ref := newTracker(newRuntime(NewLocalFabric(2)), 0)
+		sim.register(ref)
+
+		// Phase 1: both replicas live.
+		for i := 0; i < 120; i++ {
+			p := r.Intn(2)
+			sim.step(p, []*tracker{[]*tracker{tr0, tr1}[p], ref})
+		}
+		// Quiesce: deliver all in-flight broadcasts (the mesh holds frontiers
+		// and drains links before a snapshot is taken).
+		for _, b := range fab1.batches {
+			tr0.applyRemote(b)
+		}
+		for _, b := range fab0.batches {
+			tr1.applyRemote(b)
+		}
+
+		// Replica 1 dies. Its successor registers the same topology, then
+		// replaces its count tables with the survivor's snapshot.
+		fab1b := &recordingFabric{workers: 2, first: 1}
+		tr1b := newTracker(newRuntime(fab1b), 0)
+		sim.register(tr1b)
+		tr1b.reseed(tr0.snapshot())
+
+		// The snapshot must already agree with the survivor.
+		for op := range sim.ops {
+			if !tr0.frontierAt(op, 0).Equal(tr1b.frontierAt(op, 0)) {
+				t.Fatalf("seed %d: reseeded frontier at op %d differs from snapshot source", seed, op)
+			}
+		}
+
+		// Phase 2: execution continues across survivor + successor.
+		mark0 := len(fab0.batches)
+		for i := 0; i < 120; i++ {
+			p := r.Intn(2)
+			sim.step(p, []*tracker{[]*tracker{tr0, tr1b}[p], ref})
+		}
+		for p := 0; p < 2; p++ {
+			sim.drainMsgs(p, []*tracker{[]*tracker{tr0, tr1b}[p], ref})
+			sim.dropCaps(p, 0.5, []*tracker{[]*tracker{tr0, tr1b}[p], ref})
+		}
+		// Deliver the post-reseed streams, random per-sender-ordered merge.
+		streams := [2][][]ProgressDelta{fab0.batches[mark0:], fab1b.batches}
+		for q, tr := range []*tracker{tr1b, tr0} {
+			for len(streams[q]) > 0 {
+				tr.applyRemote(streams[q][0])
+				streams[q] = streams[q][1:]
+			}
+		}
+
+		for q, tr := range []*tracker{tr0, tr1b} {
+			for op := range sim.ops {
+				want := ref.frontierAt(op, 0)
+				got := tr.frontierAt(op, 0)
+				if !want.Equal(got) {
+					t.Fatalf("seed %d: replica %d frontier at op %d diverged after reseed: got %v want %v",
+						seed, q, op, got, want)
+				}
+			}
+			for _, pair := range []struct{ got, want map[portTime]int64 }{
+				{tr.msgs, ref.msgs}, {tr.caps, ref.caps},
+			} {
+				if len(pair.got) != len(pair.want) {
+					t.Fatalf("seed %d: replica %d count table size %d, want %d after reseed",
+						seed, q, len(pair.got), len(pair.want))
+				}
+				for pt, n := range pair.want {
+					if pair.got[pt] != n {
+						t.Fatalf("seed %d: replica %d count at %+v = %d, want %d after reseed",
+							seed, q, pt, pair.got[pt], n)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,153 @@
+#!/bin/sh
+# Chaos smoke for peer crash-recovery: run the churning transitive-closure
+# workload as a two-process durable cluster, SIGKILL a random peer K times
+# mid-stream (restarting it with -recover each time), and require
+#
+#   1. the final RESULT line to be bit-identical to an uninterrupted
+#      single-process run of the same workload, and
+#   2. every recovery (restart to next sealed epoch) to complete within a
+#      bounded deadline.
+#
+# A killed rank replays its WAL shards, handshakes back in with its next
+# incarnation, and the cluster resyncs to the minimum recoverable cut before
+# re-driving the remaining rounds; because each round is a pure function of
+# its number, the replay is exact.
+set -eu
+cd "$(dirname "$0")/.."
+
+KILLS="${KILLS:-3}"
+RECOVERY_DEADLINE_SECS="${RECOVERY_DEADLINE_SECS:-45}"
+
+tmp="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+bin="$tmp/kpg"
+go build -o "$bin" ./cmd/kpg
+
+workload="-workers 4 -nodes 1024 -churn 256 -rounds 500"
+grace="-peer-grace 60s -checkpoint-every 5"
+peers="127.0.0.1:7641,127.0.0.1:7642"
+
+# Reference: the same workload, uninterrupted, single process.
+$bin $workload -peers 127.0.0.1:7643 -process 0 serve > "$tmp/ref.out" 2>&1
+ref="$(grep '^RESULT ' "$tmp/ref.out")"
+[ -n "$ref" ] || { echo "FAIL: no RESULT from reference run" >&2; cat "$tmp/ref.out" >&2; exit 1; }
+echo "reference:   $ref"
+
+# launch RANK GEN starts (or restarts) one rank and records its pid.
+launch() {
+    rank="$1"; gen="$2"
+    recover=""
+    [ "$gen" -gt 0 ] && recover="-recover"
+    $bin $workload $grace -peers "$peers" -process "$rank" \
+        -data-dir "$tmp/d$rank" $recover serve > "$tmp/p$rank.g$gen.out" 2>&1 &
+    eval "pid$rank=$!"
+    eval "gen$rank=$gen"
+    pids="$pid0 ${pid1:-}"
+}
+
+# sealed RANK prints the highest epoch rank RANK has sealed in its current
+# incarnation's log (empty if none yet).
+sealed() {
+    eval "g=\$gen$1"
+    sed -n 's/^sealed epoch \([0-9]*\)$/\1/p' "$tmp/p$1.g$g.out" 2>/dev/null | tail -1
+}
+
+launch 0 0
+launch 1 0
+
+# wait_progress RANK MIN DEADLINE_SECS blocks until the rank seals an epoch
+# >= MIN, failing the smoke if the deadline passes or the process dies.
+wait_progress() {
+    rank="$1"; min="$2"; secs="$3"
+    i=0
+    while :; do
+        s="$(sealed "$rank")"
+        if [ -n "$s" ] && [ "$s" -ge "$min" ]; then
+            echo "$s"
+            return 0
+        fi
+        eval "p=\$pid$rank"
+        if ! kill -0 "$p" 2>/dev/null; then
+            # Finishing cleanly is fine: followers exit only after rank 0 has
+            # printed the gathered RESULT, so its presence marks success.
+            # (Can't `wait` here: this runs in a command-substitution subshell.)
+            if grep -q '^RESULT ' "$tmp"/p0.g*.out 2>/dev/null; then
+                echo "done"
+                return 0
+            fi
+            echo "FAIL: rank $rank died while waiting for progress" >&2
+            eval "g=\$gen$rank"
+            cat "$tmp/p$rank.g$g.out" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt $((secs * 10)) ]; then
+            echo "FAIL: rank $rank made no progress past epoch $min in ${secs}s" >&2
+            eval "g=\$gen$rank"
+            cat "$tmp/p$rank.g$g.out" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+k=0
+while [ "$k" -lt "$KILLS" ]; do
+    # Let the cluster make real progress before each kill: both ranks must be
+    # past the epoch where the last recovery resumed.
+    base0="$(wait_progress 0 $((k * 30 + 20)) 60)"
+    base1="$(wait_progress 1 $((k * 30 + 20)) 60)"
+    if [ "$base0" = "done" ] || [ "$base1" = "done" ]; then
+        break # the run outpaced the kill schedule; parity still asserts below
+    fi
+
+    victim=$((k % 2)) # deterministic alternation: both ranks get killed
+    eval "vp=\$pid$victim"
+    eval "vg=\$gen$victim"
+    kill -9 "$vp" 2>/dev/null || true
+    wait "$vp" 2>/dev/null || true
+    echo "kill $((k + 1))/$KILLS: SIGKILLed rank $victim (incarnation $vg) at epoch ~$base0/$base1"
+
+    restart_at="$(date +%s)"
+    launch "$victim" $((vg + 1))
+    # Bounded recovery: the restarted rank must replay its WAL, resync the
+    # mesh, restore to the agreed cut, and seal a fresh epoch within the
+    # deadline.
+    s="$(wait_progress "$victim" 1 "$RECOVERY_DEADLINE_SECS")"
+    took=$(( $(date +%s) - restart_at ))
+    echo "  rank $victim recovered (sealed $s) in ${took}s"
+    if [ "$took" -gt "$RECOVERY_DEADLINE_SECS" ]; then
+        echo "FAIL: recovery took ${took}s, deadline ${RECOVERY_DEADLINE_SECS}s" >&2
+        exit 1
+    fi
+    k=$((k + 1))
+done
+
+# Drain: both ranks must finish and agree with the reference bit for bit.
+i=0
+while kill -0 "$pid0" 2>/dev/null || kill -0 "$pid1" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 1800 ]; then
+        echo "FAIL: cluster still running 3 minutes after the last recovery" >&2
+        cat "$tmp"/p0.g*.out "$tmp"/p1.g*.out >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$pid0" 2>/dev/null || { echo "FAIL: rank 0 exited non-zero" >&2; cat "$tmp"/p0.g*.out >&2; exit 1; }
+wait "$pid1" 2>/dev/null || { echo "FAIL: rank 1 exited non-zero" >&2; cat "$tmp"/p1.g*.out >&2; exit 1; }
+pids=""
+
+got="$(grep -h '^RESULT ' "$tmp"/p0.g*.out | tail -1)"
+[ -n "$got" ] || { echo "FAIL: no RESULT from the chaos run" >&2; cat "$tmp"/p0.g*.out >&2; exit 1; }
+echo "chaos run:   $got"
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: RESULT after $k kills differs from the uninterrupted reference" >&2
+    exit 1
+fi
+echo "OK: chaos smoke passed ($k kills, RESULT bit-identical)"
